@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the design-choice ablations of
+//! DESIGN.md: Lemma 5 free-set pruning, the Closed₂ vs stripped-partition
+//! difference-set engines, FindMin dynamic reordering, and the classical
+//! FD baselines (TANE vs FastFD).
+
+use cfd_core::{DiffSetMode, FastCfd};
+use cfd_datagen::tax::TaxGenerator;
+use cfd_fd::{FastFd, Tane};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    let rel = TaxGenerator::new(1_500).generate();
+    let k = 2;
+
+    group.bench_with_input(BenchmarkId::new("freeset", "on"), &rel, |b, rel| {
+        b.iter(|| FastCfd::new(k).discover(rel))
+    });
+    group.bench_with_input(BenchmarkId::new("freeset", "off"), &rel, |b, rel| {
+        b.iter(|| FastCfd::new(k).free_set_pruning(false).discover(rel))
+    });
+
+    group.bench_with_input(BenchmarkId::new("engine", "closed2"), &rel, |b, rel| {
+        b.iter(|| FastCfd::new(k).discover(rel))
+    });
+    group.bench_with_input(BenchmarkId::new("engine", "stripped"), &rel, |b, rel| {
+        b.iter(|| {
+            FastCfd::new(k)
+                .mode(DiffSetMode::StrippedPartitions)
+                .discover(rel)
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("reorder", "on"), &rel, |b, rel| {
+        b.iter(|| FastCfd::new(k).discover(rel))
+    });
+    group.bench_with_input(BenchmarkId::new("reorder", "off"), &rel, |b, rel| {
+        b.iter(|| FastCfd::new(k).dynamic_reorder(false).discover(rel))
+    });
+
+    group.bench_with_input(BenchmarkId::new("fd", "tane"), &rel, |b, rel| {
+        b.iter(|| Tane::new().discover(rel))
+    });
+    group.bench_with_input(BenchmarkId::new("fd", "fastfd"), &rel, |b, rel| {
+        b.iter(|| FastFd::new().discover(rel))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark for Fig. 5: runtime vs DBSIZE on the
+//! synthetic tax workload (ARITY = 7, CF = 0.7, SUP% = 0.1%), one group
+//! per algorithm. Scaled to criterion-friendly sizes; the full sweep
+//! lives in `cargo run --release -p cfd-bench --bin experiments -- fig5`.
+
+use cfd_core::{CfdMiner, Ctane, FastCfd};
+use cfd_datagen::tax::TaxGenerator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig05_dbsize");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for dbsize in [500usize, 1_000, 2_000] {
+        let rel = TaxGenerator::new(dbsize).generate();
+        let k = (dbsize / 1000).max(2);
+        group.bench_with_input(BenchmarkId::new("CFDMiner", dbsize), &rel, |b, rel| {
+            b.iter(|| CfdMiner::new(k).discover(rel))
+        });
+        group.bench_with_input(BenchmarkId::new("CFDMiner2", dbsize), &rel, |b, rel| {
+            b.iter(|| CfdMiner::new(2).discover(rel))
+        });
+        group.bench_with_input(BenchmarkId::new("CTANE", dbsize), &rel, |b, rel| {
+            b.iter(|| Ctane::new(k).discover(rel))
+        });
+        group.bench_with_input(BenchmarkId::new("NaiveFast", dbsize), &rel, |b, rel| {
+            b.iter(|| FastCfd::naive(k).discover(rel))
+        });
+        group.bench_with_input(BenchmarkId::new("FastCFD", dbsize), &rel, |b, rel| {
+            b.iter(|| FastCfd::new(k).discover(rel))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

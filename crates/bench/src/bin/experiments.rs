@@ -1,0 +1,62 @@
+//! CLI for the experiment harness.
+//!
+//! ```text
+//! experiments [--full] [--out DIR] (all | <id>…)
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! cargo run --release -p cfd-bench --bin experiments -- all
+//! cargo run --release -p cfd-bench --bin experiments -- fig5 fig7
+//! cargo run --release -p cfd-bench --bin experiments -- --full fig5
+//! ```
+//!
+//! CSV results land in `bench-results/` (override with `--out`).
+
+use cfd_bench::{run_experiment, Scale, EXPERIMENT_IDS};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut full = false;
+    let mut out = PathBuf::from("bench-results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--out" => {
+                out = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--full] [--out DIR] (all | id…)");
+                println!("ids: {EXPERIMENT_IDS:?}");
+                println!("count-figure aliases: fig6 fig9 fig14 fig15 fig16");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("no experiment requested; try `all` or one of {EXPERIMENT_IDS:?}");
+        std::process::exit(2);
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    let scale = Scale { full };
+    println!(
+        "experiment scale: {} (CSV output: {})\n",
+        if full { "FULL (paper parameters)" } else { "quick" },
+        out.display()
+    );
+    let t0 = std::time::Instant::now();
+    for id in &ids {
+        run_experiment(id, scale, Some(&out));
+    }
+    println!("total harness time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,25 @@
+//! # cfd-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the paper's evaluation (Section 6): the dataset table of §6.1 and
+//! Figures 5–16, plus the ablations DESIGN.md calls out.
+//!
+//! Two scales are supported:
+//!
+//! * **quick** (default) — parameter sweeps scaled down so the whole
+//!   suite finishes in minutes on a laptop; the *shape* of every curve
+//!   (who wins, by what factor, where the crossovers fall) is preserved;
+//! * **full** (`--full`) — the paper's parameters (up to 10⁶ tuples,
+//!   arity 31); expect hours, exactly like the original study.
+//!
+//! Run `cargo run --release -p cfd-bench --bin experiments -- all` and
+//! see `EXPERIMENTS.md` for the recorded paper-vs-measured comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{run_experiment, Scale, EXPERIMENT_IDS};
+pub use table::{Cell, Table};

@@ -1,0 +1,190 @@
+//! Result tables: aligned console rendering plus CSV export.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One table cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// Wall-clock seconds.
+    Secs(f64),
+    /// A count (e.g. number of CFDs).
+    Count(usize),
+    /// Free-form text.
+    Text(String),
+    /// Did not finish within the harness budget (the paper reports the
+    /// same for CTANE beyond arity 17).
+    Dnf,
+    /// Not applicable / not run.
+    Na,
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Secs(s) => {
+                if *s >= 100.0 {
+                    format!("{s:.0}s")
+                } else if *s >= 1.0 {
+                    format!("{s:.2}s")
+                } else {
+                    format!("{:.1}ms", s * 1e3)
+                }
+            }
+            Cell::Count(c) => c.to_string(),
+            Cell::Text(t) => t.clone(),
+            Cell::Dnf => "DNF".into(),
+            Cell::Na => "-".into(),
+        }
+    }
+
+    fn render_csv(&self) -> String {
+        match self {
+            Cell::Secs(s) => format!("{s:.6}"),
+            Cell::Count(c) => c.to_string(),
+            Cell::Text(t) => t.clone(),
+            Cell::Dnf => "DNF".into(),
+            Cell::Na => "".into(),
+        }
+    }
+}
+
+/// A result table: one labelled row per sweep point.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Title, e.g. `Fig 5. Scalability w.r.t. DBSIZE`.
+    pub title: String,
+    /// Label of the row key (the x-axis), e.g. `DBSIZE`.
+    pub xlabel: String,
+    /// Series names (column headers).
+    pub columns: Vec<String>,
+    /// `(x value, cells)` rows.
+    pub rows: Vec<(String, Vec<Cell>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, xlabel: &str, columns: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            xlabel: xlabel.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, x: impl ToString, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((x.to_string(), cells));
+    }
+
+    /// Renders the table for the console.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = Vec::with_capacity(self.columns.len() + 1);
+        widths.push(
+            self.rows
+                .iter()
+                .map(|(x, _)| x.len())
+                .chain([self.xlabel.len()])
+                .max()
+                .unwrap_or(4),
+        );
+        for (i, c) in self.columns.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|(_, cells)| cells[i].render().len())
+                .chain([c.len()])
+                .max()
+                .unwrap_or(4);
+            widths.push(w);
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = write!(out, "  {:<w$}", self.xlabel, w = widths[0]);
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(out, "  {:>w$}", c, w = widths[i + 1]);
+        }
+        out.push('\n');
+        for (x, cells) in &self.rows {
+            let _ = write!(out, "  {:<w$}", x, w = widths[0]);
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "  {:>w$}", cell.render(), w = widths[i + 1]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.xlabel);
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        out.push('\n');
+        for (x, cells) in &self.rows {
+            let _ = write!(out, "{x}");
+            for cell in cells {
+                let _ = write!(out, ",{}", cell.render_csv());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path, id: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{id}.csv")), self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig X. demo", "DBSIZE", &["CTANE", "FastCFD"]);
+        t.push_row(1000, vec![Cell::Secs(1.5), Cell::Secs(0.002)]);
+        t.push_row(2000, vec![Cell::Dnf, Cell::Count(42)]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        assert!(s.contains("Fig X. demo"));
+        assert!(s.contains("DBSIZE"));
+        assert!(s.contains("1.50s"));
+        assert!(s.contains("2.0ms"));
+        assert!(s.contains("DNF"));
+        assert!(s.contains("42"));
+    }
+
+    #[test]
+    fn csv_export() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "DBSIZE,CTANE,FastCFD");
+        assert_eq!(lines[1], "1000,1.500000,0.002000");
+        assert_eq!(lines[2], "2000,DNF,42");
+    }
+
+    #[test]
+    fn cell_rendering_scales() {
+        assert_eq!(Cell::Secs(123.4).render(), "123s");
+        assert_eq!(Cell::Secs(3.25).render(), "3.25s");
+        assert_eq!(Cell::Secs(0.0123).render(), "12.3ms");
+        assert_eq!(Cell::Na.render(), "-");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "x", &["a", "b"]);
+        t.push_row(1, vec![Cell::Na]);
+    }
+}

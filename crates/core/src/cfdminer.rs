@@ -1,0 +1,176 @@
+//! CFDMiner — constant CFD discovery via free/closed item sets
+//! (Section 3 of the paper).
+//!
+//! Proposition 1 characterizes the minimal k-frequent constant CFDs
+//! `(X → A, (tp ‖ a))` of an instance: `(X, tp)` is a k-frequent *free*
+//! set not containing `(A, a)`, the closure `clo(X, tp)` contains
+//! `(A, a)`, and no smaller free pattern inside `(X, tp)` has `(A, a)` in
+//! its closure. Because free sets are downward closed and closure is
+//! antitone in the pattern order, the last condition reduces to the
+//! *immediate* free sub-patterns:
+//!
+//! ```text
+//! RHS(X, tp) = (clo(X, tp) \ (X, tp)) \ ⋃_{B ∈ X} clo((X, tp) \ B)
+//! ```
+//!
+//! (see DESIGN.md §2 for why this replaces the paper's step 3a
+//! intersection, which as printed would keep exactly the redundant
+//! items).
+
+use cfd_itemset::mine::{mine_free_closed, Mined, MineOptions};
+use cfd_model::cfd::Cfd;
+use cfd_model::cover::CanonicalCover;
+use cfd_model::pattern::PVal;
+use cfd_model::relation::Relation;
+
+/// Constant CFD discovery (Section 3.2).
+#[derive(Clone, Copy, Debug)]
+pub struct CfdMiner {
+    k: usize,
+}
+
+impl CfdMiner {
+    /// Creates a miner with support threshold `k ≥ 1`.
+    pub fn new(k: usize) -> CfdMiner {
+        assert!(k >= 1, "support threshold must be at least 1");
+        CfdMiner { k }
+    }
+
+    /// The configured support threshold.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Discovers the canonical cover of minimal k-frequent *constant*
+    /// CFDs of `rel`.
+    pub fn discover(&self, rel: &Relation) -> CanonicalCover {
+        let mined = mine_free_closed(
+            rel,
+            self.k,
+            MineOptions {
+                keep_tids: false,
+                ..MineOptions::default()
+            },
+        );
+        self.discover_from_mined(&mined)
+    }
+
+    /// Discovery over an existing mining result (FastCFD shares the
+    /// k-frequent free sets with CFDMiner, so the mining cost is paid
+    /// once).
+    pub fn discover_from_mined(&self, mined: &Mined) -> CanonicalCover {
+        let mut out: Vec<Cfd> = Vec::new();
+        for free in &mined.free {
+            let clo = &mined.closed[free.closure as usize].pattern;
+            // candidate RHS items: closure minus the free pattern itself
+            let fresh = clo.attrs().difference(free.pattern.attrs());
+            if fresh.is_empty() {
+                continue;
+            }
+            // forbidden: items in the closure of any immediate free
+            // sub-pattern (all of which are mined — subsets of free sets
+            // are free, and support only grows downward)
+            let mut forbidden = cfd_model::fxhash::FxHashSet::default();
+            for b in free.pattern.attrs().iter() {
+                let sub = free.pattern.without(b);
+                let si = mined
+                    .free_index(&sub)
+                    .expect("immediate sub-pattern of a mined free set is mined");
+                let sub_clo = &mined.closed[mined.free[si].closure as usize].pattern;
+                for (a, v) in sub_clo.iter() {
+                    forbidden.insert((a, v));
+                }
+            }
+            for a in fresh.iter() {
+                let v = clo.get(a).expect("attr drawn from closure");
+                if !forbidden.contains(&(a, v)) {
+                    let code = v.as_const().expect("closures are all-constant");
+                    out.push(Cfd::new(free.pattern.clone(), a, PVal::Const(code)));
+                }
+            }
+        }
+        CanonicalCover::from_cfds(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForce;
+    use crate::minimality::is_minimal;
+    use cfd_datagen::cust::cust_relation;
+    use cfd_datagen::random::RandomRelation;
+    use cfd_model::cfd::parse_cfd;
+
+    #[test]
+    fn example7_left_reduction() {
+        let r = cust_relation();
+        let cover = CfdMiner::new(3).discover(&r);
+        // φ1 is not left-reduced (CC droppable); its reduction
+        // (AC → CT, (908 ‖ MH)) is 4-frequent and minimal
+        let red = parse_cfd(&r, "(AC -> CT, (908 || MH))").unwrap();
+        assert!(cover.contains(&red));
+        let phi1 = parse_cfd(&r, "([CC, AC] -> CT, (01, 908 || MH))").unwrap();
+        assert!(!cover.contains(&phi1));
+    }
+
+    #[test]
+    fn matches_brute_force_on_cust() {
+        let r = cust_relation();
+        for k in [1, 2, 3, 4] {
+            let mined = CfdMiner::new(k).discover(&r);
+            let oracle = BruteForce::new(k).discover(&r).constant_cover();
+            let (only_m, only_o) = mined.diff(&oracle);
+            assert!(
+                only_m.is_empty() && only_o.is_empty(),
+                "k={k}: miner-only {:?}, oracle-only {:?}",
+                only_m.iter().map(|c| c.display(&r)).collect::<Vec<_>>(),
+                only_o.iter().map(|c| c.display(&r)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_relations() {
+        for seed in 0..12 {
+            let r = RandomRelation::small(seed).generate();
+            for k in [1, 2, 3] {
+                let mined = CfdMiner::new(k).discover(&r);
+                let oracle = BruteForce::new(k).discover(&r).constant_cover();
+                assert_eq!(
+                    mined.cfds(),
+                    oracle.cfds(),
+                    "seed {seed} k {k}:\nminer:\n{}\noracle:\n{}",
+                    mined.display(&r),
+                    oracle.display(&r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_are_minimal_constant_cfds() {
+        let r = cust_relation();
+        let cover = CfdMiner::new(2).discover(&r);
+        assert!(!cover.is_empty());
+        for cfd in cover.iter() {
+            assert!(cfd.is_constant());
+            assert!(is_minimal(&r, cfd, 2), "{}", cfd.display(&r));
+        }
+    }
+
+    #[test]
+    fn constant_column_yields_empty_lhs_cfd() {
+        use cfd_model::relation::relation_from_rows;
+        use cfd_model::schema::Schema;
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let r = relation_from_rows(
+            schema,
+            &[vec!["x", "k"], vec!["y", "k"], vec!["z", "k"]],
+        )
+        .unwrap();
+        let cover = CfdMiner::new(1).discover(&r);
+        let c = parse_cfd(&r, "([] -> B, ( || k))").unwrap();
+        assert!(cover.contains(&c), "cover:\n{}", cover.display(&r));
+    }
+}

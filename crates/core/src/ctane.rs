@@ -1,0 +1,448 @@
+//! CTANE — level-wise discovery of general minimal k-frequent CFDs
+//! (Section 4 of the paper).
+//!
+//! CTANE walks the attribute-set/pattern lattice level by level. An
+//! element `(X, sp)` at level `ℓ = |X|` carries the partition of the
+//! tuples matching `sp`'s constants grouped by their `X`-values, and a
+//! candidate-RHS set `C⁺(X, sp)` maintained exactly as Section 4.1
+//! prescribes:
+//!
+//! 1. `C⁺` entries `(A, c_A)` with `A ∈ X` must satisfy `c_A = sp[A]`;
+//! 2. when a CFD `(X\A → A, (sp[X\A] ‖ c_A))` is found valid, `(A, c_A)`
+//!    and every `(B, ·)` with `B ∉ X` are removed from the `C⁺` of the
+//!    same-level elements whose pattern specializes `sp` (step 2.c);
+//! 3. new levels intersect their parents' `C⁺` sets (step 1).
+//!
+//! Validity is partition-counting (Section 4.4): for a wildcard RHS the
+//! class counts of parent and child must agree; for a *constant* RHS we
+//! compare **row** counts instead — the paper's class-count test misses
+//! single-tuple violations of constant RHS patterns (see DESIGN.md §2).
+//!
+//! Canonical-cover convention: a variable CFD whose LHS pattern is
+//! all-constant holds iff the RHS attribute is constant on the matching
+//! tuples, i.e. iff the corresponding *constant* CFD holds — it is
+//! implied and therefore excluded, matching what FastCFD's `FindMin`
+//! produces by construction.
+
+use cfd_model::attrset::AttrSet;
+use cfd_model::cfd::Cfd;
+use cfd_model::cover::CanonicalCover;
+use cfd_model::fxhash::FxHashMap;
+use cfd_model::pattern::{PVal, Pattern};
+use cfd_model::relation::Relation;
+use cfd_model::schema::AttrId;
+use cfd_partition::Partition;
+
+/// One lattice element `(X, sp)`.
+struct Element {
+    pattern: Pattern,
+    n_classes: usize,
+    n_rows: usize,
+    partition: Option<Partition>,
+    /// Sorted candidate-RHS set `C⁺(X, sp)`.
+    cplus: Vec<(AttrId, PVal)>,
+}
+
+/// Level-wise CFD discovery (Section 4).
+#[derive(Clone, Copy, Debug)]
+pub struct Ctane {
+    k: usize,
+    max_lhs: Option<usize>,
+}
+
+impl Ctane {
+    /// Creates the algorithm with support threshold `k ≥ 1`.
+    pub fn new(k: usize) -> Ctane {
+        assert!(k >= 1, "support threshold must be at least 1");
+        Ctane { k, max_lhs: None }
+    }
+
+    /// Caps the LHS size of discovered CFDs (a practical guard: CTANE is
+    /// exponential in the arity — Fig. 7 of the paper).
+    pub fn max_lhs(mut self, max_lhs: usize) -> Ctane {
+        self.max_lhs = Some(max_lhs);
+        self
+    }
+
+    /// The configured support threshold.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Discovers the canonical cover of minimal k-frequent CFDs.
+    pub fn discover(&self, rel: &Relation) -> CanonicalCover {
+        let n = rel.n_rows();
+        let arity = rel.arity();
+        let mut out: Vec<Cfd> = Vec::new();
+        if n == 0 || n < self.k {
+            return CanonicalCover::from_cfds(out);
+        }
+
+        // C⁺(∅) = L1: every (A, _) plus every k-frequent (A, a)
+        let mut init_candidates: Vec<(AttrId, PVal)> = Vec::new();
+        for a in 0..arity {
+            let col = rel.column(a);
+            let mut freq = vec![0u32; col.domain_size()];
+            for &c in col.codes() {
+                freq[c as usize] += 1;
+            }
+            for (c, &f) in freq.iter().enumerate() {
+                if f as usize >= self.k {
+                    init_candidates.push((a, PVal::Const(c as u32)));
+                }
+            }
+            init_candidates.push((a, PVal::Var));
+        }
+        init_candidates.sort_unstable();
+
+        // level 1 elements
+        let mut level: Vec<Element> = Vec::new();
+        for a in 0..arity {
+            let by_attr = Partition::by_attribute(rel, a);
+            // constant elements: one per k-frequent value
+            for class in by_attr.classes() {
+                if class.len() >= self.k {
+                    let code = rel.code(class[0], a);
+                    let pattern = Pattern::from_pairs([(a, PVal::Const(code))]);
+                    let part = Partition::from_parts(
+                        class.to_vec(),
+                        vec![0, class.len() as u32],
+                    );
+                    level.push(Element {
+                        cplus: filter_cond1(&init_candidates, &pattern),
+                        n_classes: part.n_classes(),
+                        n_rows: part.n_rows(),
+                        partition: Some(part),
+                        pattern,
+                    });
+                }
+            }
+            let pattern = Pattern::from_pairs([(a, PVal::Var)]);
+            level.push(Element {
+                cplus: filter_cond1(&init_candidates, &pattern),
+                n_classes: by_attr.n_classes(),
+                n_rows: by_attr.n_rows(),
+                partition: Some(by_attr),
+                pattern,
+            });
+        }
+
+        // counts of the level below (the ∅ element at level 0)
+        let mut prev_counts: FxHashMap<Pattern, (usize, usize)> = FxHashMap::default();
+        prev_counts.insert(Pattern::empty(), (1, n));
+
+        let mut ell = 1usize;
+        loop {
+            // process most-general patterns first (the paper's level order):
+            // within an attribute set, fewer constants ⇒ earlier
+            level.sort_unstable_by(|a, b| {
+                (a.pattern.attrs(), a.pattern.const_attrs().len(), a.pattern.vals())
+                    .cmp(&(b.pattern.attrs(), b.pattern.const_attrs().len(), b.pattern.vals()))
+            });
+            // group elements by attribute set for step 2.c
+            let mut by_attrs: FxHashMap<AttrSet, Vec<usize>> = FxHashMap::default();
+            for (i, e) in level.iter().enumerate() {
+                by_attrs.entry(e.pattern.attrs()).or_default().push(i);
+            }
+
+            // Step 2: validate candidate CFDs
+            for i in 0..level.len() {
+                let attrs = level[i].pattern.attrs();
+                for a in attrs.iter() {
+                    let ca = level[i].pattern.get(a).expect("a ∈ attrs");
+                    if level[i].cplus.binary_search(&(a, ca)).is_err() {
+                        continue;
+                    }
+                    let parent_pat = level[i].pattern.without(a);
+                    let &(p_classes, p_rows) = prev_counts
+                        .get(&parent_pat)
+                        .expect("parent element must exist (generation invariant)");
+                    let valid = match ca {
+                        PVal::Var => p_classes == level[i].n_classes,
+                        PVal::Const(_) => p_rows == level[i].n_rows,
+                    };
+                    if !valid {
+                        continue;
+                    }
+                    // canonical-cover convention: skip all-constant-LHS
+                    // variable CFDs (implied by their constant counterpart)
+                    let emit = !(ca == PVal::Var && parent_pat.is_all_const());
+                    if emit {
+                        out.push(Cfd::new(parent_pat.clone(), a, ca));
+                    }
+                    // Step 2.c: prune C⁺ of same-attribute-set elements with
+                    // specializing patterns (including this one)
+                    for &j in &by_attrs[&attrs] {
+                        let ej = &level[j];
+                        if ej.pattern.get(a) != Some(ca) {
+                            continue;
+                        }
+                        if !ej.pattern.without(a).leq(&parent_pat) {
+                            continue;
+                        }
+                        let cplus = &mut level[j].cplus;
+                        cplus.retain(|&(b, cb)| !(b == a && cb == ca) && attrs.contains(b));
+                    }
+                }
+            }
+
+            // Step 3: prune empty-C⁺ elements
+            level.retain(|e| !e.cplus.is_empty());
+
+            if ell >= arity || self.max_lhs.is_some_and(|m| ell > m) {
+                break;
+            }
+
+            // Step 4: generate level ℓ+1 by prefix join
+            let index: FxHashMap<Pattern, usize> = level
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (e.pattern.clone(), i))
+                .collect();
+            // join order: lexicographic on (attr, val) item lists
+            let mut order: Vec<usize> = (0..level.len()).collect();
+            order.sort_unstable_by(|&x, &y| {
+                let ex = &level[x].pattern;
+                let ey = &level[y].pattern;
+                ex.iter().cmp(ey.iter())
+            });
+
+            let mut next: Vec<Element> = Vec::new();
+            let mut run_start = 0;
+            while run_start < order.len() {
+                let prefix: Vec<(AttrId, PVal)> = level[order[run_start]]
+                    .pattern
+                    .iter()
+                    .take(ell - 1)
+                    .collect();
+                let mut run_end = run_start + 1;
+                while run_end < order.len()
+                    && level[order[run_end]]
+                        .pattern
+                        .iter()
+                        .take(ell - 1)
+                        .eq(prefix.iter().copied())
+                {
+                    run_end += 1;
+                }
+                for x in run_start..run_end {
+                    for y in x + 1..run_end {
+                        let (e1, e2) = (&level[order[x]], &level[order[y]]);
+                        let (a1, _) = e1.pattern.iter().last().expect("level ≥ 1");
+                        let (a2, v2) = e2.pattern.iter().last().expect("level ≥ 1");
+                        if a1 == a2 {
+                            continue;
+                        }
+                        let up = e1.pattern.with(a2, v2);
+                        // (iii) every ℓ-subset must be an alive element
+                        let all_present = up.attrs().iter().all(|b| {
+                            index.contains_key(&up.without(b))
+                        });
+                        if !all_present {
+                            continue;
+                        }
+                        // C⁺(Z, up) = ∩_B C⁺(Z\B) (step 1), with condition 1
+                        let mut cplus: Option<Vec<(AttrId, PVal)>> = None;
+                        for b in up.attrs().iter() {
+                            let parent = &level[index[&up.without(b)]];
+                            cplus = Some(match cplus {
+                                None => parent.cplus.clone(),
+                                Some(cur) => intersect_sorted(&cur, &parent.cplus),
+                            });
+                            if cplus.as_ref().is_some_and(|c| c.is_empty()) {
+                                break;
+                            }
+                        }
+                        let cplus = filter_cond1(&cplus.unwrap_or_default(), &up);
+                        if cplus.is_empty() {
+                            continue;
+                        }
+                        // (ii) refine the cheaper parent's partition and
+                        // check k-frequency of the constant part
+                        let (base, extra_attr, extra_val) = if e1.n_rows <= e2.n_rows {
+                            (e1, a2, v2)
+                        } else {
+                            let (a1, v1) = e1.pattern.iter().last().expect("level ≥ 1");
+                            (e2, a1, v1)
+                        };
+                        let part = base
+                            .partition
+                            .as_ref()
+                            .expect("current level keeps partitions")
+                            .refine(rel, extra_attr, extra_val);
+                        if part.n_rows() < self.k {
+                            continue;
+                        }
+                        next.push(Element {
+                            pattern: up,
+                            n_classes: part.n_classes(),
+                            n_rows: part.n_rows(),
+                            partition: Some(part),
+                            cplus,
+                        });
+                    }
+                }
+                run_start = run_end;
+            }
+
+            if next.is_empty() {
+                break;
+            }
+            // retire this level: parents only need their counts
+            prev_counts = level
+                .into_iter()
+                .map(|e| (e.pattern, (e.n_classes, e.n_rows)))
+                .collect();
+            level = next;
+            ell += 1;
+        }
+
+        CanonicalCover::from_cfds(out)
+    }
+}
+
+/// Condition 1 of the C⁺ definition: entries on attributes of `X` must
+/// carry the element's own pattern value.
+fn filter_cond1(cands: &[(AttrId, PVal)], pattern: &Pattern) -> Vec<(AttrId, PVal)> {
+    cands
+        .iter()
+        .copied()
+        .filter(|&(b, cb)| match pattern.get(b) {
+            Some(v) => v == cb,
+            None => true,
+        })
+        .collect()
+}
+
+/// Intersection of two sorted candidate lists.
+fn intersect_sorted(
+    a: &[(AttrId, PVal)],
+    b: &[(AttrId, PVal)],
+) -> Vec<(AttrId, PVal)> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForce;
+    use crate::minimality::audit_cover;
+    use cfd_datagen::cust::cust_relation;
+    use cfd_datagen::random::RandomRelation;
+    use cfd_model::cfd::parse_cfd;
+
+    #[test]
+    fn finds_paper_rules_on_cust() {
+        let r = cust_relation();
+        let cover = Ctane::new(2).discover(&r);
+        for txt in [
+            "([CC, AC] -> CT, (_, _ || _))",      // f1
+            "([CC, ZIP] -> STR, (44, _ || _))",   // φ0
+            "([CC, AC] -> CT, (44, 131 || EDI))", // φ2
+            "(AC -> CT, (908 || MH))",            // Example 7
+        ] {
+            let c = parse_cfd(&r, txt).unwrap();
+            assert!(cover.contains(&c), "{txt} missing:\n{}", cover.display(&r));
+        }
+        let phi1 = parse_cfd(&r, "([CC, AC] -> CT, (01, 908 || MH))").unwrap();
+        assert!(!cover.contains(&phi1), "φ1 is not minimal");
+    }
+
+    #[test]
+    fn example8_k3_rules() {
+        // the valid CFDs highlighted at point (C) of Example 8, k = 3
+        let r = cust_relation();
+        let cover = Ctane::new(3).discover(&r);
+        for txt in [
+            "(ZIP -> CC, (07974 || 01))",
+            "(ZIP -> AC, (07974 || 908))",
+            "(STR -> ZIP, (_ || _))",
+        ] {
+            let c = parse_cfd(&r, txt).unwrap();
+            assert!(cover.contains(&c), "{txt} missing:\n{}", cover.display(&r));
+        }
+        // (ZIP → CC, (07974 ‖ _)) is implied by the constant variant —
+        // excluded under the canonical-cover convention
+        let v = parse_cfd(&r, "(ZIP -> CC, (07974 || _))").unwrap();
+        assert!(!cover.contains(&v));
+    }
+
+    #[test]
+    fn matches_brute_force_on_cust() {
+        let r = cust_relation();
+        for k in [1, 2, 3] {
+            let got = Ctane::new(k).discover(&r);
+            let want = BruteForce::new(k).discover(&r);
+            let (only_g, only_w) = got.diff(&want);
+            assert!(
+                only_g.is_empty() && only_w.is_empty(),
+                "k={k}\nctane-only: {:?}\noracle-only: {:?}",
+                only_g.iter().map(|c| c.display(&r)).collect::<Vec<_>>(),
+                only_w.iter().map(|c| c.display(&r)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_relations() {
+        for seed in 0..10 {
+            let r = RandomRelation::small(seed).generate();
+            for k in [1, 2] {
+                let got = Ctane::new(k).discover(&r);
+                let want = BruteForce::new(k).discover(&r);
+                assert_eq!(
+                    got.cfds(),
+                    want.cfds(),
+                    "seed {seed} k {k}\nctane:\n{}\noracle:\n{}",
+                    got.display(&r),
+                    want.display(&r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_audit_clean() {
+        let r = cust_relation();
+        let cover = Ctane::new(2).discover(&r);
+        let problems = audit_cover(&r, cover.iter(), 2);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn max_lhs_caps_output() {
+        let r = cust_relation();
+        let capped = Ctane::new(1).max_lhs(1).discover(&r);
+        assert!(capped.iter().all(|c| c.lhs_attrs().len() <= 1));
+        let full = Ctane::new(1).discover(&r);
+        assert!(full.iter().any(|c| c.lhs_attrs().len() >= 2));
+    }
+
+    #[test]
+    fn empty_and_tiny_relations() {
+        use cfd_model::relation::relation_from_rows;
+        use cfd_model::schema::Schema;
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let one = relation_from_rows(schema.clone(), &[vec!["x", "y"]]).unwrap();
+        let cover = Ctane::new(1).discover(&one);
+        // single tuple: constant CFDs (∅ → A, (‖x)) and (∅ → B, (‖y))
+        let ca = parse_cfd(&one, "([] -> A, ( || x))").unwrap();
+        let cb = parse_cfd(&one, "([] -> B, ( || y))").unwrap();
+        assert!(cover.contains(&ca) && cover.contains(&cb));
+        // k larger than |r| ⇒ empty cover
+        assert!(Ctane::new(2).discover(&one).is_empty());
+    }
+}

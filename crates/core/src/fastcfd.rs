@@ -1,0 +1,601 @@
+//! FastCFD — depth-first discovery of general minimal k-frequent CFDs
+//! (Section 5 of the paper).
+//!
+//! For each RHS attribute `A`, `FindCover` walks the k-frequent *free*
+//! constant patterns `(X, tp)` (Lemma 5: the constant part of a minimal
+//! variable CFD is free). For each pattern it derives the minimal
+//! difference sets `Dᵐ_A(r_tp)` and enumerates their minimal covers `Y`
+//! depth-first (`FindMin`), with FastFD's dynamic attribute reordering.
+//! A cover passing the left-reduction checks (b1)/(b2) yields the
+//! variable CFD `([X, Y] → A, (tp, _, …, _ ‖ _))`; an empty `Dᵐ_A` means
+//! `A` is constant on `r_tp` and yields a constant CFD (step 3.a) —
+//! by default these are delegated to CFDMiner over the shared mining
+//! result, as the paper recommends (Section 5.5).
+//!
+//! Two difference-set engines are provided (Section 5.4/5.5):
+//!
+//! * [`DiffSetMode::ClosedSets`] (the paper's default FastCFD): agree
+//!   sets are the 2-frequent closed item sets containing `(X, tp)`;
+//! * [`DiffSetMode::StrippedPartitions`] (the paper's NaiveFast): agree
+//!   sets are computed per pattern from stripped partitions of `r_tp`.
+
+use crate::cfdminer::CfdMiner;
+use cfd_itemset::index::ClosedSetIndex;
+use cfd_itemset::mine::{mine_free_closed, Mined, MineOptions};
+use cfd_model::attrset::AttrSet;
+use cfd_model::cfd::Cfd;
+use cfd_model::cover::CanonicalCover;
+use cfd_model::fxhash::FxHashMap;
+use cfd_model::pattern::{PVal, Pattern};
+use cfd_model::relation::Relation;
+use cfd_model::schema::AttrId;
+use cfd_partition::agree::agree_sets_of_rows;
+use std::rc::Rc;
+
+/// How difference sets are computed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiffSetMode {
+    /// From the 2-frequent closed item sets (the paper's FastCFD default;
+    /// reuses CFDMiner's side product).
+    ClosedSets,
+    /// From stripped partitions of each `r_tp` (the paper's NaiveFast).
+    StrippedPartitions,
+}
+
+/// Computes and caches minimal difference sets `Dᵐ_A(r_tp)` per
+/// `(free pattern, A)`.
+struct DiffSetEngine<'a> {
+    rel: &'a Relation,
+    mode: DiffSetMode,
+    index: Option<&'a ClosedSetIndex>,
+    agree_cache: FxHashMap<Pattern, Rc<Vec<AttrSet>>>,
+    dm_cache: FxHashMap<(Pattern, AttrId), Rc<Vec<AttrSet>>>,
+}
+
+/// Builds the Closed₂(r) index once (shared by every engine/thread).
+fn build_closed2_index(rel: &Relation, mode: DiffSetMode) -> Option<ClosedSetIndex> {
+    match mode {
+        DiffSetMode::ClosedSets => {
+            let mined2 = mine_free_closed(
+                rel,
+                2,
+                MineOptions {
+                    keep_tids: false,
+                    ..MineOptions::default()
+                },
+            );
+            Some(ClosedSetIndex::build(&mined2))
+        }
+        DiffSetMode::StrippedPartitions => None,
+    }
+}
+
+impl<'a> DiffSetEngine<'a> {
+    fn new(rel: &'a Relation, mode: DiffSetMode, index: Option<&'a ClosedSetIndex>) -> DiffSetEngine<'a> {
+        debug_assert_eq!(index.is_some(), mode == DiffSetMode::ClosedSets);
+        DiffSetEngine {
+            rel,
+            mode,
+            index,
+            agree_cache: FxHashMap::default(),
+            dm_cache: FxHashMap::default(),
+        }
+    }
+
+    /// The agree-set family of `r_tp` for a mined free set.
+    fn agree_family(&mut self, mined: &Mined, free_idx: usize) -> Rc<Vec<AttrSet>> {
+        let pattern = &mined.free[free_idx].pattern;
+        if let Some(f) = self.agree_cache.get(pattern) {
+            return Rc::clone(f);
+        }
+        let family = match self.mode {
+            DiffSetMode::ClosedSets => self
+                .index
+                .expect("closed-set mode builds an index")
+                .agree_attr_sets(pattern),
+            DiffSetMode::StrippedPartitions => {
+                agree_sets_of_rows(self.rel, mined.free[free_idx].tids())
+            }
+        };
+        let rc = Rc::new(family);
+        self.agree_cache.insert(pattern.clone(), Rc::clone(&rc));
+        rc
+    }
+
+    /// `Dᵐ_A(r_tp)` for a mined free set. Empty result means `A` is
+    /// constant on `r_tp` (the constant-CFD case of Lemma 4).
+    fn min_diff_sets(&mut self, mined: &Mined, free_idx: usize, rhs: AttrId) -> Rc<Vec<AttrSet>> {
+        let free = &mined.free[free_idx];
+        let key = (free.pattern.clone(), rhs);
+        if let Some(dm) = self.dm_cache.get(&key) {
+            return Rc::clone(dm);
+        }
+        let full = AttrSet::full(self.rel.arity());
+        let a_constant = mined.closure_of(free_idx).pattern.attrs().contains(rhs);
+        let dm = if a_constant {
+            Vec::new()
+        } else {
+            let family = self.agree_family(mined, free_idx);
+            let mut candidates: Vec<AttrSet> = family
+                .iter()
+                .filter(|ag| !ag.contains(rhs))
+                .map(|ag| full.difference(*ag).without(rhs))
+                .collect();
+            if candidates.is_empty() {
+                // A varies but every pair disagreeing on A agrees nowhere:
+                // the only difference set is attr(R) \ {A} (possible only
+                // for the empty pattern — any constant pattern forces
+                // agreement on its own attributes)
+                vec![full.without(rhs)]
+            } else {
+                minimize(&mut candidates);
+                candidates
+            }
+        };
+        let rc = Rc::new(dm);
+        self.dm_cache.insert(key, Rc::clone(&rc));
+        rc
+    }
+}
+
+/// Keeps the ⊆-minimal sets (in place).
+fn minimize(sets: &mut Vec<AttrSet>) {
+    sets.sort_unstable_by_key(|s| (s.len(), s.bits()));
+    sets.dedup();
+    let mut kept: Vec<AttrSet> = Vec::with_capacity(sets.len());
+    for &s in sets.iter() {
+        if !kept.iter().any(|&m| m.is_subset(s)) {
+            kept.push(s);
+        }
+    }
+    *sets = kept;
+}
+
+/// True iff `y` covers every set of `dm` (hits each at least once).
+fn covers(y: AttrSet, dm: &[AttrSet]) -> bool {
+    dm.iter().all(|&d| d.intersects(y))
+}
+
+/// Depth-first CFD discovery (Section 5). `FastCfd::new` is the paper's
+/// default configuration; [`FastCfd::naive`] is NaiveFast.
+#[derive(Clone, Copy, Debug)]
+pub struct FastCfd {
+    k: usize,
+    mode: DiffSetMode,
+    dynamic_reorder: bool,
+    constants_via_cfdminer: bool,
+    free_set_pruning: bool,
+    threads: usize,
+}
+
+impl FastCfd {
+    /// The paper's default FastCFD: closed-set difference sets, dynamic
+    /// attribute reordering, constant CFDs via CFDMiner.
+    pub fn new(k: usize) -> FastCfd {
+        assert!(k >= 1, "support threshold must be at least 1");
+        FastCfd {
+            k,
+            mode: DiffSetMode::ClosedSets,
+            dynamic_reorder: true,
+            constants_via_cfdminer: true,
+            free_set_pruning: true,
+            threads: 1,
+        }
+    }
+
+    /// The paper's NaiveFast: stripped-partition difference sets, constant
+    /// CFDs found inline by FindCover's step 3.a.
+    pub fn naive(k: usize) -> FastCfd {
+        FastCfd {
+            k,
+            mode: DiffSetMode::StrippedPartitions,
+            dynamic_reorder: true,
+            constants_via_cfdminer: false,
+            free_set_pruning: true,
+            threads: 1,
+        }
+    }
+
+    /// Overrides the difference-set engine.
+    pub fn mode(mut self, mode: DiffSetMode) -> FastCfd {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables/disables FastFD-style dynamic attribute reordering in
+    /// `FindMin` (ablation knob).
+    pub fn dynamic_reorder(mut self, on: bool) -> FastCfd {
+        self.dynamic_reorder = on;
+        self
+    }
+
+    /// Chooses between CFDMiner (true, default) and FindCover step 3.a
+    /// (false) for constant CFDs.
+    pub fn constants_via_cfdminer(mut self, on: bool) -> FastCfd {
+        self.constants_via_cfdminer = on;
+        self
+    }
+
+    /// Enables/disables the Lemma 5 free-set pruning (ablation knob).
+    /// When disabled, FindCover walks *every* k-frequent constant pattern;
+    /// the rejected candidates are filtered by the left-reduction checks,
+    /// so the cover is unchanged — only slower to produce. Constant CFDs
+    /// fall back to FindCover's step 3.a (CFDMiner requires free sets).
+    pub fn free_set_pruning(mut self, on: bool) -> FastCfd {
+        self.free_set_pruning = on;
+        if !on {
+            self.constants_via_cfdminer = false;
+        }
+        self
+    }
+
+    /// Runs `FindCover` for different RHS attributes on `threads` OS
+    /// threads (FindCover is embarrassingly parallel across RHS
+    /// attributes; the Closed₂ index is shared read-only). `1` (default)
+    /// keeps the paper's single-threaded execution model.
+    pub fn threads(mut self, threads: usize) -> FastCfd {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured support threshold.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Discovers the canonical cover of minimal k-frequent CFDs.
+    pub fn discover(&self, rel: &Relation) -> CanonicalCover {
+        let mined = mine_free_closed(
+            rel,
+            self.k,
+            MineOptions {
+                free_only: self.free_set_pruning,
+                ..MineOptions::default()
+            },
+        );
+        self.discover_from_mined(rel, &mined)
+    }
+
+    /// Discovery over a pre-mined free-set collection (must have been
+    /// mined with the same `k` and with tidsets retained).
+    pub fn discover_from_mined(&self, rel: &Relation, mined: &Mined) -> CanonicalCover {
+        let mut out: Vec<Cfd> = Vec::new();
+        if mined.free.is_empty() {
+            return CanonicalCover::from_cfds(out);
+        }
+        let index = build_closed2_index(rel, self.mode);
+        if self.constants_via_cfdminer {
+            out.extend(CfdMiner::new(self.k).discover_from_mined(mined));
+        }
+        if self.threads <= 1 {
+            let mut engine = DiffSetEngine::new(rel, self.mode, index.as_ref());
+            for rhs in 0..rel.arity() {
+                self.find_cover(rel, mined, &mut engine, rhs, &mut out);
+            }
+        } else {
+            // round-robin the RHS attributes over the workers; each worker
+            // owns its pattern caches, the index and mining result are
+            // shared read-only
+            let workers = self.threads.min(rel.arity());
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let index = index.as_ref();
+                        scope.spawn(move || {
+                            let mut engine = DiffSetEngine::new(rel, self.mode, index);
+                            let mut local = Vec::new();
+                            for rhs in (w..rel.arity()).step_by(workers) {
+                                self.find_cover(rel, mined, &mut engine, rhs, &mut local);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            out.extend(results.into_iter().flatten());
+        }
+        CanonicalCover::from_cfds(out)
+    }
+
+    /// `FindCover(A, r, k)`: all minimal k-frequent CFDs with RHS `A`.
+    fn find_cover(
+        &self,
+        rel: &Relation,
+        mined: &Mined,
+        engine: &mut DiffSetEngine<'_>,
+        rhs: AttrId,
+        out: &mut Vec<Cfd>,
+    ) {
+        let full = AttrSet::full(rel.arity());
+        for fi in 0..mined.free.len() {
+            let pattern = mined.free[fi].pattern.clone();
+            if pattern.attrs().contains(rhs) {
+                continue;
+            }
+            let clo = mined.closure_of(fi);
+            if clo.pattern.attrs().contains(rhs) {
+                // Dᵐ_A(r_tp) = ∅: A is constant on r_tp — step 3.a
+                if !self.constants_via_cfdminer {
+                    // left-reduced iff A is not constant on any immediate
+                    // sub-pattern's matching set
+                    let minimal = pattern.attrs().iter().all(|b| {
+                        let sub = pattern.without(b);
+                        let si = mined
+                            .free_index(&sub)
+                            .expect("sub-patterns of free sets are mined");
+                        !mined.closure_of(si).pattern.attrs().contains(rhs)
+                    });
+                    if minimal {
+                        let a_code = clo
+                            .pattern
+                            .get(rhs)
+                            .and_then(PVal::as_const)
+                            .expect("closures are all-constant");
+                        out.push(Cfd::new(pattern.clone(), rhs, PVal::Const(a_code)));
+                    }
+                }
+                continue;
+            }
+            let dm = engine.min_diff_sets(mined, fi, rhs);
+            if dm.iter().any(|d| d.is_empty()) {
+                // some pair differs on A and nothing else: no CFD with RHS
+                // A can hold on r_tp (FindMin base case 1)
+                continue;
+            }
+            // difference sets of the immediate sub-patterns, for (b2)
+            let sub_dms: Vec<(AttrId, Rc<Vec<AttrSet>>)> = pattern
+                .attrs()
+                .iter()
+                .map(|b| {
+                    let sub = pattern.without(b);
+                    let si = mined
+                        .free_index(&sub)
+                        .expect("sub-patterns of free sets are mined");
+                    (b, engine.min_diff_sets(mined, si, rhs))
+                })
+                .collect();
+            let candidates: Vec<AttrId> =
+                full.difference(pattern.attrs()).without(rhs).iter().collect();
+            let mut emit = |y: AttrSet| {
+                // (b1) Y is a minimal cover of Dᵐ_A(r_tp)
+                if y.iter().any(|b| covers(y.without(b), &dm)) {
+                    return;
+                }
+                // (b2) upgrading any LHS constant B to `_` must not yield a
+                // valid CFD: Y ∪ {B} may not cover Dᵐ_A(r_{tp[X\B]})
+                for (b, sub_dm) in &sub_dms {
+                    if covers(y.with(*b), sub_dm) {
+                        return;
+                    }
+                }
+                let lhs = Pattern::from_pairs(
+                    pattern
+                        .iter()
+                        .chain(y.iter().map(|b| (b, PVal::Var))),
+                );
+                out.push(Cfd::variable(lhs, rhs));
+            };
+            self.find_min(&dm, &candidates, AttrSet::EMPTY, &mut emit);
+        }
+    }
+
+    /// Depth-first enumeration of the covers of `remaining`, visiting each
+    /// candidate subset at most once (FastFD's left-to-right scheme with
+    /// per-node reordering).
+    fn find_min(
+        &self,
+        remaining: &[AttrSet],
+        candidates: &[AttrId],
+        y: AttrSet,
+        emit: &mut impl FnMut(AttrSet),
+    ) {
+        if remaining.is_empty() {
+            emit(y);
+            return;
+        }
+        if candidates.is_empty() {
+            return;
+        }
+        // score candidates by how many remaining sets they cover; drop
+        // useless attributes (cover count 0 — they can never join a
+        // minimal cover of `remaining`)
+        let mut scored: Vec<(usize, AttrId)> = candidates
+            .iter()
+            .filter_map(|&b| {
+                let c = remaining.iter().filter(|d| d.contains(b)).count();
+                (c > 0).then_some((c, b))
+            })
+            .collect();
+        if self.dynamic_reorder {
+            scored.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        }
+        let order: Vec<AttrId> = scored.into_iter().map(|(_, b)| b).collect();
+        for (i, &b) in order.iter().enumerate() {
+            let rem2: Vec<AttrSet> = remaining
+                .iter()
+                .copied()
+                .filter(|d| !d.contains(b))
+                .collect();
+            self.find_min(&rem2, &order[i + 1..], y.with(b), emit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForce;
+    use crate::ctane::Ctane;
+    use crate::minimality::audit_cover;
+    use cfd_datagen::cust::cust_relation;
+    use cfd_datagen::random::RandomRelation;
+    use cfd_model::cfd::parse_cfd;
+
+    #[test]
+    fn minimize_keeps_minimal_sets() {
+        let mut sets = vec![
+            AttrSet::from_iter([0, 1, 2]),
+            AttrSet::from_iter([1]),
+            AttrSet::from_iter([0, 2]),
+            AttrSet::from_iter([2, 0]),
+            AttrSet::from_iter([1, 2]),
+        ];
+        minimize(&mut sets);
+        assert_eq!(
+            sets,
+            vec![AttrSet::from_iter([1]), AttrSet::from_iter([0, 2])]
+        );
+    }
+
+    #[test]
+    fn example9_difference_sets() {
+        // D^m_STR(r_{CC=01}) = {[PN],[AC,CT]} and D^m_STR(r_{CC=44}) =
+        // {[AC,CT,ZIP]} on cust *without* NM (Example 9 drops NM)
+        let r0 = cust_relation();
+        let keep: Vec<&str> = vec!["CC", "AC", "PN", "STR", "CT", "ZIP"];
+        let nm = r0.schema().attr_id("NM").unwrap();
+        let r = r0
+            .project(r0.schema().all_attrs().without(nm))
+            .expect("projection drops NM");
+        let mined = mine_free_closed(&r, 2, MineOptions::default());
+        let str_id = r.schema().attr_id("STR").unwrap();
+        let ids: std::collections::HashMap<&str, usize> = keep
+            .iter()
+            .map(|&n| (n, r.schema().attr_id(n).unwrap()))
+            .collect();
+        for mode in [DiffSetMode::ClosedSets, DiffSetMode::StrippedPartitions] {
+            let index = build_closed2_index(&r, mode);
+            let mut engine = DiffSetEngine::new(&r, mode, index.as_ref());
+            let cc01 = Pattern::from_pairs([(
+                ids["CC"],
+                PVal::Const(r.column(ids["CC"]).dict().code("01").unwrap()),
+            )]);
+            let fi = mined.free_index(&cc01).unwrap();
+            let dm = engine.min_diff_sets(&mined, fi, str_id);
+            let want = vec![
+                AttrSet::singleton(ids["PN"]),
+                AttrSet::from_iter([ids["AC"], ids["CT"]]),
+            ];
+            let mut got = dm.as_ref().clone();
+            got.sort_unstable();
+            let mut want_sorted = want.clone();
+            want_sorted.sort_unstable();
+            assert_eq!(got, want_sorted, "mode {mode:?}");
+
+            let cc44 = Pattern::from_pairs([(
+                ids["CC"],
+                PVal::Const(r.column(ids["CC"]).dict().code("44").unwrap()),
+            )]);
+            let fi = mined.free_index(&cc44).unwrap();
+            let dm = engine.min_diff_sets(&mined, fi, str_id);
+            assert_eq!(
+                dm.as_ref(),
+                &vec![AttrSet::from_iter([ids["AC"], ids["CT"], ids["ZIP"]])],
+                "mode {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn example9_point_c_emits_phi0_reduction() {
+        // ([CC,AC] → STR, (44, _ ‖ _)) is minimal (point C of Example 9)
+        let r = cust_relation();
+        let cover = FastCfd::new(2).discover(&r);
+        let c = parse_cfd(&r, "([CC, AC] -> STR, (44, _ || _))").unwrap();
+        assert!(cover.contains(&c), "cover:\n{}", cover.display(&r));
+    }
+
+    #[test]
+    fn matches_brute_force_on_cust_all_modes() {
+        let r = cust_relation();
+        for k in [1, 2, 3] {
+            let want = BruteForce::new(k).discover(&r);
+            for cfg in [
+                FastCfd::new(k),
+                FastCfd::naive(k),
+                FastCfd::new(k).dynamic_reorder(false),
+                FastCfd::new(k).constants_via_cfdminer(false),
+                FastCfd::naive(k).mode(DiffSetMode::ClosedSets),
+            ] {
+                let got = cfg.discover(&r);
+                let (only_g, only_w) = got.diff(&want);
+                assert!(
+                    only_g.is_empty() && only_w.is_empty(),
+                    "k={k} cfg={cfg:?}\nfastcfd-only: {:?}\noracle-only: {:?}",
+                    only_g.iter().map(|c| c.display(&r)).collect::<Vec<_>>(),
+                    only_w.iter().map(|c| c.display(&r)).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_relations() {
+        for seed in 0..10 {
+            let r = RandomRelation::small(seed).generate();
+            for k in [1, 2] {
+                let want = BruteForce::new(k).discover(&r);
+                let fast = FastCfd::new(k).discover(&r);
+                let naive = FastCfd::naive(k).discover(&r);
+                assert_eq!(
+                    fast.cfds(),
+                    want.cfds(),
+                    "fastcfd seed {seed} k {k}\nfast:\n{}\noracle:\n{}",
+                    fast.display(&r),
+                    want.display(&r)
+                );
+                assert_eq!(naive.cfds(), want.cfds(), "naive seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_ctane_on_wider_random_relations() {
+        for seed in 100..106 {
+            let r = RandomRelation {
+                rows: 30,
+                arity: 5,
+                domain: 3,
+                seed,
+            }
+            .generate();
+            for k in [1, 2, 3] {
+                let fast = FastCfd::new(k).discover(&r);
+                let ctane = Ctane::new(k).discover(&r);
+                let (only_f, only_c) = fast.diff(&ctane);
+                assert!(
+                    only_f.is_empty() && only_c.is_empty(),
+                    "seed {seed} k {k}\nfastcfd-only: {:?}\nctane-only: {:?}",
+                    only_f.iter().map(|c| c.display(&r)).collect::<Vec<_>>(),
+                    only_c.iter().map(|c| c.display(&r)).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_audit_clean() {
+        let r = cust_relation();
+        for k in [1, 2] {
+            let cover = FastCfd::new(k).discover(&r);
+            let problems = audit_cover(&r, cover.iter(), k);
+            assert!(problems.is_empty(), "k={k}: {problems:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        use cfd_model::relation::relation_from_rows;
+        use cfd_model::schema::Schema;
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let one = relation_from_rows(schema, &[vec!["x", "y"]]).unwrap();
+        let cover = FastCfd::new(1).discover(&one);
+        let ca = parse_cfd(&one, "([] -> A, ( || x))").unwrap();
+        assert!(cover.contains(&ca));
+        assert!(FastCfd::new(2).discover(&one).is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! # cfd-core
+//!
+//! The discovery algorithms of *Discovering Conditional Functional
+//! Dependencies* (Fan, Geerts, Li & Xiong, ICDE 2009 / TKDE 2011):
+//!
+//! * [`CfdMiner`] — constant CFDs via free/closed item sets (Section 3);
+//! * [`Ctane`] — general CFDs, level-wise with `C⁺` pruning (Section 4);
+//! * [`FastCfd`] — general CFDs, depth-first over difference sets
+//!   (Section 5), in both the closed-set (`FastCFD`) and
+//!   stripped-partition (`NaiveFast`) configurations;
+//! * [`BruteForce`] — an exhaustive oracle for testing;
+//! * [`minimality`] — the left-reducedness referee (Section 2.2.1).
+//!
+//! All algorithms return the same [`cfd_model::CanonicalCover`] — the set
+//! of minimal, k-frequent constant and variable CFDs holding on the
+//! input — which the workspace test suites cross-validate pairwise and
+//! against the oracle.
+//!
+//! ```
+//! use cfd_core::{CfdMiner, Ctane, FastCfd};
+//! use cfd_datagen::cust::cust_relation;
+//!
+//! let rel = cust_relation();
+//! let fast = FastCfd::new(2).discover(&rel);
+//! let ctane = Ctane::new(2).discover(&rel);
+//! assert_eq!(fast.cfds(), ctane.cfds());
+//! let constants = CfdMiner::new(2).discover(&rel);
+//! assert_eq!(constants.cfds(), fast.constant_cover().cfds());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bruteforce;
+pub mod cfdminer;
+pub mod ctane;
+pub mod fastcfd;
+pub mod minimality;
+
+pub use bruteforce::BruteForce;
+pub use cfdminer::CfdMiner;
+pub use ctane::Ctane;
+pub use fastcfd::{DiffSetMode, FastCfd};
+pub use minimality::{audit_cover, holds_and_frequent, is_minimal};

@@ -1,0 +1,34 @@
+//! # cfd-datagen
+//!
+//! Data generators reproducing the inputs of the paper's evaluation
+//! (Section 6):
+//!
+//! * [`cust`] — the 8-tuple `cust` relation of Fig. 1 (the running
+//!   example), plus a dirtied variant for the cleaning demos;
+//! * [`tax`] — the synthetic Tax/cust-style generator parameterized by
+//!   `ARITY`, `DBSIZE` and the correlation factor `CF`;
+//! * [`wbc`] — a seeded simulation of the UCI Wisconsin breast cancer
+//!   dataset (699 × 11);
+//! * [`chess`] — a seeded simulation of the UCI chess endgame dataset
+//!   (28056 × 7, a function position → outcome);
+//! * [`random`] — small random relations for property-based testing;
+//! * [`noise`] — cell-level error injection for the cleaning scenario.
+//!
+//! The UCI datasets are not redistributable here and the build is
+//! offline, so `wbc`/`chess` generate *simulations* that preserve the
+//! properties CFD discovery is sensitive to (arity, domain sizes,
+//! co-occurrence structure, functional structure); see DESIGN.md §5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chess;
+pub mod cust;
+pub mod noise;
+pub mod random;
+pub mod sample;
+pub mod tax;
+pub mod wbc;
+
+pub use sample::{sample_rows, stratified_sample};
+pub use tax::TaxGenerator;

@@ -1,0 +1,96 @@
+//! Cell-level error injection — the "dirty data" side of the cleaning
+//! scenario (Section 1: CFDs are discovered on samples and then used as
+//! cleaning rules).
+
+use cfd_model::relation::{Relation, TupleId};
+use cfd_model::schema::AttrId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Copies `rel`, flipping each cell with probability `rate` to a
+/// different value drawn from the same column's active domain. Returns
+/// the dirty relation and the list of corrupted cells (ground truth for
+/// precision/recall bookkeeping in the cleaning demo).
+///
+/// The copy *shares the original's dictionaries* (codes are edited in
+/// place), so rules discovered on the clean relation evaluate directly on
+/// the dirty one — no code-space translation needed.
+pub fn inject_noise(rel: &Relation, rate: f64, seed: u64) -> (Relation, Vec<(TupleId, AttrId)>) {
+    assert!((0.0..=1.0).contains(&rate));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut corrupted = Vec::new();
+    let mut edits: Vec<(TupleId, AttrId, u32)> = Vec::new();
+    for t in rel.tuples() {
+        for a in 0..rel.arity() {
+            let dom = rel.column(a).domain_size();
+            let original = rel.code(t, a);
+            if dom > 1 && rng.gen_bool(rate) {
+                // pick a different value from the active domain
+                let mut other = rng.gen_range(0..dom as u32 - 1);
+                if other >= original {
+                    other += 1;
+                }
+                edits.push((t, a, other));
+                corrupted.push((t, a));
+            }
+        }
+    }
+    (rel.with_replaced_codes(&edits), corrupted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cust::cust_relation;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let r = cust_relation();
+        let (d, cells) = inject_noise(&r, 0.0, 1);
+        assert!(cells.is_empty());
+        for t in r.tuples() {
+            assert_eq!(r.tuple_values(t), d.tuple_values(t));
+        }
+    }
+
+    #[test]
+    fn corrupted_cells_differ_from_original() {
+        let r = cust_relation();
+        let (d, cells) = inject_noise(&r, 0.3, 7);
+        assert!(!cells.is_empty());
+        for &(t, a) in &cells {
+            assert_ne!(r.value(t, a), d.value(t, a), "cell ({t},{a})");
+        }
+        // untouched cells are identical
+        let dirty: std::collections::HashSet<_> = cells.iter().copied().collect();
+        for t in r.tuples() {
+            for a in 0..r.arity() {
+                if !dirty.contains(&(t, a)) {
+                    assert_eq!(r.value(t, a), d.value(t, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rate_scales_corruption() {
+        let r = crate::tax::TaxGenerator::new(800).generate();
+        let (_, few) = inject_noise(&r, 0.01, 3);
+        let (_, many) = inject_noise(&r, 0.2, 3);
+        assert!(few.len() < many.len());
+        let total_cells = r.n_rows() * r.arity();
+        let frac = many.len() as f64 / total_cells as f64;
+        assert!((0.15..0.25).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let r = cust_relation();
+        let (d1, c1) = inject_noise(&r, 0.2, 9);
+        let (d2, c2) = inject_noise(&r, 0.2, 9);
+        assert_eq!(c1, c2);
+        for t in d1.tuples() {
+            assert_eq!(d1.tuple_values(t), d2.tuple_values(t));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Simulated Wisconsin breast cancer dataset (UCI), 699 × 11.
+//!
+//! The real dataset (sample id + nine 1–10 cytology features + a binary
+//! class) is not redistributable here; this generator reproduces its
+//! gross statistics — 699 rows, 11 attributes, ≈65/35 benign/malignant
+//! class balance, low feature values for benign and high spread for
+//! malignant samples, a near-unique id column with a few duplicated ids
+//! (the real data has 645 distinct ids over 699 rows). CFD discovery
+//! only observes arity, domain sizes and co-occurrence structure, all of
+//! which are matched; see DESIGN.md §5.
+
+use cfd_model::relation::{Relation, RelationBuilder};
+use cfd_model::schema::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of rows in the (simulated) dataset.
+pub const WBC_ROWS: usize = 699;
+/// Number of attributes.
+pub const WBC_ARITY: usize = 11;
+
+/// The WBC schema: id, nine cytology features, class.
+pub fn wbc_schema() -> Schema {
+    Schema::new([
+        "id",
+        "clump_thickness",
+        "uniformity_size",
+        "uniformity_shape",
+        "marginal_adhesion",
+        "epithelial_size",
+        "bare_nuclei",
+        "bland_chromatin",
+        "normal_nucleoli",
+        "mitoses",
+        "class",
+    ])
+    .expect("static schema is valid")
+}
+
+fn benign_feature(rng: &mut StdRng) -> u32 {
+    // mostly 1–3, occasionally higher
+    let r: f64 = rng.gen();
+    if r < 0.6 {
+        1
+    } else if r < 0.85 {
+        rng.gen_range(2..=3)
+    } else {
+        rng.gen_range(4..=6)
+    }
+}
+
+fn malignant_feature(rng: &mut StdRng) -> u32 {
+    // broad and high
+    let r: f64 = rng.gen();
+    if r < 0.25 {
+        10
+    } else if r < 0.55 {
+        rng.gen_range(6..=9)
+    } else {
+        rng.gen_range(2..=8)
+    }
+}
+
+/// Generates the simulated dataset with the default seed.
+pub fn wbc_relation() -> Relation {
+    wbc_relation_seeded(0xb4ca)
+}
+
+/// Generates the simulated dataset with an explicit seed.
+pub fn wbc_relation_seeded(seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = RelationBuilder::new(wbc_schema());
+    b.reserve(WBC_ROWS);
+    // 645 distinct ids over 699 rows, as in the real data
+    let distinct_ids = 645usize;
+    let mut ids: Vec<u32> = (0..WBC_ROWS)
+        .map(|i| {
+            if i < distinct_ids {
+                1_000_000 + i as u32
+            } else {
+                1_000_000 + rng.gen_range(0..distinct_ids) as u32
+            }
+        })
+        .collect();
+    // shuffle ids deterministically
+    for i in (1..ids.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    for id in ids {
+        let malignant = rng.gen_bool(0.345);
+        let mut row: Vec<String> = Vec::with_capacity(WBC_ARITY);
+        row.push(id.to_string());
+        for _ in 0..9 {
+            let v = if malignant {
+                malignant_feature(&mut rng)
+            } else {
+                benign_feature(&mut rng)
+            };
+            row.push(v.to_string());
+        }
+        row.push(if malignant { "4" } else { "2" }.to_string());
+        b.push_row(&row).expect("row width matches schema");
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_uci() {
+        let r = wbc_relation();
+        assert_eq!(r.n_rows(), WBC_ROWS);
+        assert_eq!(r.arity(), WBC_ARITY);
+    }
+
+    #[test]
+    fn class_balance_and_domains() {
+        let r = wbc_relation();
+        let class = r.schema().attr_id("class").unwrap();
+        assert_eq!(r.column(class).domain_size(), 2);
+        let four = r.column(class).dict().code("4").unwrap();
+        let malignant = r.tuples().filter(|&t| r.code(t, class) == four).count();
+        let frac = malignant as f64 / WBC_ROWS as f64;
+        assert!((0.25..0.45).contains(&frac), "malignant fraction {frac}");
+        // feature domains are small (≤ 10 values)
+        for a in 1..10 {
+            assert!(r.column(a).domain_size() <= 10, "feature {a} domain");
+        }
+        // id is near-unique
+        let id_dom = r.column(0).domain_size();
+        assert!((600..=699).contains(&id_dom), "id domain {id_dom}");
+    }
+
+    #[test]
+    fn features_correlate_with_class() {
+        let r = wbc_relation();
+        let class = r.schema().attr_id("class").unwrap();
+        let four = r.column(class).dict().code("4").unwrap();
+        let thick = r.schema().attr_id("clump_thickness").unwrap();
+        let mean = |malignant: bool| {
+            let vals: Vec<f64> = r
+                .tuples()
+                .filter(|&t| (r.code(t, class) == four) == malignant)
+                .map(|t| r.value(t, thick).parse::<f64>().unwrap())
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(mean(true) > mean(false) + 2.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = wbc_relation();
+        let b = wbc_relation();
+        for t in a.tuples() {
+            assert_eq!(a.tuple_values(t), b.tuple_values(t));
+        }
+    }
+}

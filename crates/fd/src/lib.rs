@@ -1,0 +1,24 @@
+//! # cfd-fd
+//!
+//! The classical FD-discovery baselines that CTANE and FastCFD extend:
+//!
+//! * [`Tane`] — the level-wise algorithm of Huhtala et al. \[13\], with
+//!   partition refinement, `C⁺` pruning and key pruning;
+//! * [`FastFd`] — the depth-first algorithm of Wyss et al. \[14\], with
+//!   difference sets and minimal-cover enumeration.
+//!
+//! Both return plain FDs as all-wildcard variable CFDs, so their output
+//! is directly comparable with the plain-FD fragment of a discovered CFD
+//! cover (`CanonicalCover::plain_fd_cover`). Like that fragment, and
+//! unlike some classical presentations, `∅ → A` dependencies (constant
+//! columns) are *excluded* — in the CFD world they are represented by the
+//! constant CFD `(∅ → A, (‖ a))`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fastfd;
+pub mod tane;
+
+pub use fastfd::FastFd;
+pub use tane::Tane;

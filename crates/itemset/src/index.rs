@@ -1,0 +1,200 @@
+//! Inverted index over closed item sets.
+//!
+//! FastCFD (Section 5.5) derives the difference sets of `r_tp` from the
+//! 2-frequent closed item sets that *match* the constant pattern `tp`:
+//! the maximal pairwise agree sets of `r_tp` are exactly the maximal
+//! closed sets containing `(X, tp)` (closedness guarantees each candidate
+//! complement is realized by an actual tuple pair — see DESIGN.md §2).
+//! This index answers "which closed sets contain pattern `p`?" by
+//! intersecting per-item posting lists.
+
+use crate::mine::Mined;
+use cfd_model::attrset::AttrSet;
+use cfd_model::fxhash::FxHashMap;
+use cfd_model::pattern::Pattern;
+
+/// Inverted index: item `(attr, code)` → indices of the closed sets whose
+/// pattern contains the item.
+pub struct ClosedSetIndex {
+    /// Attribute sets of the indexed closed sets (what difference-set
+    /// computation consumes).
+    attr_sets: Vec<AttrSet>,
+    patterns: Vec<Pattern>,
+    postings: FxHashMap<(usize, u32), Vec<u32>>,
+}
+
+impl ClosedSetIndex {
+    /// Builds the index over the closed sets of a mining result
+    /// (typically mined with `k = 2`).
+    pub fn build(mined: &Mined) -> ClosedSetIndex {
+        let mut postings: FxHashMap<(usize, u32), Vec<u32>> = FxHashMap::default();
+        let mut attr_sets = Vec::with_capacity(mined.closed.len());
+        let mut patterns = Vec::with_capacity(mined.closed.len());
+        for (i, c) in mined.closed.iter().enumerate() {
+            attr_sets.push(c.pattern.attrs());
+            patterns.push(c.pattern.clone());
+            for (a, v) in c.pattern.iter() {
+                let code = v.as_const().expect("closed sets are all-constant");
+                postings.entry((a, code)).or_default().push(i as u32);
+            }
+        }
+        ClosedSetIndex {
+            attr_sets,
+            patterns,
+            postings,
+        }
+    }
+
+    /// Number of indexed closed sets.
+    pub fn len(&self) -> usize {
+        self.attr_sets.len()
+    }
+
+    /// True iff no closed set is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.attr_sets.is_empty()
+    }
+
+    /// The attribute set of closed set `i`.
+    pub fn attrs(&self, i: usize) -> AttrSet {
+        self.attr_sets[i]
+    }
+
+    /// The pattern of closed set `i`.
+    pub fn pattern(&self, i: usize) -> &Pattern {
+        &self.patterns[i]
+    }
+
+    /// Indices of the closed sets whose pattern contains `p` (an
+    /// all-constant pattern). The empty pattern matches every closed set.
+    pub fn containing(&self, p: &Pattern) -> Vec<u32> {
+        debug_assert!(p.is_all_const());
+        let mut lists: Vec<&[u32]> = Vec::with_capacity(p.len());
+        for (a, v) in p.iter() {
+            let code = v.as_const().expect("query patterns are all-constant");
+            match self.postings.get(&(a, code)) {
+                Some(l) => lists.push(l),
+                None => return Vec::new(),
+            }
+        }
+        if lists.is_empty() {
+            return (0..self.len() as u32).collect();
+        }
+        // intersect smallest-first
+        lists.sort_unstable_by_key(|l| l.len());
+        let mut acc: Vec<u32> = lists[0].to_vec();
+        for l in &lists[1..] {
+            let mut out = Vec::with_capacity(acc.len().min(l.len()));
+            let (mut i, mut j) = (0, 0);
+            while i < acc.len() && j < l.len() {
+                match acc[i].cmp(&l[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(acc[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            acc = out;
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// The attribute sets of the closed sets containing `p` — the agree
+    /// sets FastCFD complements into difference sets.
+    pub fn agree_attr_sets(&self, p: &Pattern) -> Vec<AttrSet> {
+        self.containing(p)
+            .into_iter()
+            .map(|i| self.attr_sets[i as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine::{mine_free_closed, MineOptions};
+    use cfd_model::pattern::PVal;
+    use cfd_model::relation::{relation_from_rows, Relation};
+    use cfd_model::schema::Schema;
+
+    fn cust() -> Relation {
+        let schema = Schema::new(["CC", "AC", "PN", "NM", "STR", "CT", "ZIP"]).unwrap();
+        relation_from_rows(
+            schema,
+            &[
+                vec!["01", "908", "1111111", "Mike", "Tree Ave.", "MH", "07974"],
+                vec!["01", "908", "1111111", "Rick", "Tree Ave.", "MH", "07974"],
+                vec!["01", "212", "2222222", "Joe", "5th Ave", "NYC", "01202"],
+                vec!["01", "908", "2222222", "Jim", "Elm Str.", "MH", "07974"],
+                vec!["44", "131", "3333333", "Ben", "High St.", "EDI", "EH4 1DT"],
+                vec!["44", "131", "2222222", "Ian", "High St.", "EDI", "EH4 1DT"],
+                vec!["44", "908", "2222222", "Ian", "Port PI", "MH", "W1B 1JH"],
+                vec!["01", "131", "2222222", "Sean", "3rd Str.", "UN", "01202"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn pat(rel: &Relation, items: &[(&str, &str)]) -> Pattern {
+        Pattern::from_pairs(items.iter().map(|&(a, v)| {
+            let aid = rel.schema().attr_id(a).unwrap();
+            let code = rel.column(aid).dict().code(v).unwrap();
+            (aid, PVal::Const(code))
+        }))
+    }
+
+    #[test]
+    fn containing_matches_linear_scan() {
+        let r = cust();
+        let mined = mine_free_closed(&r, 2, MineOptions::default());
+        let idx = ClosedSetIndex::build(&mined);
+        assert_eq!(idx.len(), mined.closed.len());
+
+        let queries = [
+            Pattern::empty(),
+            pat(&r, &[("CC", "01")]),
+            pat(&r, &[("CC", "44")]),
+            pat(&r, &[("CC", "01"), ("AC", "908")]),
+            pat(&r, &[("AC", "212")]),
+        ];
+        for q in &queries {
+            let got: std::collections::BTreeSet<u32> = idx.containing(q).into_iter().collect();
+            let want: std::collections::BTreeSet<u32> = mined
+                .closed
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.pattern.contains_pattern(q))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, want, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_item_yields_nothing() {
+        let r = cust();
+        let mined = mine_free_closed(&r, 2, MineOptions::default());
+        let idx = ClosedSetIndex::build(&mined);
+        // AC=212 has support 1, so no 2-frequent closed set contains it
+        let q = pat(&r, &[("AC", "212")]);
+        assert!(idx.containing(&q).is_empty());
+    }
+
+    #[test]
+    fn agree_attr_sets_are_attr_projections() {
+        let r = cust();
+        let mined = mine_free_closed(&r, 2, MineOptions::default());
+        let idx = ClosedSetIndex::build(&mined);
+        let q = pat(&r, &[("CC", "44")]);
+        let agree = idx.agree_attr_sets(&q);
+        assert!(!agree.is_empty());
+        let cc = r.schema().attr_id("CC").unwrap();
+        assert!(agree.iter().all(|s| s.contains(cc)));
+    }
+}

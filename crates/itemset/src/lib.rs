@@ -1,0 +1,31 @@
+//! # cfd-itemset
+//!
+//! Free and closed item-set mining over relation instances (Section 3.1
+//! of the paper).
+//!
+//! An *item set* `(X, tp)` pairs an attribute set with an all-constant
+//! pattern over it; its support is the set of tuples matching `tp`. The
+//! set is **closed** when no strictly larger pattern has the same support
+//! and **free** when no strictly smaller pattern has the same support.
+//! CFDMiner consumes k-frequent free sets together with their closures
+//! (the `C2F` map the paper obtains from GCGrowth); FastCFD consumes the
+//! free sets as its constant-pattern search space (Lemma 5) and the
+//! 2-frequent closed sets as its difference-set oracle (Section 5.5).
+//!
+//! The miner here is a level-wise *generator-based* algorithm: free sets
+//! are downward closed under the item-set containment order, so an
+//! Apriori-style traversal with tidset intersection enumerates exactly
+//! the k-frequent free sets; closures are obtained by an early-exit
+//! column scan over each free set's tidset. The output — the
+//! (free, closed, C2F) triple — is identical to GCGrowth's, which is all
+//! the discovery algorithms observe (see DESIGN.md §2 for the
+//! substitution note).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod mine;
+
+pub use index::ClosedSetIndex;
+pub use mine::{mine_free_closed, ClosedSet, FreeSet, Mined, MineOptions};

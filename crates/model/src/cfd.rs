@@ -1,0 +1,374 @@
+//! Conditional functional dependencies `φ = (X → A, (tp ‖ pA))`.
+//!
+//! A CFD pairs an embedded FD `X → A` with a pattern tuple over `X ∪ {A}`.
+//! Following Section 2.1.3, a CFD is *constant* when every pattern value
+//! (including the RHS) is a constant, and *variable* when the RHS pattern
+//! is the unnamed variable `_`. Lemma 1 shows every set of CFDs is
+//! equivalent to a set of constant plus variable CFDs; the normalization
+//! lives in [`crate::cover`].
+
+use crate::attrset::AttrSet;
+use crate::pattern::{PVal, Pattern};
+use crate::relation::Relation;
+use crate::schema::AttrId;
+
+/// A conditional functional dependency `(X → A, (tp ‖ pA))`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Cfd {
+    /// The LHS pattern `(X, tp[X])`.
+    lhs: Pattern,
+    /// The RHS attribute `A`.
+    rhs_attr: AttrId,
+    /// The RHS pattern value `tp[A]`.
+    rhs_val: PVal,
+}
+
+/// The classification of Section 2.1.3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CfdClass {
+    /// All pattern values, including the RHS, are constants.
+    Constant,
+    /// The RHS pattern value is `_`.
+    Variable,
+    /// Constant RHS with at least one `_` on the LHS; Lemma 1 reduces
+    /// these to constant CFDs (see [`crate::cover::normalize_cfd`]).
+    Mixed,
+}
+
+impl Cfd {
+    /// Builds a CFD from its parts.
+    pub fn new(lhs: Pattern, rhs_attr: AttrId, rhs_val: PVal) -> Cfd {
+        Cfd {
+            lhs,
+            rhs_attr,
+            rhs_val,
+        }
+    }
+
+    /// Convenience constructor: a *constant* CFD `(X → A, (tp ‖ a))` from
+    /// an all-constant LHS pattern.
+    pub fn constant(lhs: Pattern, rhs_attr: AttrId, rhs_code: u32) -> Cfd {
+        debug_assert!(lhs.is_all_const());
+        Cfd::new(lhs, rhs_attr, PVal::Const(rhs_code))
+    }
+
+    /// Convenience constructor: a *variable* CFD `(X → A, (tp ‖ _))`.
+    pub fn variable(lhs: Pattern, rhs_attr: AttrId) -> Cfd {
+        Cfd::new(lhs, rhs_attr, PVal::Var)
+    }
+
+    /// Convenience constructor: a plain FD `X → A` seen as the CFD
+    /// `(X → A, (_, …, _ ‖ _))`.
+    pub fn fd(lhs_attrs: AttrSet, rhs_attr: AttrId) -> Cfd {
+        Cfd::new(Pattern::wildcards(lhs_attrs), rhs_attr, PVal::Var)
+    }
+
+    /// The LHS pattern `(X, tp[X])`.
+    #[inline]
+    pub fn lhs(&self) -> &Pattern {
+        &self.lhs
+    }
+
+    /// The LHS attribute set `X`.
+    #[inline]
+    pub fn lhs_attrs(&self) -> AttrSet {
+        self.lhs.attrs()
+    }
+
+    /// The RHS attribute `A`.
+    #[inline]
+    pub fn rhs_attr(&self) -> AttrId {
+        self.rhs_attr
+    }
+
+    /// The RHS pattern value `tp[A]`.
+    #[inline]
+    pub fn rhs_val(&self) -> PVal {
+        self.rhs_val
+    }
+
+    /// True iff `A ∈ X` (Section 2.2.1). Trivial CFDs are excluded from
+    /// canonical covers.
+    pub fn is_trivial(&self) -> bool {
+        self.lhs.attrs().contains(self.rhs_attr)
+    }
+
+    /// Classifies the CFD (Section 2.1.3).
+    pub fn class(&self) -> CfdClass {
+        match self.rhs_val {
+            PVal::Var => CfdClass::Variable,
+            PVal::Const(_) => {
+                if self.lhs.is_all_const() {
+                    CfdClass::Constant
+                } else {
+                    CfdClass::Mixed
+                }
+            }
+        }
+    }
+
+    /// True iff the CFD is a constant CFD.
+    pub fn is_constant(&self) -> bool {
+        self.class() == CfdClass::Constant
+    }
+
+    /// True iff the CFD is a variable CFD.
+    pub fn is_variable(&self) -> bool {
+        self.class() == CfdClass::Variable
+    }
+
+    /// True iff the CFD is a plain FD (all pattern values are `_`).
+    pub fn is_plain_fd(&self) -> bool {
+        self.rhs_val == PVal::Var && self.lhs.is_all_wildcard()
+    }
+
+    /// The full pattern over `X ∪ {A}` (LHS plus RHS slot), used when a
+    /// CFD has to be treated as one pattern tuple (e.g. support counting).
+    pub fn full_pattern(&self) -> Pattern {
+        debug_assert!(!self.is_trivial());
+        self.lhs.with(self.rhs_attr, self.rhs_val)
+    }
+
+    /// Renders the CFD in the paper's syntax, resolving attribute names
+    /// and dictionary codes against `rel`, e.g.
+    /// `([CC, AC] -> CT, (01, 908 || MH))`.
+    pub fn display(&self, rel: &Relation) -> String {
+        let schema = rel.schema();
+        let mut out = String::from("(");
+        out.push_str(&schema.fmt_attrs(self.lhs.attrs()));
+        out.push_str(" -> ");
+        out.push_str(schema.name(self.rhs_attr));
+        out.push_str(", (");
+        for (i, (a, v)) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match v {
+                PVal::Const(c) => out.push_str(rel.column(a).dict().value(c)),
+                PVal::Var => out.push('_'),
+            }
+        }
+        out.push_str(" || ");
+        match self.rhs_val {
+            PVal::Const(c) => out.push_str(rel.column(self.rhs_attr).dict().value(c)),
+            PVal::Var => out.push('_'),
+        }
+        out.push_str("))");
+        out
+    }
+}
+
+/// Re-resolves a CFD's dictionary codes from one relation to another with
+/// the same schema (matching attribute names). Returns `None` when some
+/// constant value does not occur in the target relation at all — such a
+/// rule cannot be represented in the target's code space (its LHS matches
+/// nothing, or its RHS can never be met); callers decide how to treat it.
+///
+/// Only needed across *independently built* relations; copies produced by
+/// [`crate::relation::Relation::restrict`], `project`,
+/// `with_replaced_codes` or `with_replaced_values` share dictionaries and
+/// take CFDs as-is.
+pub fn transfer_cfd(src: &Relation, dst: &Relation, cfd: &Cfd) -> Option<Cfd> {
+    debug_assert!(src.schema().same_as(dst.schema()));
+    let map_val = |a: AttrId, v: PVal| -> Option<PVal> {
+        match v {
+            PVal::Var => Some(PVal::Var),
+            PVal::Const(c) => {
+                let s = src.column(a).dict().value(c);
+                dst.column(a).dict().code(s).map(PVal::Const)
+            }
+        }
+    };
+    let mut pairs = Vec::with_capacity(cfd.lhs().len());
+    for (a, v) in cfd.lhs().iter() {
+        pairs.push((a, map_val(a, v)?));
+    }
+    let rhs = map_val(cfd.rhs_attr(), cfd.rhs_val())?;
+    Some(Cfd::new(Pattern::from_pairs(pairs), cfd.rhs_attr(), rhs))
+}
+
+/// Parses a CFD in the `display` syntax against a relation's dictionaries,
+/// e.g. `([CC, AC] -> CT, (01, 908 || MH))`. Intended for tests and
+/// examples; values must already occur in the relation (so they have a
+/// dictionary code), and `_` denotes the unnamed variable.
+pub fn parse_cfd(rel: &Relation, text: &str) -> crate::error::Result<Cfd> {
+    use crate::error::Error;
+    let schema = rel.schema();
+    let fail = |m: &str| Error::Parse(format!("{m}: {text:?}"));
+
+    let s = text.trim();
+    let s = s
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| fail("CFD must be wrapped in parentheses"))?;
+    // the pattern is the parenthesized tail; the head (`[X] -> A`) precedes
+    // the first '(' of the remainder (attribute lists use brackets)
+    let open = s.find('(').ok_or_else(|| fail("missing pattern"))?;
+    let head = s[..open].trim().trim_end_matches(',').trim();
+    let pat = &s[open..];
+    let (lhs_txt, rhs_txt) = head
+        .split_once("->")
+        .ok_or_else(|| fail("missing '->' in embedded FD"))?;
+
+    let lhs_txt = lhs_txt.trim();
+    let lhs_names: Vec<&str> = if let Some(inner) = lhs_txt
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+    {
+        inner
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .collect()
+    } else if lhs_txt.is_empty() {
+        Vec::new()
+    } else {
+        vec![lhs_txt]
+    };
+    let mut lhs_attrs = Vec::with_capacity(lhs_names.len());
+    for n in &lhs_names {
+        lhs_attrs.push(schema.require(n)?);
+    }
+    let rhs_attr = schema.require(rhs_txt.trim())?;
+
+    let pat = pat.trim();
+    let pat = pat
+        .strip_prefix('(')
+        .and_then(|p| p.strip_suffix(')'))
+        .ok_or_else(|| fail("pattern must be wrapped in parentheses"))?;
+    let (lhs_pat, rhs_pat) = pat
+        .split_once("||")
+        .ok_or_else(|| fail("pattern must contain '||'"))?;
+    let lhs_vals: Vec<&str> = lhs_pat
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect();
+    if lhs_vals.len() != lhs_attrs.len() {
+        return Err(fail("LHS pattern width differs from LHS attribute count"));
+    }
+
+    let resolve = |a: AttrId, v: &str| -> crate::error::Result<PVal> {
+        if v == "_" {
+            Ok(PVal::Var)
+        } else {
+            rel.column(a)
+                .dict()
+                .code(v)
+                .map(PVal::Const)
+                .ok_or_else(|| {
+                    Error::Parse(format!(
+                        "value {v:?} does not occur in attribute {}",
+                        schema.name(a)
+                    ))
+                })
+        }
+    };
+
+    let mut pairs = Vec::with_capacity(lhs_attrs.len());
+    for (&a, v) in lhs_attrs.iter().zip(&lhs_vals) {
+        pairs.push((a, resolve(a, v)?));
+    }
+    let rhs_val = resolve(rhs_attr, rhs_pat.trim())?;
+    Ok(Cfd::new(Pattern::from_pairs(pairs), rhs_attr, rhs_val))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::relation_from_rows;
+    use crate::schema::Schema;
+
+    fn rel() -> Relation {
+        let schema = Schema::new(["CC", "AC", "CT"]).unwrap();
+        relation_from_rows(
+            schema,
+            &[
+                vec!["01", "908", "MH"],
+                vec!["44", "131", "EDI"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classification() {
+        let r = rel();
+        let c01 = r.column(0).dict().code("01").unwrap();
+        let mh = r.column(2).dict().code("MH").unwrap();
+
+        let constant = Cfd::constant(Pattern::from_pairs([(0, PVal::Const(c01))]), 2, mh);
+        assert_eq!(constant.class(), CfdClass::Constant);
+        assert!(constant.is_constant() && !constant.is_variable());
+
+        let variable = Cfd::variable(
+            Pattern::from_pairs([(0, PVal::Const(c01)), (1, PVal::Var)]),
+            2,
+        );
+        assert_eq!(variable.class(), CfdClass::Variable);
+        assert!(!variable.is_plain_fd());
+
+        let fd = Cfd::fd(AttrSet::from_iter([0, 1]), 2);
+        assert!(fd.is_plain_fd());
+        assert_eq!(fd.class(), CfdClass::Variable);
+
+        let mixed = Cfd::new(
+            Pattern::from_pairs([(0, PVal::Const(c01)), (1, PVal::Var)]),
+            2,
+            PVal::Const(mh),
+        );
+        assert_eq!(mixed.class(), CfdClass::Mixed);
+    }
+
+    #[test]
+    fn trivial_detection() {
+        let t = Cfd::variable(Pattern::from_pairs([(2, PVal::Var)]), 2);
+        assert!(t.is_trivial());
+        let nt = Cfd::variable(Pattern::from_pairs([(0, PVal::Var)]), 2);
+        assert!(!nt.is_trivial());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let r = rel();
+        let c01 = r.column(0).dict().code("01").unwrap();
+        let mh = r.column(2).dict().code("MH").unwrap();
+        let cfd = Cfd::new(
+            Pattern::from_pairs([(0, PVal::Const(c01)), (1, PVal::Var)]),
+            2,
+            PVal::Const(mh),
+        );
+        let txt = cfd.display(&r);
+        assert_eq!(txt, "([CC, AC] -> CT, (01, _ || MH))");
+        let parsed = parse_cfd(&r, &txt).unwrap();
+        assert_eq!(parsed, cfd);
+    }
+
+    #[test]
+    fn parse_paper_syntax() {
+        let r = rel();
+        let cfd = parse_cfd(&r, "([CC, AC] -> CT, (01, 908 || MH))").unwrap();
+        assert!(cfd.is_constant());
+        assert_eq!(cfd.lhs_attrs(), AttrSet::from_iter([0, 1]));
+        // empty LHS
+        let c = parse_cfd(&r, "([] -> CT, ( || MH))").unwrap();
+        assert!(c.lhs_attrs().is_empty());
+        // single attribute without brackets
+        let s = parse_cfd(&r, "(AC -> CT, (131 || EDI))").unwrap();
+        assert_eq!(s.lhs_attrs(), AttrSet::singleton(1));
+        // errors
+        assert!(parse_cfd(&r, "nonsense").is_err());
+        assert!(parse_cfd(&r, "([CC] -> CT, (01, 908 || MH))").is_err());
+        assert!(parse_cfd(&r, "([CC] -> CT, (99 || MH))").is_err());
+        assert!(parse_cfd(&r, "([CC] -> ZZ, (01 || MH))").is_err());
+    }
+
+    #[test]
+    fn full_pattern_includes_rhs() {
+        let r = rel();
+        let cfd = parse_cfd(&r, "([CC] -> CT, (01 || MH))").unwrap();
+        let fp = cfd.full_pattern();
+        assert_eq!(fp.attrs(), AttrSet::from_iter([0, 2]));
+        assert!(fp.is_all_const());
+    }
+}

@@ -1,0 +1,223 @@
+//! Minimal CSV reader/writer (RFC 4180 subset) so relations can be loaded
+//! from files without external dependencies. Supports quoted fields with
+//! embedded commas, quotes (`""`) and newlines; both `\n` and `\r\n` row
+//! terminators.
+
+use crate::error::{Error, Result};
+use crate::relation::{Relation, RelationBuilder};
+use crate::schema::Schema;
+use std::io::{BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses one CSV record from `line_iter`-style raw text; returns the
+/// fields and the number of bytes consumed. Exposed for testing.
+fn parse_record(input: &str) -> Result<(Vec<String>, usize)> {
+    let bytes = input.as_bytes();
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut i = 0;
+    let mut in_quotes = false;
+    loop {
+        if in_quotes {
+            match bytes.get(i) {
+                None => return Err(Error::Parse("unterminated quoted field".into())),
+                Some(b'"') => {
+                    if bytes.get(i + 1) == Some(&b'"') {
+                        field.push('"');
+                        i += 2;
+                    } else {
+                        in_quotes = false;
+                        i += 1;
+                    }
+                }
+                Some(_) => {
+                    // advance one UTF-8 scalar
+                    let ch = input[i..].chars().next().unwrap();
+                    field.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        } else {
+            match bytes.get(i) {
+                None => {
+                    fields.push(std::mem::take(&mut field));
+                    return Ok((fields, i));
+                }
+                Some(b',') => {
+                    fields.push(std::mem::take(&mut field));
+                    i += 1;
+                }
+                Some(b'\r') if bytes.get(i + 1) == Some(&b'\n') => {
+                    fields.push(std::mem::take(&mut field));
+                    return Ok((fields, i + 2));
+                }
+                Some(b'\n') => {
+                    fields.push(std::mem::take(&mut field));
+                    return Ok((fields, i + 1));
+                }
+                Some(b'"') if field.is_empty() => {
+                    in_quotes = true;
+                    i += 1;
+                }
+                Some(_) => {
+                    let ch = input[i..].chars().next().unwrap();
+                    field.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// Parses CSV text into records.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut rest = text;
+    while !rest.is_empty() {
+        let (fields, used) = parse_record(rest)?;
+        // skip blank lines
+        if !(fields.len() == 1 && fields[0].is_empty()) {
+            records.push(fields);
+        }
+        rest = &rest[used..];
+    }
+    Ok(records)
+}
+
+/// Reads a relation from CSV text. The first record is the header and
+/// becomes the schema.
+pub fn relation_from_csv_str(text: &str) -> Result<Relation> {
+    let records = parse_csv(text)?;
+    let mut it = records.into_iter();
+    let header = it
+        .next()
+        .ok_or_else(|| Error::Parse("empty CSV input".into()))?;
+    let schema = Schema::new(header)?;
+    let mut b = RelationBuilder::new(schema);
+    for rec in it {
+        b.push_row(&rec)?;
+    }
+    Ok(b.finish())
+}
+
+/// Reads a relation from any reader producing CSV with a header row.
+pub fn relation_from_csv_reader<R: Read>(reader: R) -> Result<Relation> {
+    let mut buf = String::new();
+    BufReader::new(reader).read_to_string(&mut buf)?;
+    relation_from_csv_str(&buf)
+}
+
+/// Reads a relation from a CSV file with a header row.
+pub fn relation_from_csv_path<P: AsRef<Path>>(path: P) -> Result<Relation> {
+    let f = std::fs::File::open(path)?;
+    relation_from_csv_reader(f)
+}
+
+fn needs_quoting(field: &str) -> bool {
+    field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+}
+
+fn write_field<W: Write>(w: &mut W, field: &str) -> std::io::Result<()> {
+    if needs_quoting(field) {
+        write!(w, "\"{}\"", field.replace('"', "\"\""))
+    } else {
+        w.write_all(field.as_bytes())
+    }
+}
+
+/// Writes a relation as CSV (header + rows).
+pub fn relation_to_csv<W: Write>(rel: &Relation, w: &mut W) -> Result<()> {
+    for a in 0..rel.arity() {
+        if a > 0 {
+            w.write_all(b",")?;
+        }
+        write_field(w, rel.schema().name(a))?;
+    }
+    w.write_all(b"\n")?;
+    for t in rel.tuples() {
+        for a in 0..rel.arity() {
+            if a > 0 {
+                w.write_all(b",")?;
+            }
+            write_field(w, rel.value(t, a))?;
+        }
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Renders a relation as a CSV string.
+pub fn relation_to_csv_string(rel: &Relation) -> String {
+    let mut buf = Vec::new();
+    relation_to_csv(rel, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("CSV output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_parse() {
+        let r = parse_csv("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(r, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let r = parse_csv("a,\"b,with,commas\",\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(r, vec![vec!["a", "b,with,commas", "say \"hi\""]]);
+    }
+
+    #[test]
+    fn embedded_newline_and_crlf() {
+        let r = parse_csv("a,\"line1\nline2\"\r\nx,y\n").unwrap();
+        assert_eq!(r, vec![vec!["a", "line1\nline2"], vec!["x", "y"]]);
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_no_trailing_newline() {
+        let r = parse_csv("a,b\n\n1,2").unwrap();
+        assert_eq!(r, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(parse_csv("a,\"oops\n").is_err());
+    }
+
+    #[test]
+    fn relation_round_trip() {
+        let text = "CC,AC,CT\n01,908,MH\n44,131,EDI\n01,908,MH\n";
+        let rel = relation_from_csv_str(text).unwrap();
+        assert_eq!(rel.n_rows(), 3);
+        assert_eq!(rel.arity(), 3);
+        assert_eq!(rel.value(1, 2), "EDI");
+        assert_eq!(relation_to_csv_string(&rel), text);
+    }
+
+    #[test]
+    fn round_trip_with_quoting() {
+        let text = "A,B\n\"x,1\",\"say \"\"hi\"\"\"\n";
+        let rel = relation_from_csv_str(text).unwrap();
+        assert_eq!(rel.value(0, 0), "x,1");
+        assert_eq!(rel.value(0, 1), "say \"hi\"");
+        assert_eq!(relation_to_csv_string(&rel), text);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(relation_from_csv_str("").is_err());
+    }
+
+    #[test]
+    fn bad_row_width_errors() {
+        assert!(relation_from_csv_str("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn reader_api() {
+        let rel = relation_from_csv_reader("A,B\nx,y\n".as_bytes()).unwrap();
+        assert_eq!(rel.n_rows(), 1);
+    }
+}

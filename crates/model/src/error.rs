@@ -1,0 +1,62 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced while building schemas/relations or parsing input.
+#[derive(Debug)]
+pub enum Error {
+    /// Invalid schema definition (duplicate names, arity out of range, …).
+    Schema(String),
+    /// Invalid relation contents (row width mismatch, unknown attribute, …).
+    Relation(String),
+    /// Malformed CSV or CFD text.
+    Parse(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Relation(m) => write!(f, "relation error: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::Schema("x".into()).to_string().contains("schema"));
+        assert!(Error::Relation("x".into()).to_string().contains("relation"));
+        assert!(Error::Parse("x".into()).to_string().contains("parse"));
+        let io = Error::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+        use std::error::Error as _;
+        assert!(io.source().is_some());
+        assert!(Error::Parse("x".into()).source().is_none());
+    }
+}

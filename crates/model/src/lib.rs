@@ -1,0 +1,56 @@
+//! # cfd-model
+//!
+//! The relational model underlying conditional functional dependency (CFD)
+//! discovery, as defined in Section 2 of Fan, Geerts, Li & Xiong,
+//! *Discovering Conditional Functional Dependencies* (TKDE 2011).
+//!
+//! This crate provides:
+//!
+//! * [`Schema`] / [`AttrSet`] — a fixed attribute universe (arity ≤ 64) with
+//!   compact bitset attribute sets,
+//! * [`Relation`] — a dictionary-encoded, column-oriented relation instance,
+//! * [`Pattern`] / [`PVal`] — pattern tuples over an attribute set, mixing
+//!   constants and the unnamed variable `_`, together with the match order
+//!   `⪯` of Section 2.1.2,
+//! * [`Cfd`] — a conditional functional dependency `(X → A, (tp ‖ pA))`,
+//! * satisfaction ([`satisfies`]), support ([`support()`](support())) and violation
+//!   detection ([`violations`]) primitives,
+//! * [`cover`] — canonical-cover bookkeeping and the constant/variable
+//!   normal form of Lemma 1,
+//! * a small CSV reader/writer ([`csv`]) so relations can be loaded from
+//!   files without external dependencies.
+//!
+//! Everything downstream (partitions, item sets, the discovery algorithms)
+//! is built on these types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attrset;
+pub mod cfd;
+pub mod cover;
+pub mod csv;
+pub mod error;
+pub mod fxhash;
+pub mod pattern;
+pub mod relation;
+pub mod repair;
+pub mod satisfy;
+pub mod schema;
+pub mod support;
+pub mod tableau;
+pub mod violation;
+
+pub use attrset::AttrSet;
+pub use cfd::{Cfd, CfdClass};
+pub use cover::{normalize_cfd, CanonicalCover};
+pub use error::{Error, Result};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use pattern::{PVal, Pattern};
+pub use relation::{Relation, RelationBuilder};
+pub use repair::{apply_repairs, suggest_repairs, suggest_repairs_for_cover, Repair};
+pub use satisfy::satisfies;
+pub use schema::{AttrId, Schema};
+pub use support::{pattern_support, support};
+pub use tableau::{group_into_tableaux, TableauCfd};
+pub use violation::{violations, Violation};

@@ -1,0 +1,243 @@
+//! Repair suggestions — closing the cleaning loop.
+//!
+//! The paper motivates CFD discovery as the rule-acquisition step of
+//! CFD-based cleaning (its refs \[1\], \[2\] detect and repair with the
+//! rules). This module provides the minimal, deterministic repair
+//! heuristic that pairs with [`crate::violation`]:
+//!
+//! * a violation of a **constant-RHS** rule pins the expected value —
+//!   suggest the rule's RHS constant;
+//! * a violation of a **variable** rule leaves a group of LHS-equal
+//!   tuples disagreeing on the RHS — suggest the group's majority value
+//!   (ties resolved toward the earliest tuple, keeping the suggestion
+//!   deterministic).
+//!
+//! Suggestions are advisory: applying them may surface further
+//! violations of other rules (full constraint-repair is its own research
+//! area, e.g. ref \[27\] of the paper).
+
+use crate::cfd::Cfd;
+use crate::fxhash::FxHashMap;
+use crate::pattern::PVal;
+use crate::relation::{Relation, TupleId};
+use crate::schema::AttrId;
+
+/// One suggested cell edit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Repair {
+    /// The tuple to edit.
+    pub tuple: TupleId,
+    /// The attribute to edit (the rule's RHS attribute).
+    pub attr: AttrId,
+    /// The current (offending) dictionary code.
+    pub current: u32,
+    /// The suggested dictionary code.
+    pub suggested: u32,
+}
+
+/// Suggests repairs for every violation of `cfd` in `rel`. Returns an
+/// empty vector when the rule holds.
+pub fn suggest_repairs(rel: &Relation, cfd: &Cfd) -> Vec<Repair> {
+    let lhs = cfd.lhs();
+    let rhs_attr = cfd.rhs_attr();
+    let consts: Vec<(usize, u32)> = lhs
+        .iter()
+        .filter_map(|(a, v)| v.as_const().map(|c| (a, c)))
+        .collect();
+    let wild: Vec<usize> = lhs.wildcard_attrs().iter().collect();
+    let mut out = Vec::new();
+
+    match cfd.rhs_val() {
+        PVal::Const(expect) => {
+            'rows: for t in rel.tuples() {
+                for &(a, c) in &consts {
+                    if rel.code(t, a) != c {
+                        continue 'rows;
+                    }
+                }
+                let cur = rel.code(t, rhs_attr);
+                if cur != expect {
+                    out.push(Repair {
+                        tuple: t,
+                        attr: rhs_attr,
+                        current: cur,
+                        suggested: expect,
+                    });
+                }
+            }
+        }
+        PVal::Var => {
+            // group matching tuples by their LHS wildcard values
+            let mut groups: FxHashMap<Vec<u32>, Vec<TupleId>> = FxHashMap::default();
+            'rows: for t in rel.tuples() {
+                for &(a, c) in &consts {
+                    if rel.code(t, a) != c {
+                        continue 'rows;
+                    }
+                }
+                let key: Vec<u32> = wild.iter().map(|&a| rel.code(t, a)).collect();
+                groups.entry(key).or_default().push(t);
+            }
+            let mut keys: Vec<&Vec<u32>> = groups.keys().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let members = &groups[key];
+                if members.len() < 2 {
+                    continue;
+                }
+                // majority RHS value; ties break toward the earliest tuple
+                let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+                for &t in members {
+                    *counts.entry(rel.code(t, rhs_attr)).or_default() += 1;
+                }
+                if counts.len() < 2 {
+                    continue;
+                }
+                let earliest = rel.code(members[0], rhs_attr);
+                let majority = counts
+                    .iter()
+                    .max_by_key(|&(&code, &n)| (n, code == earliest, std::cmp::Reverse(code)))
+                    .map(|(&code, _)| code)
+                    .unwrap_or(earliest);
+                for &t in members {
+                    let cur = rel.code(t, rhs_attr);
+                    if cur != majority {
+                        out.push(Repair {
+                            tuple: t,
+                            attr: rhs_attr,
+                            current: cur,
+                            suggested: majority,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Suggests repairs for a whole rule set, deduplicated per cell: when
+/// several rules implicate the same `(tuple, attribute)` cell, the first
+/// rule's suggestion wins (rule order = caller's priority order).
+pub fn suggest_repairs_for_cover<'a, I>(rel: &Relation, cfds: I) -> Vec<Repair>
+where
+    I: IntoIterator<Item = &'a Cfd>,
+{
+    let mut seen = crate::fxhash::FxHashSet::default();
+    let mut out = Vec::new();
+    for cfd in cfds {
+        for r in suggest_repairs(rel, cfd) {
+            if seen.insert((r.tuple, r.attr)) {
+                out.push(r);
+            }
+        }
+    }
+    out
+}
+
+/// Applies repairs, producing a new relation that shares the original's
+/// dictionaries (original untouched).
+pub fn apply_repairs(rel: &Relation, repairs: &[Repair]) -> Relation {
+    let edits: Vec<(TupleId, AttrId, u32)> = repairs
+        .iter()
+        .map(|r| (r.tuple, r.attr, r.suggested))
+        .collect();
+    rel.with_replaced_codes(&edits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfd::parse_cfd;
+    use crate::relation::relation_from_rows;
+    use crate::satisfy::satisfies;
+    use crate::schema::Schema;
+
+    fn dirty() -> Relation {
+        let schema = Schema::new(["AC", "CT"]).unwrap();
+        relation_from_rows(
+            schema,
+            &[
+                vec!["908", "MH"],
+                vec!["908", "MH"],
+                vec!["908", "XX"], // corrupted
+                vec!["212", "NYC"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constant_rule_suggests_its_rhs() {
+        let r = dirty();
+        let rule = parse_cfd(&r, "(AC -> CT, (908 || MH))").unwrap();
+        let reps = suggest_repairs(&r, &rule);
+        let mh = r.column(1).dict().code("MH").unwrap();
+        let xx = r.column(1).dict().code("XX").unwrap();
+        assert_eq!(
+            reps,
+            vec![Repair {
+                tuple: 2,
+                attr: 1,
+                current: xx,
+                suggested: mh
+            }]
+        );
+    }
+
+    #[test]
+    fn variable_rule_suggests_group_majority() {
+        let r = dirty();
+        let rule = parse_cfd(&r, "(AC -> CT, (_ || _))").unwrap();
+        assert!(!satisfies(&r, &rule));
+        let reps = suggest_repairs(&r, &rule);
+        let mh = r.column(1).dict().code("MH").unwrap();
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].tuple, 2);
+        assert_eq!(reps[0].suggested, mh, "majority of the 908 group is MH");
+    }
+
+    #[test]
+    fn applying_repairs_restores_satisfaction() {
+        let r = dirty();
+        let rules = vec![
+            parse_cfd(&r, "(AC -> CT, (908 || MH))").unwrap(),
+            parse_cfd(&r, "(AC -> CT, (_ || _))").unwrap(),
+        ];
+        let reps = suggest_repairs_for_cover(&r, &rules);
+        let fixed = apply_repairs(&r, &reps);
+        for rule in &rules {
+            let fixed_rule = parse_cfd(&fixed, &rule.display(&r)).unwrap();
+            assert!(satisfies(&fixed, &fixed_rule));
+        }
+        assert_eq!(fixed.value(2, 1), "MH");
+        // untouched cells survive
+        assert_eq!(fixed.value(3, 1), "NYC");
+        assert_eq!(fixed.value(0, 0), "908");
+    }
+
+    #[test]
+    fn no_violations_no_repairs() {
+        let r = dirty();
+        let rule = parse_cfd(&r, "(AC -> CT, (212 || NYC))").unwrap();
+        assert!(satisfies(&r, &rule));
+        assert!(suggest_repairs(&r, &rule).is_empty());
+        assert!(suggest_repairs_for_cover(&r, [&rule]).is_empty());
+    }
+
+    #[test]
+    fn ties_break_toward_the_earliest_tuple() {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let r = relation_from_rows(
+            schema,
+            &[vec!["x", "p"], vec!["x", "q"]],
+        )
+        .unwrap();
+        let rule = parse_cfd(&r, "(A -> B, (_ || _))").unwrap();
+        let reps = suggest_repairs(&r, &rule);
+        let p = r.column(1).dict().code("p").unwrap();
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].tuple, 1);
+        assert_eq!(reps[0].suggested, p, "tie resolves to t0's value");
+    }
+}

@@ -1,0 +1,165 @@
+//! Relation schemas.
+//!
+//! A schema `R` is a fixed, ordered list of named attributes `attr(R)`.
+//! Attributes are addressed by dense ids `0..arity`; the id order is also
+//! the canonical attribute order `<attr` used by CTANE's lattice and
+//! FastCFD's enumeration tree.
+
+use crate::attrset::AttrSet;
+use crate::error::{Error, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense attribute identifier (index into the schema).
+pub type AttrId = usize;
+
+/// A relation schema: an ordered set of named attributes.
+///
+/// Schemas are cheaply cloneable (`Arc` inside) because relations,
+/// patterns and discovery outputs all reference the same schema.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(PartialEq, Eq)]
+struct SchemaInner {
+    names: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute names. Fails if there are more than
+    /// 64 attributes, no attributes at all, or duplicate names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Result<Self> {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.is_empty() {
+            return Err(Error::Schema("schema must have at least one attribute".into()));
+        }
+        if names.len() > 64 {
+            return Err(Error::Schema(format!(
+                "arity {} exceeds the supported maximum of 64",
+                names.len()
+            )));
+        }
+        for (i, n) in names.iter().enumerate() {
+            if names[..i].iter().any(|m| m == n) {
+                return Err(Error::Schema(format!("duplicate attribute name {n:?}")));
+            }
+        }
+        Ok(Schema {
+            inner: Arc::new(SchemaInner { names }),
+        })
+    }
+
+    /// Number of attributes (`|R|`, the *arity*).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.inner.names.len()
+    }
+
+    /// All attributes as a set.
+    #[inline]
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::full(self.arity())
+    }
+
+    /// Iterates over attribute ids `0..arity`.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> {
+        0..self.arity()
+    }
+
+    /// The name of attribute `a`.
+    #[inline]
+    pub fn name(&self, a: AttrId) -> &str {
+        &self.inner.names[a]
+    }
+
+    /// Looks an attribute up by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.inner.names.iter().position(|n| n == name)
+    }
+
+    /// Looks an attribute up by name, failing with a descriptive error.
+    pub fn require(&self, name: &str) -> Result<AttrId> {
+        self.attr_id(name)
+            .ok_or_else(|| Error::Schema(format!("unknown attribute {name:?}")))
+    }
+
+    /// Resolves a list of names into an [`AttrSet`].
+    pub fn attr_set(&self, names: &[&str]) -> Result<AttrSet> {
+        let mut s = AttrSet::EMPTY;
+        for n in names {
+            s.insert(self.require(n)?);
+        }
+        Ok(s)
+    }
+
+    /// Formats an attribute set as `[name, name, …]`.
+    pub fn fmt_attrs(&self, set: AttrSet) -> String {
+        let mut out = String::from("[");
+        for (i, a) in set.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(self.name(a));
+        }
+        out.push(']');
+        out
+    }
+
+    /// True iff two schema handles refer to the same underlying schema
+    /// (used in debug assertions when combining relations and patterns).
+    pub fn same_as(&self, other: &Schema) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner == other.inner
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema{:?}", self.inner.names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = Schema::new(["CC", "AC", "PN"]).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.name(1), "AC");
+        assert_eq!(s.attr_id("PN"), Some(2));
+        assert_eq!(s.attr_id("ZZ"), None);
+        assert!(s.require("ZZ").is_err());
+        assert_eq!(s.attr_set(&["CC", "PN"]).unwrap(), AttrSet::from_iter([0, 2]));
+    }
+
+    #[test]
+    fn rejects_bad_schemas() {
+        assert!(Schema::new(Vec::<String>::new()).is_err());
+        assert!(Schema::new(["A", "A"]).is_err());
+        let many: Vec<String> = (0..65).map(|i| format!("a{i}")).collect();
+        assert!(Schema::new(many).is_err());
+        let max: Vec<String> = (0..64).map(|i| format!("a{i}")).collect();
+        assert!(Schema::new(max).is_ok());
+    }
+
+    #[test]
+    fn fmt_attrs() {
+        let s = Schema::new(["CC", "AC", "PN"]).unwrap();
+        assert_eq!(s.fmt_attrs(AttrSet::from_iter([0, 2])), "[CC, PN]");
+        assert_eq!(s.fmt_attrs(AttrSet::EMPTY), "[]");
+    }
+
+    #[test]
+    fn same_as_structural_and_pointer() {
+        let a = Schema::new(["X", "Y"]).unwrap();
+        let b = a.clone();
+        let c = Schema::new(["X", "Y"]).unwrap();
+        let d = Schema::new(["X", "Z"]).unwrap();
+        assert!(a.same_as(&b));
+        assert!(a.same_as(&c));
+        assert!(!a.same_as(&d));
+    }
+}

@@ -1,0 +1,99 @@
+//! Support counting (Section 2.2.2).
+//!
+//! The support of a CFD `φ = (X → A, tp)` in `r` is the set of tuples that
+//! match the *whole* pattern tuple, LHS and RHS alike: `t[X] ⪯ tp[X]` and
+//! `t[A] ⪯ tp[A]`. `φ` is `k`-frequent when `|sup(φ, r)| ≥ k`.
+
+use crate::cfd::Cfd;
+use crate::pattern::Pattern;
+use crate::relation::Relation;
+
+/// Number of tuples matching a bare pattern (`supp(X, tp, r)` of
+/// Section 3.1 for item sets; wildcards do not constrain).
+pub fn pattern_support(rel: &Relation, pattern: &Pattern) -> usize {
+    rel.tuples()
+        .filter(|&t| pattern.matches_row(rel, t))
+        .count()
+}
+
+/// `|sup(φ, r)|`: the number of tuples matching both the LHS pattern and
+/// the RHS pattern value of `φ`.
+pub fn support(rel: &Relation, cfd: &Cfd) -> usize {
+    let lhs = cfd.lhs();
+    let rhs_attr = cfd.rhs_attr();
+    let rhs_val = cfd.rhs_val();
+    rel.tuples()
+        .filter(|&t| lhs.matches_row(rel, t) && rhs_val.matches(rel.code(t, rhs_attr)))
+        .count()
+}
+
+/// True iff `φ` is `k`-frequent in `r`.
+pub fn is_k_frequent(rel: &Relation, cfd: &Cfd, k: usize) -> bool {
+    support(rel, cfd) >= k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfd::parse_cfd;
+    use crate::pattern::{PVal, Pattern};
+    use crate::relation::relation_from_rows;
+    use crate::schema::Schema;
+
+    fn cust() -> Relation {
+        let schema = Schema::new(["CC", "AC", "PN", "NM", "STR", "CT", "ZIP"]).unwrap();
+        relation_from_rows(
+            schema,
+            &[
+                vec!["01", "908", "1111111", "Mike", "Tree Ave.", "MH", "07974"],
+                vec!["01", "908", "1111111", "Rick", "Tree Ave.", "MH", "07974"],
+                vec!["01", "212", "2222222", "Joe", "5th Ave", "NYC", "01202"],
+                vec!["01", "908", "2222222", "Jim", "Elm Str.", "MH", "07974"],
+                vec!["44", "131", "3333333", "Ben", "High St.", "EDI", "EH4 1DT"],
+                vec!["44", "131", "2222222", "Ian", "High St.", "EDI", "EH4 1DT"],
+                vec!["44", "908", "2222222", "Ian", "Port PI", "MH", "W1B 1JH"],
+                vec!["01", "131", "2222222", "Sean", "3rd Str.", "UN", "01202"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_support_claims() {
+        // Section 2.2.2: φ1 is 3-frequent, φ2 is 2-frequent, f1 and f2 are
+        // 8-frequent on r0.
+        let r = cust();
+        let phi1 = parse_cfd(&r, "([CC, AC] -> CT, (01, 908 || MH))").unwrap();
+        let phi2 = parse_cfd(&r, "([CC, AC] -> CT, (44, 131 || EDI))").unwrap();
+        let f1 = parse_cfd(&r, "([CC, AC] -> CT, (_, _ || _))").unwrap();
+        let f2 = parse_cfd(&r, "([CC, AC, PN] -> STR, (_, _, _ || _))").unwrap();
+        assert_eq!(support(&r, &phi1), 3);
+        assert_eq!(support(&r, &phi2), 2);
+        assert_eq!(support(&r, &f1), 8);
+        assert_eq!(support(&r, &f2), 8);
+        assert!(is_k_frequent(&r, &phi1, 3));
+        assert!(!is_k_frequent(&r, &phi1, 4));
+        // Example 7: (AC -> CT, (908 || MH)) is 4-frequent
+        let red = parse_cfd(&r, "(AC -> CT, (908 || MH))").unwrap();
+        assert_eq!(support(&r, &red), 4);
+    }
+
+    #[test]
+    fn rhs_constant_constrains_support() {
+        let r = cust();
+        // tuples matching AC=908 : t1,t2,t4,t7 (4), but RHS CT=EDI matches none
+        let c = parse_cfd(&r, "(AC -> CT, (908 || EDI))").unwrap();
+        assert_eq!(support(&r, &c), 0);
+    }
+
+    #[test]
+    fn pattern_support_counts() {
+        let r = cust();
+        let cc01 = r.column(0).dict().code("01").unwrap();
+        let p = Pattern::from_pairs([(0, PVal::Const(cc01))]);
+        assert_eq!(pattern_support(&r, &p), 5);
+        assert_eq!(pattern_support(&r, &Pattern::empty()), 8);
+        let q = p.with(1, PVal::Var);
+        assert_eq!(pattern_support(&r, &q), 5, "wildcards do not constrain");
+    }
+}

@@ -1,0 +1,219 @@
+//! Tuple-pair agree sets, computed from stripped partitions.
+//!
+//! The agree set of two tuples is the set of attributes on which they
+//! coincide; difference sets (Section 5.1) are complements of agree sets.
+//! FastFD — and the paper's NaiveFast variant of FastCFD — derives agree
+//! sets from *stripped* partitions: two tuples agree on some attribute
+//! iff they co-occur in a stripped class of that attribute, so it
+//! suffices to enumerate pairs inside stripped classes. This is the
+//! `O(Σ class²)` step that makes NaiveFast degrade as DBSIZE grows
+//! (Fig. 5 of the paper).
+
+use crate::partition::Partition;
+use cfd_model::attrset::AttrSet;
+use cfd_model::fxhash::FxHashSet;
+use cfd_model::relation::{Relation, TupleId};
+
+/// Sentinel for "tuple is alone with this value" in signatures.
+const UNIQUE: u32 = u32::MAX;
+
+/// Computes the distinct agree sets of all tuple pairs of `rel` drawn
+/// from `rows` (pairs agreeing on *no* attribute are not represented —
+/// their agree set is empty and their difference set is the full schema,
+/// which callers handle separately; see
+/// [`cfd_model::attrset::AttrSet::EMPTY`]).
+pub fn agree_sets_of_rows(rel: &Relation, rows: &[TupleId]) -> Vec<AttrSet> {
+    let arity = rel.arity();
+    // per-attribute class signature of every row (positionally indexed by
+    // the rank of the row in `rows`)
+    let mut row_rank = cfd_model::fxhash::FxHashMap::default();
+    for (i, &t) in rows.iter().enumerate() {
+        row_rank.insert(t, i as u32);
+    }
+    let mut sig = vec![UNIQUE; rows.len() * arity];
+    let mut stripped: Vec<Partition> = Vec::with_capacity(arity);
+    for a in 0..arity {
+        // group the given rows by their code on attribute a
+        let mut groups: cfd_model::fxhash::FxHashMap<u32, Vec<TupleId>> =
+            cfd_model::fxhash::FxHashMap::default();
+        for &t in rows {
+            groups.entry(rel.code(t, a)).or_default().push(t);
+        }
+        let mut tuples = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut keys: Vec<u32> = groups.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            let g = &groups[&k];
+            if g.len() >= 2 {
+                tuples.extend_from_slice(g);
+                offsets.push(tuples.len() as u32);
+            }
+        }
+        let p = Partition::from_parts(tuples, offsets);
+        for (ci, class) in p.classes().enumerate() {
+            for &t in class {
+                sig[row_rank[&t] as usize * arity + a] = ci as u32;
+            }
+        }
+        stripped.push(p);
+    }
+
+    let mut out: FxHashSet<AttrSet> = FxHashSet::default();
+    for (a, p) in stripped.iter().enumerate() {
+        for class in p.classes() {
+            for (i, &t1) in class.iter().enumerate() {
+                let r1 = row_rank[&t1] as usize;
+                'pairs: for &t2 in &class[i + 1..] {
+                    let r2 = row_rank[&t2] as usize;
+                    // enumerate each pair only at the *first* attribute
+                    // where it co-occurs
+                    for b in 0..a {
+                        let s1 = sig[r1 * arity + b];
+                        if s1 != UNIQUE && s1 == sig[r2 * arity + b] {
+                            continue 'pairs;
+                        }
+                    }
+                    let mut ag = AttrSet::singleton(a);
+                    for b in a + 1..arity {
+                        let s1 = sig[r1 * arity + b];
+                        if s1 != UNIQUE && s1 == sig[r2 * arity + b] {
+                            ag.insert(b);
+                        }
+                    }
+                    out.insert(ag);
+                }
+            }
+        }
+    }
+    let mut v: Vec<AttrSet> = out.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Agree sets over the whole relation.
+pub fn agree_sets(rel: &Relation) -> Vec<AttrSet> {
+    let rows: Vec<TupleId> = rel.tuples().collect();
+    agree_sets_of_rows(rel, &rows)
+}
+
+/// True iff some pair of `rows` agrees on no attribute at all (its agree
+/// set is empty). Needed to decide whether the full difference set
+/// `attr(R)` is realized; checked exactly on small inputs and implied
+/// false whenever a nonempty constant pattern restricts the rows (all
+/// pairs then agree on the pattern attributes).
+pub fn has_fully_disagreeing_pair(rel: &Relation, rows: &[TupleId]) -> bool {
+    if rows.len() < 2 {
+        return false;
+    }
+    // count pairs co-occurring in ≥1 stripped class; compare with C(n,2)
+    let mut seen: FxHashSet<(TupleId, TupleId)> = FxHashSet::default();
+    for a in 0..rel.arity() {
+        let mut groups: cfd_model::fxhash::FxHashMap<u32, Vec<TupleId>> =
+            cfd_model::fxhash::FxHashMap::default();
+        for &t in rows {
+            groups.entry(rel.code(t, a)).or_default().push(t);
+        }
+        for g in groups.values().filter(|g| g.len() >= 2) {
+            for (i, &t1) in g.iter().enumerate() {
+                for &t2 in &g[i + 1..] {
+                    seen.insert((t1.min(t2), t1.max(t2)));
+                }
+            }
+        }
+    }
+    let n = rows.len();
+    seen.len() < n * (n - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_model::relation::relation_from_rows;
+    use cfd_model::schema::Schema;
+
+    fn rel() -> Relation {
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        relation_from_rows(
+            schema,
+            &[
+                vec!["x", "1", "p"], // t0
+                vec!["x", "1", "q"], // t1
+                vec!["y", "2", "p"], // t2
+                vec!["z", "3", "r"], // t3
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pairwise_agree_sets() {
+        let r = rel();
+        let ags = agree_sets(&r);
+        // (t0,t1) agree on {A,B}; (t0,t2) agree on {C};
+        // (t1,t2),(·,t3) agree nowhere (not represented)
+        assert_eq!(
+            ags,
+            vec![AttrSet::from_iter([0, 1]), AttrSet::from_iter([2])]
+        );
+    }
+
+    #[test]
+    fn restricted_rows() {
+        let r = rel();
+        let ags = agree_sets_of_rows(&r, &[0, 1]);
+        assert_eq!(ags, vec![AttrSet::from_iter([0, 1])]);
+        let none = agree_sets_of_rows(&r, &[2]);
+        assert!(none.is_empty());
+        let empty = agree_sets_of_rows(&r, &[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn brute_force_cross_check() {
+        // compare against the O(n² · arity) definition on a denser relation
+        let schema = Schema::new(["A", "B", "C", "D"]).unwrap();
+        let rows: Vec<Vec<String>> = (0..18)
+            .map(|i| {
+                vec![
+                    format!("a{}", i % 2),
+                    format!("b{}", i % 3),
+                    format!("c{}", i % 2),
+                    format!("d{}", i % 5),
+                ]
+            })
+            .collect();
+        let r = relation_from_rows(schema, &rows).unwrap();
+        let fast: std::collections::BTreeSet<AttrSet> = agree_sets(&r).into_iter().collect();
+        let mut slow = std::collections::BTreeSet::new();
+        for t1 in 0..18u32 {
+            for t2 in t1 + 1..18u32 {
+                let mut ag = AttrSet::EMPTY;
+                for a in 0..4 {
+                    if r.code(t1, a) == r.code(t2, a) {
+                        ag.insert(a);
+                    }
+                }
+                if !ag.is_empty() {
+                    slow.insert(ag);
+                }
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fully_disagreeing_pair_detection() {
+        let r = rel();
+        // t2 and t3 agree nowhere
+        assert!(has_fully_disagreeing_pair(&r, &[2, 3]));
+        assert!(has_fully_disagreeing_pair(
+            &r,
+            &r.tuples().collect::<Vec<_>>()
+        ));
+        // t0 and t1 agree on A and B
+        assert!(!has_fully_disagreeing_pair(&r, &[0, 1]));
+        assert!(!has_fully_disagreeing_pair(&r, &[0]));
+        assert!(!has_fully_disagreeing_pair(&r, &[]));
+    }
+}

@@ -1,0 +1,24 @@
+//! # cfd-partition
+//!
+//! Partition machinery for CFD discovery (Section 4.4 of the paper).
+//!
+//! Given an attribute-set/pattern pair `(X, sp)`, two tuples `u, v` are
+//! equivalent iff `u[X] = v[X] ⪯ sp[X]`; the pair therefore induces an
+//! equivalence relation on the *subset* of tuples matching the constants
+//! of `sp`. [`Partition`] materializes these equivalence classes, and
+//! refinement ([`Partition::refine`]) computes the partition of
+//! `(X ∪ {B}, (sp, c_B))` from the partition of `(X, sp)` — the product
+//! construction CTANE inherits from TANE.
+//!
+//! The module also provides *stripped* partitions and tuple-pair *agree
+//! sets* ([`agree`]), the ingredients of FastFD-style difference-set
+//! computation used by the paper's NaiveFast variant (Section 5.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agree;
+pub mod partition;
+
+pub use agree::{agree_sets, agree_sets_of_rows};
+pub use partition::Partition;

@@ -1,0 +1,322 @@
+//! Equivalence-class partitions w.r.t. `(X, sp)` pairs.
+
+use cfd_model::fxhash::FxHashMap;
+use cfd_model::pattern::PVal;
+use cfd_model::relation::{Relation, TupleId};
+use cfd_model::schema::AttrId;
+
+/// A partition of (a subset of) the tuples of a relation.
+///
+/// Classes are stored back to back in `tuples`; class `i` spans
+/// `tuples[offsets[i] .. offsets[i+1]]`. Classes are never empty. Unlike
+/// TANE's *stripped* partitions, singleton classes are kept: CTANE needs
+/// both the exact class count (validity of variable-RHS CFDs) and the
+/// exact row count (validity of constant-RHS CFDs and k-frequency), and
+/// both would be lost by stripping. Stripping is available separately for
+/// the FastFD-style agree-set computation.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    tuples: Vec<TupleId>,
+    offsets: Vec<u32>,
+}
+
+impl Partition {
+    /// Builds a partition from grouped tuples and offsets. `offsets` must
+    /// start at 0, end at `tuples.len()`, and be strictly increasing.
+    pub fn from_parts(tuples: Vec<TupleId>, offsets: Vec<u32>) -> Partition {
+        debug_assert!(offsets.first() == Some(&0) || (offsets.is_empty() && tuples.is_empty()));
+        debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, tuples.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] < w[1]));
+        Partition { tuples, offsets }
+    }
+
+    /// The partition w.r.t. `(∅, ())`: a single class holding every tuple
+    /// (or no class at all for an empty relation).
+    pub fn full(n_rows: usize) -> Partition {
+        if n_rows == 0 {
+            return Partition {
+                tuples: Vec::new(),
+                offsets: vec![0],
+            };
+        }
+        Partition {
+            tuples: (0..n_rows as TupleId).collect(),
+            offsets: vec![0, n_rows as u32],
+        }
+    }
+
+    /// The partition w.r.t. `({A}, (_))`: one class per active-domain
+    /// value of `A`.
+    pub fn by_attribute(rel: &Relation, a: AttrId) -> Partition {
+        let codes = rel.column(a).codes();
+        let dom = rel.column(a).domain_size();
+        // counting sort by code: dictionary codes are dense by construction
+        let mut counts = vec![0u32; dom];
+        for &c in codes {
+            counts[c as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(dom + 1);
+        offsets.push(0u32);
+        let mut fill = vec![0u32; dom]; // write cursor of each value's region
+        let mut acc = 0u32;
+        for (v, &n) in counts.iter().enumerate() {
+            fill[v] = acc;
+            if n > 0 {
+                acc += n;
+                offsets.push(acc);
+            }
+        }
+        let mut tuples = vec![0 as TupleId; codes.len()];
+        for (t, &c) in codes.iter().enumerate() {
+            let slot = &mut fill[c as usize];
+            tuples[*slot as usize] = t as TupleId;
+            *slot += 1;
+        }
+        Partition { tuples, offsets }
+    }
+
+    /// The partition w.r.t. `({A}, (c))`: a single class holding the
+    /// tuples with `t[A] = c` (no class when none matches).
+    pub fn by_constant(rel: &Relation, a: AttrId, code: u32) -> Partition {
+        let tuples: Vec<TupleId> = rel
+            .tuples()
+            .filter(|&t| rel.code(t, a) == code)
+            .collect();
+        let offsets = if tuples.is_empty() {
+            vec![0]
+        } else {
+            vec![0, tuples.len() as u32]
+        };
+        Partition { tuples, offsets }
+    }
+
+    /// Number of equivalence classes.
+    #[inline]
+    pub fn n_classes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of tuples across all classes — i.e. the number of tuples
+    /// matching the constant part of the pattern (the pattern's support).
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The tuples of class `i`.
+    #[inline]
+    pub fn class(&self, i: usize) -> &[TupleId] {
+        &self.tuples[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterates over the classes.
+    pub fn classes(&self) -> impl Iterator<Item = &[TupleId]> {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.tuples[w[0] as usize..w[1] as usize])
+    }
+
+    /// All member tuples (grouped by class).
+    pub fn rows(&self) -> &[TupleId] {
+        &self.tuples
+    }
+
+    /// Refines by one attribute: computes the partition w.r.t.
+    /// `(X ∪ {B}, (sp, v))` from the partition w.r.t. `(X, sp)`.
+    ///
+    /// * `v = Const(c)` keeps, per class, only the tuples with `t[B] = c`
+    ///   (one sub-class per class, possibly dropped);
+    /// * `v = Var` splits each class by the code of `B`.
+    pub fn refine(&self, rel: &Relation, b: AttrId, v: PVal) -> Partition {
+        let col = rel.column(b);
+        let mut tuples = Vec::with_capacity(self.tuples.len());
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        offsets.push(0u32);
+        match v {
+            PVal::Const(c) => {
+                for class in self.classes() {
+                    let before = tuples.len();
+                    tuples.extend(class.iter().copied().filter(|&t| col.code(t) == c));
+                    if tuples.len() > before {
+                        offsets.push(tuples.len() as u32);
+                    }
+                }
+            }
+            PVal::Var => {
+                let mut groups: FxHashMap<u32, Vec<TupleId>> = FxHashMap::default();
+                for class in self.classes() {
+                    if class.len() == 1 {
+                        // a singleton stays a singleton under refinement
+                        tuples.push(class[0]);
+                        offsets.push(tuples.len() as u32);
+                        continue;
+                    }
+                    groups.clear();
+                    for &t in class {
+                        groups.entry(col.code(t)).or_default().push(t);
+                    }
+                    // drain in deterministic order for reproducible layouts
+                    let mut keys: Vec<u32> = groups.keys().copied().collect();
+                    keys.sort_unstable();
+                    for k in keys {
+                        let g = &groups[&k];
+                        tuples.extend_from_slice(g);
+                        offsets.push(tuples.len() as u32);
+                    }
+                }
+            }
+        }
+        Partition { tuples, offsets }
+    }
+
+    /// The stripped version: singleton classes removed (TANE/FastFD's
+    /// representation; agree-set computation only looks at classes of
+    /// size ≥ 2).
+    pub fn stripped(&self) -> Partition {
+        let mut tuples = Vec::new();
+        let mut offsets = vec![0u32];
+        for class in self.classes() {
+            if class.len() >= 2 {
+                tuples.extend_from_slice(class);
+                offsets.push(tuples.len() as u32);
+            }
+        }
+        Partition { tuples, offsets }
+    }
+
+    /// True iff every class is a singleton (i.e. `X` is a key for the
+    /// matching sub-instance).
+    pub fn is_unique(&self) -> bool {
+        self.n_classes() == self.n_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_model::relation::relation_from_rows;
+    use cfd_model::schema::Schema;
+
+    fn rel() -> Relation {
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        relation_from_rows(
+            schema,
+            &[
+                vec!["x", "1", "p"], // t0
+                vec!["x", "2", "p"], // t1
+                vec!["y", "1", "q"], // t2
+                vec!["x", "1", "q"], // t3
+                vec!["y", "2", "p"], // t4
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sorted_classes(p: &Partition) -> Vec<Vec<TupleId>> {
+        let mut cs: Vec<Vec<TupleId>> = p
+            .classes()
+            .map(|c| {
+                let mut v = c.to_vec();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        cs.sort();
+        cs
+    }
+
+    #[test]
+    fn full_partition() {
+        let p = Partition::full(4);
+        assert_eq!(p.n_classes(), 1);
+        assert_eq!(p.n_rows(), 4);
+        assert_eq!(p.class(0), &[0, 1, 2, 3]);
+        let e = Partition::full(0);
+        assert_eq!(e.n_classes(), 0);
+        assert_eq!(e.n_rows(), 0);
+    }
+
+    #[test]
+    fn by_attribute_groups_by_value() {
+        let r = rel();
+        let p = Partition::by_attribute(&r, 0);
+        assert_eq!(p.n_classes(), 2);
+        assert_eq!(p.n_rows(), 5);
+        assert_eq!(sorted_classes(&p), vec![vec![0, 1, 3], vec![2, 4]]);
+    }
+
+    #[test]
+    fn by_constant_filters() {
+        let r = rel();
+        let x = r.column(0).dict().code("x").unwrap();
+        let p = Partition::by_constant(&r, 0, x);
+        assert_eq!(p.n_classes(), 1);
+        assert_eq!(p.class(0), &[0, 1, 3]);
+        // no matching tuple ⇒ empty partition
+        let none = Partition::by_constant(&r, 0, 999);
+        assert_eq!(none.n_classes(), 0);
+        assert_eq!(none.n_rows(), 0);
+    }
+
+    #[test]
+    fn refine_by_wildcard() {
+        let r = rel();
+        // π(A,_) refined by B,_ = π([A,B], (_,_))
+        let p = Partition::by_attribute(&r, 0).refine(&r, 1, PVal::Var);
+        assert_eq!(p.n_rows(), 5);
+        assert_eq!(
+            sorted_classes(&p),
+            vec![vec![0, 3], vec![1], vec![2], vec![4]]
+        );
+    }
+
+    #[test]
+    fn refine_by_constant() {
+        let r = rel();
+        let b1 = r.column(1).dict().code("1").unwrap();
+        // π(A,_) refined by B=1 = π([A,B], (_,1))
+        let p = Partition::by_attribute(&r, 0).refine(&r, 1, PVal::Const(b1));
+        assert_eq!(p.n_rows(), 3);
+        assert_eq!(sorted_classes(&p), vec![vec![0, 3], vec![2]]);
+    }
+
+    #[test]
+    fn refinement_matches_direct_construction() {
+        let r = rel();
+        // π([A,B,C], (_,_,_)) via two refinement orders must agree on the
+        // class structure
+        let p1 = Partition::by_attribute(&r, 0)
+            .refine(&r, 1, PVal::Var)
+            .refine(&r, 2, PVal::Var);
+        let p2 = Partition::by_attribute(&r, 2)
+            .refine(&r, 0, PVal::Var)
+            .refine(&r, 1, PVal::Var);
+        assert_eq!(sorted_classes(&p1), sorted_classes(&p2));
+        assert_eq!(p1.n_classes(), 5); // all rows distinct on (A,B,C)
+        assert!(p1.is_unique());
+    }
+
+    #[test]
+    fn stripped_drops_singletons() {
+        let r = rel();
+        let p = Partition::by_attribute(&r, 0).refine(&r, 1, PVal::Var);
+        let s = p.stripped();
+        assert_eq!(s.n_classes(), 1);
+        assert_eq!(sorted_classes(&s), vec![vec![0, 3]]);
+    }
+
+    #[test]
+    fn counting_sort_layout_is_consistent() {
+        // regression guard for the dense-domain counting sort
+        let schema = Schema::new(["A"]).unwrap();
+        let r = relation_from_rows(
+            schema,
+            &[vec!["c"], vec!["a"], vec!["b"], vec!["a"], vec!["c"], vec!["c"]],
+        )
+        .unwrap();
+        let p = Partition::by_attribute(&r, 0);
+        assert_eq!(p.n_classes(), 3);
+        assert_eq!(p.n_rows(), 6);
+        assert_eq!(sorted_classes(&p), vec![vec![0, 4, 5], vec![1, 3], vec![2]]);
+    }
+}

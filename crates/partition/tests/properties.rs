@@ -1,0 +1,139 @@
+//! Property-based tests for the partition machinery: the invariants every
+//! CTANE/FastFD run silently relies on.
+
+use cfd_model::attrset::AttrSet;
+use cfd_model::pattern::PVal;
+use cfd_model::relation::{Relation, RelationBuilder, TupleId};
+use cfd_model::schema::Schema;
+use cfd_partition::agree::agree_sets_of_rows;
+use cfd_partition::Partition;
+use proptest::prelude::*;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (2usize..=5, 1usize..=20)
+        .prop_flat_map(|(arity, rows)| {
+            proptest::collection::vec(proptest::collection::vec(0u32..4, arity), rows)
+        })
+        .prop_map(|rows| {
+            let arity = rows[0].len();
+            let schema = Schema::new((0..arity).map(|i| format!("A{i}"))).unwrap();
+            let mut b = RelationBuilder::new(schema);
+            for row in &rows {
+                b.push_coded_row(row).unwrap();
+            }
+            b.finish()
+        })
+}
+
+/// Canonical form of a partition: sorted classes of sorted tuples.
+fn canon(p: &Partition) -> Vec<Vec<TupleId>> {
+    let mut cs: Vec<Vec<TupleId>> = p
+        .classes()
+        .map(|c| {
+            let mut v = c.to_vec();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    cs.sort();
+    cs
+}
+
+/// Ground truth: group `rows` by their codes on `attrs`, filtered by the
+/// constants in `consts`.
+fn direct_partition(
+    rel: &Relation,
+    wildcard_attrs: &[usize],
+    consts: &[(usize, u32)],
+) -> Vec<Vec<TupleId>> {
+    let mut groups: std::collections::BTreeMap<Vec<u32>, Vec<TupleId>> = Default::default();
+    'rows: for t in rel.tuples() {
+        for &(a, c) in consts {
+            if rel.code(t, a) != c {
+                continue 'rows;
+            }
+        }
+        let key: Vec<u32> = wildcard_attrs.iter().map(|&a| rel.code(t, a)).collect();
+        groups.entry(key).or_default().push(t);
+    }
+    let mut cs: Vec<Vec<TupleId>> = groups.into_values().collect();
+    cs.sort();
+    cs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn refinement_order_is_irrelevant(rel in arb_relation()) {
+        let arity = rel.arity();
+        if arity < 3 { return Ok(()); }
+        // π over the first three attributes, built in two different orders
+        let p1 = Partition::by_attribute(&rel, 0)
+            .refine(&rel, 1, PVal::Var)
+            .refine(&rel, 2, PVal::Var);
+        let p2 = Partition::by_attribute(&rel, 2)
+            .refine(&rel, 1, PVal::Var)
+            .refine(&rel, 0, PVal::Var);
+        prop_assert_eq!(canon(&p1), canon(&p2));
+        prop_assert_eq!(canon(&p1), direct_partition(&rel, &[0, 1, 2], &[]));
+    }
+
+    #[test]
+    fn constant_refinement_matches_direct_grouping(rel in arb_relation()) {
+        let code = rel.code(0, 0); // a value that certainly occurs
+        let p = Partition::by_constant(&rel, 0, code).refine(&rel, 1, PVal::Var);
+        prop_assert_eq!(canon(&p), direct_partition(&rel, &[1], &[(0, code)]));
+        // row count = support of the constant part
+        let supp = rel.tuples().filter(|&t| rel.code(t, 0) == code).count();
+        prop_assert_eq!(p.n_rows(), supp);
+    }
+
+    #[test]
+    fn rows_are_conserved_under_wildcard_refinement(rel in arb_relation()) {
+        let mut p = Partition::full(rel.n_rows());
+        for a in 0..rel.arity() {
+            p = p.refine(&rel, a, PVal::Var);
+            prop_assert_eq!(p.n_rows(), rel.n_rows(), "wildcards never drop rows");
+        }
+        // fully refined: class count == number of distinct full rows
+        let distinct: std::collections::HashSet<Vec<u32>> = rel
+            .tuples()
+            .map(|t| (0..rel.arity()).map(|a| rel.code(t, a)).collect())
+            .collect();
+        prop_assert_eq!(p.n_classes(), distinct.len());
+    }
+
+    #[test]
+    fn stripped_keeps_exactly_multiclasses(rel in arb_relation()) {
+        let p = Partition::by_attribute(&rel, 0);
+        let s = p.stripped();
+        let want: Vec<Vec<TupleId>> = canon(&p)
+            .into_iter()
+            .filter(|c| c.len() >= 2)
+            .collect();
+        prop_assert_eq!(canon(&s), want);
+    }
+
+    #[test]
+    fn agree_sets_match_quadratic_definition(rel in arb_relation()) {
+        let rows: Vec<TupleId> = rel.tuples().collect();
+        let fast: std::collections::BTreeSet<AttrSet> =
+            agree_sets_of_rows(&rel, &rows).into_iter().collect();
+        let mut slow = std::collections::BTreeSet::new();
+        for i in 0..rows.len() {
+            for j in i + 1..rows.len() {
+                let mut ag = AttrSet::EMPTY;
+                for a in 0..rel.arity() {
+                    if rel.code(rows[i], a) == rel.code(rows[j], a) {
+                        ag.insert(a);
+                    }
+                }
+                if !ag.is_empty() {
+                    slow.insert(ag);
+                }
+            }
+        }
+        prop_assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,70 @@
+//! Object identification with constant CFDs (Section 1: "constant CFDs
+//! are particularly important for object identification, which is
+//! essential to data cleaning and data integration").
+//!
+//! Constant CFDs are instance-level rules binding concrete values — e.g.
+//! "area code 908 implies city MH" — which let two records be recognized
+//! as describing the same real-world entity even when some fields
+//! disagree. CFDMiner finds them orders of magnitude faster than the
+//! general algorithms because it never touches variable patterns.
+//!
+//! ```sh
+//! cargo run --release --example object_identification
+//! ```
+
+use cfd_suite::datagen::tax::TaxGenerator;
+use cfd_suite::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let rel = TaxGenerator::new(5_000).seed(3).generate();
+    println!(
+        "customer sample: {} tuples × {} attributes",
+        rel.n_rows(),
+        rel.arity()
+    );
+
+    let k = 25;
+    let t0 = Instant::now();
+    let constants = CfdMiner::new(k).discover(&rel);
+    let t_miner = t0.elapsed();
+    println!(
+        "\nCFDMiner: {} constant CFDs at k = {k} in {:.2?}",
+        constants.len(),
+        t_miner
+    );
+    for cfd in constants.iter().take(10) {
+        println!("  {}", cfd.display(&rel));
+    }
+    if constants.len() > 10 {
+        println!("  … {} more", constants.len() - 10);
+    }
+
+    // the same constant rules via full general discovery, for comparison
+    let t1 = Instant::now();
+    let full = FastCfd::new(k).discover(&rel);
+    let t_full = t1.elapsed();
+    assert_eq!(constants.cfds(), full.constant_cover().cfds());
+    println!(
+        "\nFastCFD finds the same constant fragment (plus {} variable \
+         CFDs) in {:.2?} — {:.1}× the CFDMiner time",
+        full.counts().1,
+        t_full,
+        t_full.as_secs_f64() / t_miner.as_secs_f64().max(1e-9)
+    );
+
+    // object identification: use the constant rules as an entity signature
+    // — two tuples that agree on every rule's LHS pattern must agree on
+    // the bound attributes, so consistent records can be merged
+    let sig_rules: Vec<&Cfd> = constants.iter().take(5).collect();
+    println!("\nsignature rules used for matching:");
+    for c in &sig_rules {
+        println!("  {}", c.display(&rel));
+    }
+    let violating = detect_violations(&rel, sig_rules.iter().copied());
+    println!(
+        "{} records inconsistent with the signature rules (candidates for \
+         manual resolution)",
+        violating.len()
+    );
+}

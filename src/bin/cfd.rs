@@ -1,0 +1,261 @@
+//! `cfd` — command-line CFD discovery and data validation.
+//!
+//! ```text
+//! cfd discover <data.csv> [--k N] [--algo fastcfd|ctane|naive|cfdminer|tane|fastfd]
+//!              [--max-lhs N] [--threads N] [--constants-only] [--tableau]
+//! cfd check    <data.csv> <rules.txt> [--limit N]
+//! cfd repair   <data.csv> <rules.txt> <out.csv>
+//! cfd stats    <data.csv>
+//! ```
+//!
+//! `discover` prints one rule per line in the paper's syntax — the same
+//! syntax `check` parses back, so the two commands compose:
+//!
+//! ```sh
+//! cfd discover clean.csv --k 20 > rules.txt
+//! cfd check dirty.csv rules.txt
+//! ```
+
+use cfd_suite::core::{CfdMiner, Ctane, FastCfd};
+use cfd_suite::fd::{FastFd, Tane};
+use cfd_suite::model::csv::relation_from_csv_path;
+use cfd_suite::model::tableau::group_into_tableaux;
+use cfd_suite::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cfd discover <data.csv> [--k N] [--algo fastcfd|ctane|naive|cfdminer|tane|fastfd]\n\
+         \x20              [--max-lhs N] [--threads N] [--constants-only] [--tableau]\n  \
+         cfd check <data.csv> <rules.txt> [--limit N]\n  \
+         cfd repair <data.csv> <rules.txt> <out.csv>\n  \
+         cfd stats <data.csv>"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    positional: Vec<String>,
+    k: usize,
+    algo: String,
+    max_lhs: Option<usize>,
+    threads: usize,
+    constants_only: bool,
+    tableau: bool,
+    limit: usize,
+}
+
+fn parse_args(argv: &[String]) -> Option<Args> {
+    let mut a = Args {
+        positional: Vec::new(),
+        k: 2,
+        algo: "fastcfd".into(),
+        max_lhs: None,
+        threads: 1,
+        constants_only: false,
+        tableau: false,
+        limit: 20,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--k" => a.k = it.next()?.parse().ok()?,
+            "--algo" => a.algo = it.next()?.clone(),
+            "--max-lhs" => a.max_lhs = Some(it.next()?.parse().ok()?),
+            "--threads" => a.threads = it.next()?.parse().ok()?,
+            "--limit" => a.limit = it.next()?.parse().ok()?,
+            "--constants-only" => a.constants_only = true,
+            "--tableau" => a.tableau = true,
+            other if !other.starts_with('-') => a.positional.push(other.to_string()),
+            _ => return None,
+        }
+    }
+    Some(a)
+}
+
+fn discover(a: &Args) -> Result<ExitCode> {
+    let rel = relation_from_csv_path(&a.positional[0])?;
+    eprintln!(
+        "# {}: {} tuples x {} attributes, k = {}",
+        a.positional[0],
+        rel.n_rows(),
+        rel.arity(),
+        a.k
+    );
+    let t0 = std::time::Instant::now();
+    let cover = match a.algo.as_str() {
+        "fastcfd" => FastCfd::new(a.k).threads(a.threads).discover(&rel),
+        "naive" => FastCfd::naive(a.k).discover(&rel),
+        "ctane" => match a.max_lhs {
+            Some(m) => Ctane::new(a.k).max_lhs(m).discover(&rel),
+            None => Ctane::new(a.k).discover(&rel),
+        },
+        "cfdminer" => CfdMiner::new(a.k).discover(&rel),
+        "tane" => Tane::new().discover(&rel),
+        "fastfd" => FastFd::new().discover(&rel),
+        other => {
+            eprintln!("unknown algorithm {other:?}");
+            return Ok(ExitCode::from(2));
+        }
+    };
+    let cover = if a.constants_only {
+        cover.constant_cover()
+    } else {
+        cover
+    };
+    let (nc, nv) = cover.counts();
+    eprintln!(
+        "# {} rules ({nc} constant, {nv} variable) in {:.2?}",
+        cover.len(),
+        t0.elapsed()
+    );
+    if a.tableau {
+        for t in group_into_tableaux(&cover) {
+            print!("{}", t.display(&rel));
+        }
+    } else {
+        print!("{}", cover.display(&rel));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn check(a: &Args) -> Result<ExitCode> {
+    let rel = relation_from_csv_path(&a.positional[0])?;
+    let rules_text = std::fs::read_to_string(&a.positional[1])?;
+    let mut rules: Vec<(String, Cfd)> = Vec::new();
+    for (no, line) in rules_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_cfd(&rel, line) {
+            Ok(cfd) => rules.push((line.to_string(), cfd)),
+            Err(e) => eprintln!("# skipping line {}: {e}", no + 1),
+        }
+    }
+    eprintln!("# checking {} rules against {}", rules.len(), a.positional[0]);
+    let mut dirty = false;
+    for (text, cfd) in &rules {
+        let vs = cfd_suite::model::violation::violations_limited(&rel, cfd, a.limit + 1);
+        if vs.is_empty() {
+            continue;
+        }
+        dirty = true;
+        let shown = vs.len().min(a.limit);
+        println!("VIOLATED {text}");
+        for v in vs.iter().take(shown) {
+            match v {
+                Violation::Single(t) => {
+                    println!("  tuple {}: {:?}", t + 1, rel.tuple_values(*t))
+                }
+                Violation::Pair(t1, t2) => println!(
+                    "  tuples {} and {}: {:?} vs {:?}",
+                    t1 + 1,
+                    t2 + 1,
+                    rel.tuple_values(*t1),
+                    rel.tuple_values(*t2)
+                ),
+            }
+        }
+        if vs.len() > shown {
+            println!("  ... more violations (raise --limit)");
+        }
+    }
+    if dirty {
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!("OK: all rules hold");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn repair(a: &Args) -> Result<ExitCode> {
+    let rel = relation_from_csv_path(&a.positional[0])?;
+    let rules_text = std::fs::read_to_string(&a.positional[1])?;
+    let mut rules: Vec<Cfd> = Vec::new();
+    for (no, line) in rules_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_cfd(&rel, line) {
+            Ok(cfd) => rules.push(cfd),
+            Err(e) => eprintln!("# skipping line {}: {e}", no + 1),
+        }
+    }
+    use cfd_suite::model::repair::{apply_repairs, suggest_repairs_for_cover};
+    let before = detect_violations(&rel, &rules).len();
+    let repairs = suggest_repairs_for_cover(&rel, &rules);
+    let fixed = apply_repairs(&rel, &repairs);
+    let after = detect_violations(&fixed, &rules).len();
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&a.positional[2])?);
+    cfd_suite::model::csv::relation_to_csv(&fixed, &mut out)?;
+    use std::io::Write as _;
+    out.flush().map_err(cfd_suite::prelude::Error::from)?;
+    eprintln!(
+        "# {} cell edits applied; violations {before} -> {after}; wrote {}",
+        repairs.len(),
+        a.positional[2]
+    );
+    for r in repairs.iter().take(10) {
+        eprintln!(
+            "#   tuple {} {}: {:?} -> {:?}",
+            r.tuple + 1,
+            rel.schema().name(r.attr),
+            rel.column(r.attr).dict().value(r.current),
+            rel.column(r.attr).dict().value(r.suggested),
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn stats(a: &Args) -> Result<ExitCode> {
+    let rel = relation_from_csv_path(&a.positional[0])?;
+    println!("file:    {}", a.positional[0]);
+    println!("tuples:  {}", rel.n_rows());
+    println!("arity:   {}", rel.arity());
+    println!("CF:      {:.4}", rel.correlation_factor());
+    println!("columns:");
+    for at in 0..rel.arity() {
+        println!(
+            "  {:<20} |dom| = {}",
+            rel.schema().name(at),
+            rel.column(at).domain_size()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return usage();
+    }
+    let cmd = argv[0].clone();
+    let Some(args) = parse_args(&argv[1..]) else {
+        return usage();
+    };
+    let need = match cmd.as_str() {
+        "discover" | "stats" => 1,
+        "check" => 2,
+        "repair" => 3,
+        _ => return usage(),
+    };
+    if args.positional.len() != need {
+        return usage();
+    }
+    let run = match cmd.as_str() {
+        "discover" => discover(&args),
+        "check" => check(&args),
+        "repair" => repair(&args),
+        "stats" => stats(&args),
+        _ => unreachable!(),
+    };
+    match run {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

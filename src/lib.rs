@@ -1,0 +1,47 @@
+//! # cfd-suite
+//!
+//! A Rust reproduction of *Discovering Conditional Functional Dependencies*
+//! (Fan, Geerts, Li & Xiong — ICDE 2009 / IEEE TKDE 23(5), 2011).
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! * [`model`] — relations, pattern tuples, CFDs, satisfaction/support/violations;
+//! * [`partition`] — partitions w.r.t. attribute-set/pattern pairs (Section 4.4);
+//! * [`itemset`] — free and closed item-set mining (Section 3.1);
+//! * [`core`] — the discovery algorithms: CFDMiner, CTANE, FastCFD/NaiveFast;
+//! * [`fd`] — the classical FD baselines TANE and FastFD;
+//! * [`datagen`] — synthetic datasets used by the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cfd_suite::prelude::*;
+//!
+//! // the cust relation of Fig. 1
+//! let rel = cfd_suite::datagen::cust::cust_relation();
+//! // canonical cover of minimal, 2-frequent CFDs
+//! let cover = FastCfd::new(2).discover(&rel);
+//! assert!(cover.iter().all(|c| satisfies(&rel, c)));
+//! // constant CFDs only, orders of magnitude faster
+//! let constants = CfdMiner::new(2).discover(&rel);
+//! assert_eq!(constants.cfds(), cover.constant_cover().cfds());
+//! ```
+
+pub use cfd_core as core;
+pub use cfd_datagen as datagen;
+pub use cfd_fd as fd;
+pub use cfd_itemset as itemset;
+pub use cfd_model as model;
+pub use cfd_partition as partition;
+
+/// The items most programs need.
+pub mod prelude {
+    pub use cfd_core::{BruteForce, CfdMiner, Ctane, DiffSetMode, FastCfd};
+    pub use cfd_model::{
+        normalize_cfd, satisfies, support, violations, AttrSet, CanonicalCover, Cfd, CfdClass,
+        Error, PVal, Pattern, Relation, RelationBuilder, Result, Schema,
+    };
+    pub use cfd_model::cfd::parse_cfd;
+    pub use cfd_model::csv::{relation_from_csv_path, relation_from_csv_str};
+    pub use cfd_model::violation::{detect_violations, Violation};
+}

@@ -1,0 +1,170 @@
+//! End-to-end tests of the `cfd` command-line tool: discover on clean
+//! data, pipe the rules into check, and validate dirty data fails.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_csv(path: &std::path::Path, dirty: bool) {
+    let mut rows = vec![
+        "01,908,1111111,Mike,Tree Ave.,MH,07974",
+        "01,908,1111111,Rick,Tree Ave.,MH,07974",
+        "01,212,2222222,Joe,5th Ave,NYC,01202",
+        "01,908,2222222,Jim,Elm Str.,MH,07974",
+        "44,131,3333333,Ben,High St.,EDI,EH4 1DT",
+        "44,131,2222222,Ian,High St.,EDI,EH4 1DT",
+        "44,908,2222222,Ian,Port PI,MH,W1B 1JH",
+        "01,131,2222222,Sean,3rd Str.,UN,01202",
+    ];
+    if dirty {
+        rows[5] = "44,131,2222222,Ian,Low St.,EDI,EH4 1DT";
+    }
+    let mut f = std::fs::File::create(path).unwrap();
+    writeln!(f, "CC,AC,PN,NM,STR,CT,ZIP").unwrap();
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cfd"))
+}
+
+#[test]
+fn discover_check_round_trip() {
+    let dir = std::env::temp_dir().join(format!("cfd-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let clean = dir.join("clean.csv");
+    let dirty = dir.join("dirty.csv");
+    let rules = dir.join("rules.txt");
+    write_csv(&clean, false);
+    write_csv(&dirty, true);
+
+    // discover on clean data
+    let out = bin()
+        .args(["discover", clean.to_str().unwrap(), "--k", "2"])
+        .output()
+        .expect("cfd discover runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let rules_text = String::from_utf8(out.stdout).unwrap();
+    assert!(rules_text.contains("([AC] -> CT, (908 || MH))"), "{rules_text}");
+    std::fs::write(&rules, &rules_text).unwrap();
+
+    // clean data passes
+    let ok = bin()
+        .args(["check", clean.to_str().unwrap(), rules.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(ok.status.success());
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("OK"));
+
+    // dirty data fails, naming the corrupted tuple (t6)
+    let bad = bin()
+        .args(["check", dirty.to_str().unwrap(), rules.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    let report = String::from_utf8_lossy(&bad.stdout).to_string();
+    assert!(report.contains("VIOLATED"), "{report}");
+    assert!(report.contains("Low St."), "{report}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn discover_algorithms_and_flags() {
+    let dir = std::env::temp_dir().join(format!("cfd-cli2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("data.csv");
+    write_csv(&csv, false);
+    let path = csv.to_str().unwrap();
+
+    // all algorithms run; fastcfd/ctane/naive agree on output lines
+    let run = |args: &[&str]| {
+        let out = bin().args(args).output().unwrap();
+        assert!(out.status.success(), "{args:?}");
+        let mut lines: Vec<String> = String::from_utf8(out.stdout)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        lines.sort();
+        lines
+    };
+    let fast = run(&["discover", path, "--k", "2"]);
+    let ctane = run(&["discover", path, "--k", "2", "--algo", "ctane"]);
+    let naive = run(&["discover", path, "--k", "2", "--algo", "naive"]);
+    assert_eq!(fast, ctane);
+    assert_eq!(fast, naive);
+
+    // cfdminer emits a subset (the constant rules)
+    let constants = run(&["discover", path, "--k", "2", "--algo", "cfdminer"]);
+    assert!(constants.iter().all(|l| fast.contains(l)));
+    let co = run(&["discover", path, "--k", "2", "--constants-only"]);
+    assert_eq!(constants, co);
+
+    // FD baselines agree with each other
+    let tane = run(&["discover", path, "--algo", "tane"]);
+    let fastfd = run(&["discover", path, "--algo", "fastfd"]);
+    assert_eq!(tane, fastfd);
+
+    // tableau output groups rules
+    let tab = run(&["discover", path, "--k", "2", "--tableau"]);
+    assert!(tab.iter().any(|l| l.contains("tableau:")), "{tab:?}");
+
+    // stats runs
+    let stats = bin().args(["stats", path]).output().unwrap();
+    assert!(stats.status.success());
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("arity:   7"));
+
+    // bad usage exits 2
+    let bad = bin().args(["frobnicate"]).output().unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    let bad2 = bin().args(["discover"]).output().unwrap();
+    assert_eq!(bad2.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repair_command_round_trip() {
+    let dir = std::env::temp_dir().join(format!("cfd-cli3-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let clean = dir.join("clean.csv");
+    let dirty = dir.join("dirty.csv");
+    let rules = dir.join("rules.txt");
+    let fixed = dir.join("fixed.csv");
+    write_csv(&clean, false);
+    write_csv(&dirty, true);
+
+    let out = bin()
+        .args(["discover", clean.to_str().unwrap(), "--k", "2"])
+        .output()
+        .unwrap();
+    std::fs::write(&rules, out.stdout).unwrap();
+
+    // repair the dirty file
+    let rep = bin()
+        .args([
+            "repair",
+            dirty.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            fixed.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(rep.status.success(), "{}", String::from_utf8_lossy(&rep.stderr));
+    let log = String::from_utf8_lossy(&rep.stderr).to_string();
+    assert!(log.contains("cell edits applied"), "{log}");
+
+    // the repaired file restores the corrupted street and passes check
+    let fixed_text = std::fs::read_to_string(&fixed).unwrap();
+    assert!(fixed_text.contains("High St."), "{fixed_text}");
+    assert!(!fixed_text.contains("Low St."), "{fixed_text}");
+    let chk = bin()
+        .args(["check", fixed.to_str().unwrap(), rules.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(chk.status.success(), "{}", String::from_utf8_lossy(&chk.stdout));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

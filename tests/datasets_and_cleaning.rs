@@ -1,0 +1,160 @@
+//! Dataset-level integration: the simulated evaluation datasets have the
+//! documented shapes, discovery surfaces the planted structure, and the
+//! discover → detect-violations cleaning loop closes.
+
+use cfd_suite::datagen::chess::{chess_relation, CHESS_ARITY, CHESS_ROWS};
+use cfd_suite::datagen::cust::{cust_relation, dirty_cust_relation};
+use cfd_suite::datagen::noise::inject_noise;
+use cfd_suite::datagen::tax::TaxGenerator;
+use cfd_suite::datagen::wbc::{wbc_relation, WBC_ARITY, WBC_ROWS};
+use cfd_suite::fd::Tane;
+use cfd_suite::model::csv::{relation_from_csv_str, relation_to_csv_string};
+use cfd_suite::prelude::*;
+
+#[test]
+fn dataset_table_shapes() {
+    // the Section 6.1 dataset table
+    let wbc = wbc_relation();
+    assert_eq!((wbc.n_rows(), wbc.arity()), (WBC_ROWS, WBC_ARITY));
+    let chess = chess_relation();
+    assert_eq!((chess.n_rows(), chess.arity()), (CHESS_ROWS, CHESS_ARITY));
+    let tax = TaxGenerator::new(1000).arity(9).cf(0.5).generate();
+    assert_eq!((tax.n_rows(), tax.arity()), (1000, 9));
+    // CF materializes approximately on the independent attributes
+    let cf = tax.correlation_factor();
+    assert!(cf > 0.0 && cf < 1.0, "cf = {cf}");
+}
+
+#[test]
+fn chess_outcome_fd_is_discovered() {
+    // the simulated KRK data is a function position → outcome; TANE must
+    // find an FD with RHS `outcome` on a sample
+    let chess = chess_relation();
+    let rows: Vec<u32> = (0..2000).collect();
+    let sample = chess.restrict(&rows);
+    let cover = Tane::new().discover(&sample);
+    let outcome = sample.schema().attr_id("outcome").unwrap();
+    assert!(
+        cover.iter().any(|c| c.rhs_attr() == outcome),
+        "an FD determining the outcome must exist:\n{}",
+        cover.display(&sample)
+    );
+}
+
+#[test]
+fn tax_planted_rules_are_discovered() {
+    let r = TaxGenerator::new(500).generate();
+    let k = 5;
+    let cover = FastCfd::new(k).discover(&r);
+    assert!(!cover.is_empty());
+    let (n_const, n_var) = cover.counts();
+    assert!(n_const > 0, "tax data must yield constant CFDs");
+    assert!(n_var > 0, "tax data must yield variable CFDs");
+    // the planted FD AC → CT holds; the cover contains it or a reduction
+    let ac = r.schema().attr_id("AC").unwrap();
+    let ct = r.schema().attr_id("CT").unwrap();
+    assert!(satisfies(&r, &Cfd::fd(AttrSet::singleton(ac), ct)));
+    assert!(
+        cover.iter().any(|c| c.rhs_attr() == ct),
+        "some rule must determine CT"
+    );
+}
+
+#[test]
+fn discover_then_clean_workflow() {
+    // Fig. 1 scenario: rules learned on the clean sample flag exactly the
+    // corrupted cells of the dirty instance
+    let clean = cust_relation();
+    let dirty = dirty_cust_relation();
+    let rules = FastCfd::new(2).discover(&clean);
+    assert!(rules.iter().all(|c| satisfies(&clean, c)));
+    let found = cfd_suite::model::violation::detect_violations(&dirty, rules.cfds());
+    assert!(!found.is_empty(), "dirty data must trigger violations");
+    // t6's corrupted street (row 5) is implicated
+    let implicated: std::collections::HashSet<u32> = found
+        .iter()
+        .map(|&(_, v)| match v {
+            Violation::Single(t) => t,
+            Violation::Pair(_, t) => t,
+        })
+        .collect();
+    assert!(
+        implicated.contains(&5) || implicated.contains(&2),
+        "corrupted tuples must be implicated: {implicated:?}"
+    );
+}
+
+#[test]
+fn noise_injection_cleaning_recall() {
+    // larger-scale cleaning loop: discover on clean tax data, corrupt 1%
+    // of cells, and check the rules flag dirty tuples
+    let clean = TaxGenerator::new(600).generate();
+    let rules = FastCfd::new(6).discover(&clean);
+    let (dirty, cells) = inject_noise(&clean, 0.01, 99);
+    assert!(!cells.is_empty());
+    let found = cfd_suite::model::violation::detect_violations(&dirty, rules.cfds());
+    // soundness of the harness: every reported violation is a real
+    // violation of a rule that held on clean data
+    for &(i, _) in &found {
+        assert!(!satisfies(&dirty, &rules.cfds()[i]));
+    }
+}
+
+#[test]
+fn csv_round_trip_preserves_discovery() {
+    let r = cust_relation();
+    let csv = relation_to_csv_string(&r);
+    let r2 = relation_from_csv_str(&csv).unwrap();
+    let a = FastCfd::new(2).discover(&r);
+    let b = FastCfd::new(2).discover(&r2);
+    // codes may differ; compare displayed rule sets
+    let show = |cover: &CanonicalCover, rel: &Relation| {
+        let mut v: Vec<String> = cover.iter().map(|c| c.display(rel)).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(show(&a, &r), show(&b, &r2));
+}
+
+#[test]
+fn wbc_discovery_is_consistent() {
+    // WBC at a high threshold: CTANE and FastCFD agree (Fig. 11 workload,
+    // scaled down by max_lhs for test speed)
+    let r = wbc_relation();
+    let k = 60;
+    let fast = FastCfd::new(k).discover(&r);
+    let ctane = Ctane::new(k).max_lhs(3).discover(&r);
+    // every CTANE rule (LHS ≤ 3) is in the FastCFD cover and vice versa
+    // for rules with small LHS
+    for c in ctane.iter() {
+        assert!(fast.contains(c), "missing from fastcfd: {}", c.display(&r));
+    }
+    for c in fast.iter().filter(|c| c.lhs_attrs().len() <= 3) {
+        assert!(ctane.contains(c), "missing from ctane: {}", c.display(&r));
+    }
+}
+
+#[test]
+fn repair_suggestions_reduce_violations() {
+    use cfd_suite::model::repair::{apply_repairs, suggest_repairs_for_cover};
+    let clean = TaxGenerator::new(800).generate();
+    let rules = FastCfd::new(8).discover(&clean);
+    let (dirty, cells) = inject_noise(&clean, 0.005, 17);
+    assert!(!cells.is_empty());
+    let before = cfd_suite::model::violation::detect_violations(&dirty, rules.cfds()).len();
+    let repairs = suggest_repairs_for_cover(&dirty, rules.cfds());
+    let fixed = apply_repairs(&dirty, &repairs);
+    let after = cfd_suite::model::violation::detect_violations(&fixed, rules.cfds()).len();
+    assert!(
+        after < before,
+        "repairs must reduce violations: {before} -> {after}"
+    );
+    // every repair edits a cell that some rule implicated
+    for r in &repairs {
+        assert_ne!(
+            dirty.value(r.tuple, r.attr),
+            fixed.value(r.tuple, r.attr),
+            "repair changed nothing"
+        );
+    }
+}

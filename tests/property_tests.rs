@@ -1,0 +1,104 @@
+//! Property-based tests (proptest): the discovery algorithms are checked
+//! on arbitrary small relations — soundness, minimality, completeness
+//! against the brute-force oracle, and pairwise agreement.
+
+use cfd_suite::core::{audit_cover, is_minimal};
+use cfd_suite::prelude::*;
+use proptest::prelude::*;
+
+/// An arbitrary relation: 1–16 rows, 2–4 attributes, domain ≤ 3 per
+/// attribute (kept tiny so the brute-force oracle stays cheap).
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (2usize..=4, 1usize..=16)
+        .prop_flat_map(|(arity, rows)| {
+            proptest::collection::vec(
+                proptest::collection::vec(0u32..3, arity),
+                rows,
+            )
+        })
+        .prop_map(|rows| {
+            let arity = rows[0].len();
+            let schema = Schema::new((0..arity).map(|i| format!("A{i}"))).unwrap();
+            let mut b = RelationBuilder::new(schema);
+            for row in &rows {
+                b.push_coded_row(row).unwrap();
+            }
+            b.finish()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fastcfd_outputs_hold_and_are_minimal(rel in arb_relation(), k in 1usize..=3) {
+        let cover = FastCfd::new(k).discover(&rel);
+        let problems = audit_cover(&rel, cover.iter(), k);
+        prop_assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn ctane_equals_fastcfd(rel in arb_relation(), k in 1usize..=3) {
+        let ctane = Ctane::new(k).discover(&rel);
+        let fast = FastCfd::new(k).discover(&rel);
+        prop_assert_eq!(ctane.cfds(), fast.cfds());
+    }
+
+    #[test]
+    fn naive_equals_fastcfd(rel in arb_relation(), k in 1usize..=3) {
+        let naive = FastCfd::naive(k).discover(&rel);
+        let fast = FastCfd::new(k).discover(&rel);
+        prop_assert_eq!(naive.cfds(), fast.cfds());
+    }
+
+    #[test]
+    fn complete_against_oracle(rel in arb_relation(), k in 1usize..=2) {
+        let fast = FastCfd::new(k).discover(&rel);
+        let want = BruteForce::new(k).discover(&rel);
+        prop_assert_eq!(fast.cfds().to_vec(), want.cfds().to_vec());
+    }
+
+    #[test]
+    fn cfdminer_is_the_constant_fragment(rel in arb_relation(), k in 1usize..=3) {
+        let miner = CfdMiner::new(k).discover(&rel);
+        let fast = FastCfd::new(k).discover(&rel);
+        prop_assert_eq!(miner.cfds().to_vec(), fast.constant_cover().cfds().to_vec());
+        prop_assert!(miner.iter().all(|c| c.is_constant()));
+    }
+
+    #[test]
+    fn discovered_rules_transfer_to_satisfying_extensions(
+        rel in arb_relation(), k in 1usize..=2
+    ) {
+        // duplicating rows preserves every discovered CFD (satisfaction is
+        // closed under tuple duplication) and can only increase support
+        let cover = FastCfd::new(k).discover(&rel);
+        let rows: Vec<u32> = rel.tuples().chain(rel.tuples()).collect();
+        let doubled = rel.restrict(&rows);
+        for cfd in cover.iter() {
+            prop_assert!(satisfies(&doubled, cfd), "{}", cfd.display(&rel));
+            prop_assert!(support(&doubled, cfd) >= 2 * k.min(1));
+        }
+    }
+
+    #[test]
+    fn minimality_oracle_consistent_with_membership(
+        rel in arb_relation()
+    ) {
+        // every CFD in the cover passes is_minimal; conversely the cover
+        // is exactly the minimal set (spot-checked via the oracle above)
+        let cover = FastCfd::new(1).discover(&rel);
+        for cfd in cover.iter() {
+            prop_assert!(is_minimal(&rel, cfd, 1));
+        }
+    }
+
+    #[test]
+    fn violations_iff_not_satisfied(rel in arb_relation()) {
+        // violations() and satisfies() agree for arbitrary single rules
+        let cover = FastCfd::new(1).discover(&rel);
+        for cfd in cover.iter().take(10) {
+            prop_assert!(violations(&rel, cfd).is_empty());
+        }
+    }
+}
