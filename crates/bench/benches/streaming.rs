@@ -1,0 +1,60 @@
+//! Criterion micro-benchmark for the streaming engine: tuple-update
+//! throughput (inserts + deletes per second) of `StreamEngine` batch
+//! application at 1/2/4 rule shards, on the tax workload.
+//!
+//! Each iteration inserts one batch of fresh tuples and deletes it
+//! again, so the engine's live state is identical across samples and
+//! the number reported is steady-state update throughput under a rule
+//! cover actually discovered on the warm data. Future PRs track this
+//! line to keep the serving path's perf trajectory visible.
+
+use cfd_core::FastCfd;
+use cfd_datagen::tax::TaxGenerator;
+use cfd_stream::StreamEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    const WARM: usize = 2_000;
+    const BATCH: usize = 256;
+
+    // one relation; the warm prefix shares dictionaries with the tail,
+    // so tail rows stream in as pre-encoded batches
+    let rel = TaxGenerator::new(WARM + BATCH).generate();
+    let warm_rows: Vec<u32> = (0..WARM as u32).collect();
+    let warm = rel.restrict(&warm_rows);
+    let rules: Vec<_> = FastCfd::new((WARM / 100).max(2))
+        .discover(&warm)
+        .into_iter()
+        .collect();
+    let batch: Vec<Vec<u32>> = (WARM as u32..(WARM + BATCH) as u32)
+        .map(|t| (0..rel.arity()).map(|a| rel.code(t, a)).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("streaming");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+        // one iteration applies BATCH inserts and BATCH deletes
+        .throughput(Throughput::Elements(2 * BATCH as u64));
+    for shards in [1usize, 2, 4] {
+        let (mut engine, _) = StreamEngine::warm(&warm, rules.clone(), shards);
+        group.bench_with_input(
+            BenchmarkId::new("insert_delete", shards),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let first = engine.n_total() as u32;
+                    engine.insert_coded(batch.clone());
+                    let ids: Vec<u32> = (first..first + BATCH as u32).collect();
+                    engine.delete_batch(&ids).expect("batch rows are live");
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -51,7 +51,11 @@ fn main() {
     let scale = Scale { full };
     println!(
         "experiment scale: {} (CSV output: {})\n",
-        if full { "FULL (paper parameters)" } else { "quick" },
+        if full {
+            "FULL (paper parameters)"
+        } else {
+            "quick"
+        },
         out.display()
     );
     let t0 = std::time::Instant::now();

@@ -56,7 +56,11 @@ pub struct Scale {
 
 impl Scale {
     fn pick<T: Clone>(&self, quick: &[T], full: &[T]) -> Vec<T> {
-        if self.full { full.to_vec() } else { quick.to_vec() }
+        if self.full {
+            full.to_vec()
+        } else {
+            quick.to_vec()
+        }
     }
 
     /// Per-point time budget before a series is marked DNF.
@@ -196,7 +200,10 @@ fn fig5(scale: Scale) -> Vec<(String, Table)> {
 // ------------------------------------------------------------------ fig 7
 
 fn fig7(scale: Scale) -> Vec<(String, Table)> {
-    let arities = scale.pick(&[7, 9, 11, 13, 15, 19, 23, 31], &[7, 11, 15, 17, 19, 23, 27, 31]);
+    let arities = scale.pick(
+        &[7, 9, 11, 13, 15, 19, 23, 31],
+        &[7, 11, 15, 17, 19, 23, 27, 31],
+    );
     let dbsize = if scale.full { 20_000 } else { 2_000 };
     let k = k_of(dbsize);
     let mut t = Table::new(
@@ -233,7 +240,9 @@ fn fig8(scale: Scale) -> Vec<(String, Table)> {
         .collect();
     let rel = tax(dbsize, 7, 0.7);
     let mut t8 = Table::new(
-        &format!("Fig 8. Scalability w.r.t. support threshold k (DBSIZE={dbsize}, ARITY=7, CF=0.7)"),
+        &format!(
+            "Fig 8. Scalability w.r.t. support threshold k (DBSIZE={dbsize}, ARITY=7, CF=0.7)"
+        ),
         "k",
         &["CTANE", "NaiveFast", "FastCFD"],
     );
@@ -250,7 +259,8 @@ fn fig8(scale: Scale) -> Vec<(String, Table)> {
         let (_, c_ctane) = g_ctane.run(|| Ctane::new(k).discover(&rel));
         let (_, c_naive) = g_naive.run(|| FastCfd::naive(k).discover(&rel));
         let (cover, c_fast) = Guard::new(f64::MAX).run(|| FastCfd::new(k).discover(&rel));
-        t8.rows.insert(0, (k.to_string(), vec![c_ctane, c_naive, c_fast]));
+        t8.rows
+            .insert(0, (k.to_string(), vec![c_ctane, c_naive, c_fast]));
         let (nc, nv) = cover.expect("fastcfd always runs").counts();
         t9.rows
             .insert(0, (k.to_string(), vec![Cell::Count(nc), Cell::Count(nv)]));
@@ -298,7 +308,11 @@ fn dataset_k_sweep(
     let fig_no = fig_time.trim_start_matches("fig");
     let counts_no = fig_counts.trim_start_matches("fig");
     let mut tt = Table::new(
-        &format!("Fig {fig_no}. {name} ({} × {}): runtime vs k", rel.n_rows(), rel.arity()),
+        &format!(
+            "Fig {fig_no}. {name} ({} × {}): runtime vs k",
+            rel.n_rows(),
+            rel.arity()
+        ),
         "k",
         &["CTANE", "FastCFD"],
     );
@@ -335,7 +349,15 @@ fn fig11(scale: Scale) -> Vec<(String, Table)> {
     let rel = cfd_datagen::wbc::wbc_relation();
     let ks = scale.pick(&[40, 60, 80, 100, 140], &[10, 20, 40, 60, 80, 100, 140]);
     let cap = if scale.full { None } else { Some(4) };
-    let mut out = dataset_k_sweep("Wisconsin breast cancer", "fig11", "fig14", &rel, &ks, scale, cap);
+    let mut out = dataset_k_sweep(
+        "Wisconsin breast cancer",
+        "fig11",
+        "fig14",
+        &rel,
+        &ks,
+        scale,
+        cap,
+    );
     if !scale.full {
         out[0].1.title.push_str(" [CTANE LHS ≤ 4 in quick mode]");
     }
@@ -379,7 +401,11 @@ fn abl_freeset(scale: Scale) -> Vec<(String, Table)> {
         let t1 = Instant::now();
         let without = FastCfd::new(k).free_set_pruning(false).discover(&rel);
         let secs_without = t1.elapsed().as_secs_f64();
-        assert_eq!(with.cfds(), without.cfds(), "pruning must not change the cover");
+        assert_eq!(
+            with.cfds(),
+            without.cfds(),
+            "pruning must not change the cover"
+        );
         t.push_row(
             dbsize,
             vec![
@@ -537,7 +563,11 @@ fn fd_baseline(scale: Scale) -> Vec<(String, Table)> {
         assert_eq!(tane.cfds(), fastfd.cfds());
         t.push_row(
             dbsize,
-            vec![Cell::Secs(s_tane), Cell::Secs(s_fastfd), Cell::Count(tane.len())],
+            vec![
+                Cell::Secs(s_tane),
+                Cell::Secs(s_fastfd),
+                Cell::Count(tane.len()),
+            ],
         );
     }
     vec![("fd-baseline".into(), t)]
@@ -610,9 +640,7 @@ mod tests {
 
     #[test]
     fn unknown_experiment_panics() {
-        let r = std::panic::catch_unwind(|| {
-            run_experiment("fig99", Scale { full: false }, None)
-        });
+        let r = std::panic::catch_unwind(|| run_experiment("fig99", Scale { full: false }, None));
         assert!(r.is_err());
     }
 }

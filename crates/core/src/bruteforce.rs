@@ -56,9 +56,7 @@ impl BruteForce {
         out: &mut Vec<Cfd>,
     ) {
         if vals.len() == attrs.len() {
-            let lhs = Pattern::from_pairs(
-                attrs.iter().copied().zip(vals.iter().copied()),
-            );
+            let lhs = Pattern::from_pairs(attrs.iter().copied().zip(vals.iter().copied()));
             // variable CFD — canonical-cover convention: an all-constant
             // LHS variable CFD holds iff the RHS attribute is constant on
             // the matching tuples, i.e. iff its constant counterpart holds;
@@ -107,18 +105,18 @@ mod tests {
         let cover = BruteForce::new(2).discover(&r);
         // minimal rules claimed by the paper at k ≤ 2
         for txt in [
-            "([CC, AC] -> CT, (_, _ || _))",       // f1
-            "([CC, ZIP] -> STR, (44, _ || _))",    // φ0
-            "([CC, AC] -> CT, (44, 131 || EDI))",  // φ2
-            "(AC -> CT, (908 || MH))",             // Example 7
+            "([CC, AC] -> CT, (_, _ || _))",      // f1
+            "([CC, ZIP] -> STR, (44, _ || _))",   // φ0
+            "([CC, AC] -> CT, (44, 131 || EDI))", // φ2
+            "(AC -> CT, (908 || MH))",            // Example 7
         ] {
             let c = parse_cfd(&r, txt).unwrap();
             assert!(cover.contains(&c), "{txt} must be in the cover");
         }
         // non-minimal rules must be absent
         for txt in [
-            "([CC, AC] -> CT, (01, 908 || MH))",   // φ1 (CC droppable)
-            "([CC, AC] -> CT, (01, _ || _))",      // f1 specialization
+            "([CC, AC] -> CT, (01, 908 || MH))", // φ1 (CC droppable)
+            "([CC, AC] -> CT, (01, _ || _))",    // f1 specialization
         ] {
             let c = parse_cfd(&r, txt).unwrap();
             assert!(!cover.contains(&c), "{txt} must not be in the cover");

@@ -17,7 +17,7 @@
 //! intersection, which as printed would keep exactly the redundant
 //! items).
 
-use cfd_itemset::mine::{mine_free_closed, Mined, MineOptions};
+use cfd_itemset::mine::{mine_free_closed, MineOptions, Mined};
 use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
 use cfd_model::pattern::PVal;
@@ -164,11 +164,8 @@ mod tests {
         use cfd_model::relation::relation_from_rows;
         use cfd_model::schema::Schema;
         let schema = Schema::new(["A", "B"]).unwrap();
-        let r = relation_from_rows(
-            schema,
-            &[vec!["x", "k"], vec!["y", "k"], vec!["z", "k"]],
-        )
-        .unwrap();
+        let r =
+            relation_from_rows(schema, &[vec!["x", "k"], vec!["y", "k"], vec!["z", "k"]]).unwrap();
         let cover = CfdMiner::new(1).discover(&r);
         let c = parse_cfd(&r, "([] -> B, ( || k))").unwrap();
         assert!(cover.contains(&c), "cover:\n{}", cover.display(&r));

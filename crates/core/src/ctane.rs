@@ -104,10 +104,7 @@ impl Ctane {
                 if class.len() >= self.k {
                     let code = rel.code(class[0], a);
                     let pattern = Pattern::from_pairs([(a, PVal::Const(code))]);
-                    let part = Partition::from_parts(
-                        class.to_vec(),
-                        vec![0, class.len() as u32],
-                    );
+                    let part = Partition::from_parts(class.to_vec(), vec![0, class.len() as u32]);
                     level.push(Element {
                         cplus: filter_cond1(&init_candidates, &pattern),
                         n_classes: part.n_classes(),
@@ -136,8 +133,16 @@ impl Ctane {
             // process most-general patterns first (the paper's level order):
             // within an attribute set, fewer constants ⇒ earlier
             level.sort_unstable_by(|a, b| {
-                (a.pattern.attrs(), a.pattern.const_attrs().len(), a.pattern.vals())
-                    .cmp(&(b.pattern.attrs(), b.pattern.const_attrs().len(), b.pattern.vals()))
+                (
+                    a.pattern.attrs(),
+                    a.pattern.const_attrs().len(),
+                    a.pattern.vals(),
+                )
+                    .cmp(&(
+                        b.pattern.attrs(),
+                        b.pattern.const_attrs().len(),
+                        b.pattern.vals(),
+                    ))
             });
             // group elements by attribute set for step 2.c
             let mut by_attrs: FxHashMap<AttrSet, Vec<usize>> = FxHashMap::default();
@@ -235,9 +240,10 @@ impl Ctane {
                         }
                         let up = e1.pattern.with(a2, v2);
                         // (iii) every ℓ-subset must be an alive element
-                        let all_present = up.attrs().iter().all(|b| {
-                            index.contains_key(&up.without(b))
-                        });
+                        let all_present = up
+                            .attrs()
+                            .iter()
+                            .all(|b| index.contains_key(&up.without(b)));
                         if !all_present {
                             continue;
                         }
@@ -315,10 +321,7 @@ fn filter_cond1(cands: &[(AttrId, PVal)], pattern: &Pattern) -> Vec<(AttrId, PVa
 }
 
 /// Intersection of two sorted candidate lists.
-fn intersect_sorted(
-    a: &[(AttrId, PVal)],
-    b: &[(AttrId, PVal)],
-) -> Vec<(AttrId, PVal)> {
+fn intersect_sorted(a: &[(AttrId, PVal)], b: &[(AttrId, PVal)]) -> Vec<(AttrId, PVal)> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {

@@ -21,7 +21,7 @@
 
 use crate::cfdminer::CfdMiner;
 use cfd_itemset::index::ClosedSetIndex;
-use cfd_itemset::mine::{mine_free_closed, Mined, MineOptions};
+use cfd_itemset::mine::{mine_free_closed, MineOptions, Mined};
 use cfd_model::attrset::AttrSet;
 use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
@@ -71,7 +71,11 @@ fn build_closed2_index(rel: &Relation, mode: DiffSetMode) -> Option<ClosedSetInd
 }
 
 impl<'a> DiffSetEngine<'a> {
-    fn new(rel: &'a Relation, mode: DiffSetMode, index: Option<&'a ClosedSetIndex>) -> DiffSetEngine<'a> {
+    fn new(
+        rel: &'a Relation,
+        mode: DiffSetMode,
+        index: Option<&'a ClosedSetIndex>,
+    ) -> DiffSetEngine<'a> {
         debug_assert_eq!(index.is_some(), mode == DiffSetMode::ClosedSets);
         DiffSetEngine {
             rel,
@@ -358,8 +362,11 @@ impl FastCfd {
                     (b, engine.min_diff_sets(mined, si, rhs))
                 })
                 .collect();
-            let candidates: Vec<AttrId> =
-                full.difference(pattern.attrs()).without(rhs).iter().collect();
+            let candidates: Vec<AttrId> = full
+                .difference(pattern.attrs())
+                .without(rhs)
+                .iter()
+                .collect();
             let mut emit = |y: AttrSet| {
                 // (b1) Y is a minimal cover of Dᵐ_A(r_tp)
                 if y.iter().any(|b| covers(y.without(b), &dm)) {
@@ -372,11 +379,8 @@ impl FastCfd {
                         return;
                     }
                 }
-                let lhs = Pattern::from_pairs(
-                    pattern
-                        .iter()
-                        .chain(y.iter().map(|b| (b, PVal::Var))),
-                );
+                let lhs =
+                    Pattern::from_pairs(pattern.iter().chain(y.iter().map(|b| (b, PVal::Var))));
                 out.push(Cfd::variable(lhs, rhs));
             };
             self.find_min(&dm, &candidates, AttrSet::EMPTY, &mut emit);

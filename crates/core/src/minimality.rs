@@ -51,12 +51,10 @@ pub fn is_minimal(rel: &Relation, cfd: &Cfd, k: usize) -> bool {
                 return false;
             }
             // (2) pattern minimality: no constant upgradeable to `_`
-            lhs.iter()
-                .filter(|&(_, v)| v.is_const())
-                .all(|(b, _)| {
-                    let upgraded = Cfd::variable(lhs.with(b, PVal::Var), rhs);
-                    !satisfies(rel, &upgraded)
-                })
+            lhs.iter().filter(|&(_, v)| v.is_const()).all(|(b, _)| {
+                let upgraded = Cfd::variable(lhs.with(b, PVal::Var), rhs);
+                !satisfies(rel, &upgraded)
+            })
         }
     }
 }

@@ -22,8 +22,10 @@ pub const CHESS_ARITY: usize = 7;
 /// The KRK schema: white-king file/rank, white-rook file/rank, black-king
 /// file/rank, and the game-theoretic outcome.
 pub fn chess_schema() -> Schema {
-    Schema::new(["wk_file", "wk_rank", "wr_file", "wr_rank", "bk_file", "bk_rank", "outcome"])
-        .expect("static schema is valid")
+    Schema::new([
+        "wk_file", "wk_rank", "wr_file", "wr_rank", "bk_file", "bk_rank", "outcome",
+    ])
+    .expect("static schema is valid")
 }
 
 #[inline]
@@ -60,8 +62,8 @@ fn outcome(wkf: i32, wkr: i32, wrf: i32, wrr: i32, bkf: i32, bkr: i32) -> usize 
 }
 
 const LABELS: [&str; 18] = [
-    "draw", "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine",
-    "ten", "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen",
+    "draw", "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
+    "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen",
 ];
 
 /// Generates the simulated dataset: all legal KRK positions (white king in

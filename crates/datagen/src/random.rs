@@ -37,8 +37,7 @@ impl RandomRelation {
     pub fn generate(&self) -> Relation {
         assert!(self.arity >= 1 && self.arity <= 64);
         assert!(self.domain >= 1);
-        let schema =
-            Schema::new((0..self.arity).map(|i| format!("A{i}"))).expect("valid schema");
+        let schema = Schema::new((0..self.arity).map(|i| format!("A{i}"))).expect("valid schema");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut b = RelationBuilder::new(schema);
         b.reserve(self.rows);
@@ -101,8 +100,10 @@ mod tests {
     fn batch_seeds_advance() {
         let batch = random_relations(3, RandomRelation::small(10));
         assert_eq!(batch.len(), 3);
-        assert!(batch[0].tuple_values(0) != batch[1].tuple_values(0)
-            || batch[0].tuple_values(1) != batch[1].tuple_values(1)
-            || batch[0].tuple_values(2) != batch[1].tuple_values(2));
+        assert!(
+            batch[0].tuple_values(0) != batch[1].tuple_values(0)
+                || batch[0].tuple_values(1) != batch[1].tuple_values(1)
+                || batch[0].tuple_values(2) != batch[1].tuple_values(2)
+        );
     }
 }

@@ -41,12 +41,7 @@ pub fn sample_rows(rel: &Relation, fraction: f64, seed: u64) -> Relation {
 /// draws `fraction` of every stratum (at least one tuple per stratum), so
 /// rare conditions — the pattern tuples CFDs condition on — stay
 /// represented.
-pub fn stratified_sample(
-    rel: &Relation,
-    strat_attr: AttrId,
-    fraction: f64,
-    seed: u64,
-) -> Relation {
+pub fn stratified_sample(rel: &Relation, strat_attr: AttrId, fraction: f64, seed: u64) -> Relation {
     assert!((0.0..=1.0).contains(&fraction));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut strata: Vec<Vec<TupleId>> = vec![Vec::new(); rel.column(strat_attr).domain_size()];
@@ -58,8 +53,7 @@ pub fn stratified_sample(
         if stratum.is_empty() {
             continue;
         }
-        let want = ((stratum.len() as f64 * fraction).ceil() as usize)
-            .clamp(1, stratum.len());
+        let want = ((stratum.len() as f64 * fraction).ceil() as usize).clamp(1, stratum.len());
         for i in 0..want {
             let j = rng.gen_range(i..stratum.len());
             stratum.swap(i, j);
@@ -121,10 +115,7 @@ mod tests {
         let s = stratified_sample(&r, 0, 0.3, 9);
         let k_sample = 3;
         let sampled_rules = FastCfd::new(k_sample).discover(&s);
-        let good = sampled_rules
-            .iter()
-            .filter(|c| satisfies(&r, c))
-            .count();
+        let good = sampled_rules.iter().filter(|c| satisfies(&r, c)).count();
         let precision = good as f64 / sampled_rules.len().max(1) as f64;
         assert!(
             precision > 0.3,

@@ -106,10 +106,7 @@ impl Tane {
                 // minimality is checked directly against the relation.
                 for a in node.cplus.difference(node.attrs).iter() {
                     let minimal = node.attrs.iter().all(|b| {
-                        !cfd_model::satisfy::satisfies(
-                            rel,
-                            &Cfd::fd(node.attrs.without(b), a),
-                        )
+                        !cfd_model::satisfy::satisfies(rel, &Cfd::fd(node.attrs.without(b), a))
                     });
                     if minimal {
                         out.push(Cfd::fd(node.attrs, a));
@@ -124,10 +121,7 @@ impl Tane {
             }
             let level_now = kept;
 
-            if level_now.len() < 2
-                || ell >= arity
-                || self.max_lhs.is_some_and(|m| ell > m)
-            {
+            if level_now.len() < 2 || ell >= arity || self.max_lhs.is_some_and(|m| ell > m) {
                 break;
             }
 
@@ -138,9 +132,7 @@ impl Tane {
                 .map(|(i, nd)| (nd.attrs, i))
                 .collect();
             let mut order: Vec<usize> = (0..level_now.len()).collect();
-            order.sort_unstable_by_key(|&i| {
-                level_now[i].attrs.iter().collect::<Vec<_>>()
-            });
+            order.sort_unstable_by_key(|&i| level_now[i].attrs.iter().collect::<Vec<_>>());
             let mut next: Vec<Node> = Vec::new();
             let mut run_start = 0;
             while run_start < order.len() {
@@ -183,9 +175,7 @@ impl Tane {
                             .refine(rel, extra_attr, PVal::Var);
                         let mut cplus = full;
                         for b in z.iter() {
-                            cplus = cplus.intersection(
-                                level_now[index[&z.without(b)]].cplus,
-                            );
+                            cplus = cplus.intersection(level_now[index[&z.without(b)]].cplus);
                         }
                         if cplus.is_empty() {
                             continue;
@@ -226,8 +216,8 @@ mod tests {
         let r = cust_relation();
         let cover = Tane::new().discover(&r);
         for txt in [
-            "([CC, AC] -> CT, (_, _ || _))",            // f1
-            "([CC, AC, PN] -> STR, (_, _, _ || _))",    // f2
+            "([CC, AC] -> CT, (_, _ || _))",         // f1
+            "([CC, AC, PN] -> STR, (_, _, _ || _))", // f2
         ] {
             let c = parse_cfd(&r, txt).unwrap();
             assert!(cover.contains(&c), "{txt} missing:\n{}", cover.display(&r));
@@ -272,11 +262,8 @@ mod tests {
         use cfd_model::relation::relation_from_rows;
         use cfd_model::schema::Schema;
         let schema = Schema::new(["A", "B"]).unwrap();
-        let r = relation_from_rows(
-            schema,
-            &[vec!["x", "k"], vec!["y", "k"], vec!["z", "k"]],
-        )
-        .unwrap();
+        let r =
+            relation_from_rows(schema, &[vec!["x", "k"], vec!["y", "k"], vec!["z", "k"]]).unwrap();
         let cover = Tane::new().discover(&r);
         // B is constant: A → B would not be minimal (∅ → B holds), and
         // ∅ → B is excluded by convention

@@ -28,4 +28,4 @@ pub mod index;
 pub mod mine;
 
 pub use index::ClosedSetIndex;
-pub use mine::{mine_free_closed, ClosedSet, FreeSet, Mined, MineOptions};
+pub use mine::{mine_free_closed, ClosedSet, FreeSet, MineOptions, Mined};

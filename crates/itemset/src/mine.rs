@@ -156,10 +156,10 @@ pub fn mine_free_closed(rel: &Relation, k: usize, opts: MineOptions) -> Mined {
 
     let mut closed_by_pattern: FxHashMap<Pattern, u32> = FxHashMap::default();
     let register = |out: &mut Mined,
-                        closed_by_pattern: &mut FxHashMap<Pattern, u32>,
-                        items: &[(usize, u32)],
-                        tids: Vec<TupleId>,
-                        closure: Pattern| {
+                    closed_by_pattern: &mut FxHashMap<Pattern, u32>,
+                    items: &[(usize, u32)],
+                    tids: Vec<TupleId>,
+                    closure: Pattern| {
         let support = tids.len() as u32;
         let cidx = *closed_by_pattern.entry(closure.clone()).or_insert_with(|| {
             out.closed.push(ClosedSet {
@@ -387,9 +387,7 @@ mod tests {
         for attrs in cfd_model::attrset::AttrSet::full(arity).subsets() {
             let mut seen = std::collections::HashSet::new();
             for t in rel.tuples() {
-                let p = Pattern::from_pairs(
-                    attrs.iter().map(|a| (a, PVal::Const(rel.code(t, a)))),
-                );
+                let p = Pattern::from_pairs(attrs.iter().map(|a| (a, PVal::Const(rel.code(t, a)))));
                 if seen.insert(p.clone()) {
                     let s = pattern_support(rel, &p);
                     if s >= k {
@@ -533,11 +531,8 @@ mod tests {
     #[test]
     fn constant_column_lands_in_empty_closure() {
         let schema = Schema::new(["A", "B"]).unwrap();
-        let r = relation_from_rows(
-            schema,
-            &[vec!["x", "k"], vec!["y", "k"], vec!["x", "k"]],
-        )
-        .unwrap();
+        let r =
+            relation_from_rows(schema, &[vec!["x", "k"], vec!["y", "k"], vec!["x", "k"]]).unwrap();
         let mined = mine_free_closed(&r, 1, MineOptions::default());
         // clo(∅) contains (B,k); (B,k) itself is not free
         let clo0 = &mined.closed[mined.free[0].closure as usize];

@@ -358,10 +358,7 @@ mod tests {
         let imm: Vec<_> = s.immediate_subsets().collect();
         assert_eq!(
             imm,
-            vec![
-                (2, AttrSet::singleton(4)),
-                (4, AttrSet::singleton(2)),
-            ]
+            vec![(2, AttrSet::singleton(4)), (4, AttrSet::singleton(2)),]
         );
     }
 

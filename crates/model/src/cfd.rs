@@ -187,13 +187,18 @@ pub fn transfer_cfd(src: &Relation, dst: &Relation, cfd: &Cfd) -> Option<Cfd> {
     Some(Cfd::new(Pattern::from_pairs(pairs), cfd.rhs_attr(), rhs))
 }
 
-/// Parses a CFD in the `display` syntax against a relation's dictionaries,
-/// e.g. `([CC, AC] -> CT, (01, 908 || MH))`. Intended for tests and
-/// examples; values must already occur in the relation (so they have a
-/// dictionary code), and `_` denotes the unnamed variable.
-pub fn parse_cfd(rel: &Relation, text: &str) -> crate::error::Result<Cfd> {
+/// The unresolved form of a parsed CFD: `(attribute, raw pattern value)`
+/// pairs for the LHS, then the RHS attribute and its raw value.
+type RawCfd<'t> = (Vec<(AttrId, &'t str)>, AttrId, &'t str);
+
+/// The syntactic half of [`parse_cfd`]: splits the paper syntax into
+/// `(attribute, raw pattern value)` pairs plus the RHS, leaving value
+/// resolution to the caller.
+fn parse_cfd_syntax<'t>(
+    schema: &crate::schema::Schema,
+    text: &'t str,
+) -> crate::error::Result<RawCfd<'t>> {
     use crate::error::Error;
-    let schema = rel.schema();
     let fail = |m: &str| Error::Parse(format!("{m}: {text:?}"));
 
     let s = text.trim();
@@ -211,20 +216,18 @@ pub fn parse_cfd(rel: &Relation, text: &str) -> crate::error::Result<Cfd> {
         .ok_or_else(|| fail("missing '->' in embedded FD"))?;
 
     let lhs_txt = lhs_txt.trim();
-    let lhs_names: Vec<&str> = if let Some(inner) = lhs_txt
-        .strip_prefix('[')
-        .and_then(|t| t.strip_suffix(']'))
-    {
-        inner
-            .split(',')
-            .map(str::trim)
-            .filter(|t| !t.is_empty())
-            .collect()
-    } else if lhs_txt.is_empty() {
-        Vec::new()
-    } else {
-        vec![lhs_txt]
-    };
+    let lhs_names: Vec<&str> =
+        if let Some(inner) = lhs_txt.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+            inner
+                .split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .collect()
+        } else if lhs_txt.is_empty() {
+            Vec::new()
+        } else {
+            vec![lhs_txt]
+        };
     let mut lhs_attrs = Vec::with_capacity(lhs_names.len());
     for n in &lhs_names {
         lhs_attrs.push(schema.require(n)?);
@@ -248,6 +251,19 @@ pub fn parse_cfd(rel: &Relation, text: &str) -> crate::error::Result<Cfd> {
         return Err(fail("LHS pattern width differs from LHS attribute count"));
     }
 
+    let pairs = lhs_attrs.into_iter().zip(lhs_vals).collect();
+    Ok((pairs, rhs_attr, rhs_pat.trim()))
+}
+
+/// Parses a CFD in the `display` syntax against a relation's dictionaries,
+/// e.g. `([CC, AC] -> CT, (01, 908 || MH))`. Intended for tests and
+/// examples; values must already occur in the relation (so they have a
+/// dictionary code), and `_` denotes the unnamed variable. See
+/// [`parse_cfd_interning`] when rule constants may legitimately precede
+/// the data.
+pub fn parse_cfd(rel: &Relation, text: &str) -> crate::error::Result<Cfd> {
+    use crate::error::Error;
+    let (raw_pairs, rhs_attr, rhs_raw) = parse_cfd_syntax(rel.schema(), text)?;
     let resolve = |a: AttrId, v: &str| -> crate::error::Result<PVal> {
         if v == "_" {
             Ok(PVal::Var)
@@ -259,17 +275,43 @@ pub fn parse_cfd(rel: &Relation, text: &str) -> crate::error::Result<Cfd> {
                 .ok_or_else(|| {
                     Error::Parse(format!(
                         "value {v:?} does not occur in attribute {}",
-                        schema.name(a)
+                        rel.schema().name(a)
                     ))
                 })
         }
     };
-
-    let mut pairs = Vec::with_capacity(lhs_attrs.len());
-    for (&a, v) in lhs_attrs.iter().zip(&lhs_vals) {
+    let mut pairs = Vec::with_capacity(raw_pairs.len());
+    for (a, v) in raw_pairs {
         pairs.push((a, resolve(a, v)?));
     }
-    let rhs_val = resolve(rhs_attr, rhs_pat.trim())?;
+    let rhs_val = resolve(rhs_attr, rhs_raw)?;
+    Ok(Cfd::new(Pattern::from_pairs(pairs), rhs_attr, rhs_val))
+}
+
+/// Like [`parse_cfd`], but *interns* constants that do not occur in the
+/// relation yet instead of rejecting them (extending the relation's
+/// dictionaries in place; existing codes stay stable). This is the rule
+/// loader for streaming contexts: a monitoring rule like
+/// `(AC -> CT, (131 || EDI))` must be enforceable even when the warm
+/// data contains no `131` tuple yet — its LHS simply matches nothing
+/// until one arrives.
+pub fn parse_cfd_interning(rel: &mut Relation, text: &str) -> crate::error::Result<Cfd> {
+    let schema = rel.schema().clone();
+    let (raw_pairs, rhs_attr, rhs_raw) = parse_cfd_syntax(&schema, text)?;
+    let mut pairs = Vec::with_capacity(raw_pairs.len());
+    for (a, v) in raw_pairs {
+        let pv = if v == "_" {
+            PVal::Var
+        } else {
+            PVal::Const(rel.intern_value(a, v))
+        };
+        pairs.push((a, pv));
+    }
+    let rhs_val = if rhs_raw == "_" {
+        PVal::Var
+    } else {
+        PVal::Const(rel.intern_value(rhs_attr, rhs_raw))
+    };
     Ok(Cfd::new(Pattern::from_pairs(pairs), rhs_attr, rhs_val))
 }
 
@@ -281,14 +323,7 @@ mod tests {
 
     fn rel() -> Relation {
         let schema = Schema::new(["CC", "AC", "CT"]).unwrap();
-        relation_from_rows(
-            schema,
-            &[
-                vec!["01", "908", "MH"],
-                vec!["44", "131", "EDI"],
-            ],
-        )
-        .unwrap()
+        relation_from_rows(schema, &[vec!["01", "908", "MH"], vec!["44", "131", "EDI"]]).unwrap()
     }
 
     #[test]
@@ -361,6 +396,31 @@ mod tests {
         assert!(parse_cfd(&r, "([CC] -> CT, (01, 908 || MH))").is_err());
         assert!(parse_cfd(&r, "([CC] -> CT, (99 || MH))").is_err());
         assert!(parse_cfd(&r, "([CC] -> ZZ, (01 || MH))").is_err());
+    }
+
+    #[test]
+    fn parse_interning_accepts_unseen_constants() {
+        let mut r = rel();
+        let before = r.column(1).dict().code("555");
+        assert_eq!(before, None, "555 must start out-of-dictionary");
+        // a rule whose constants precede the data: parse_cfd rejects it,
+        // the interning variant mints fresh codes for it
+        assert!(parse_cfd(&r, "(AC -> CT, (555 || LA))").is_err());
+        let cfd = parse_cfd_interning(&mut r, "(AC -> CT, (555 || LA))").unwrap();
+        assert!(cfd.is_constant());
+        let c555 = r.column(1).dict().code("555").unwrap();
+        assert_eq!(cfd.lhs().get(1), Some(PVal::Const(c555)));
+        // existing codes stayed stable, display round-trips
+        assert_eq!(r.column(0).dict().code("01"), Some(0));
+        assert_eq!(cfd.display(&r), "([AC] -> CT, (555 || LA))");
+        // parsing the same rule again reuses the interned codes
+        let again = parse_cfd_interning(&mut r, "(AC -> CT, (555 || LA))").unwrap();
+        assert_eq!(again, cfd);
+        // and the rule matches nothing until such a tuple arrives
+        assert!(crate::satisfy::satisfies(&r, &cfd));
+        // syntax errors still surface
+        assert!(parse_cfd_interning(&mut r, "nonsense").is_err());
+        assert!(parse_cfd_interning(&mut r, "([CC] -> ZZ, (01 || MH))").is_err());
     }
 
     #[test]

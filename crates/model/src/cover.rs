@@ -105,7 +105,12 @@ impl CanonicalCover {
     /// the fragment a classical FD-discovery algorithm would produce.
     pub fn plain_fd_cover(&self) -> CanonicalCover {
         CanonicalCover {
-            cfds: self.cfds.iter().filter(|c| c.is_plain_fd()).cloned().collect(),
+            cfds: self
+                .cfds
+                .iter()
+                .filter(|c| c.is_plain_fd())
+                .cloned()
+                .collect(),
         }
     }
 
@@ -148,7 +153,11 @@ mod tests {
         let schema = Schema::new(["A", "B", "C"]).unwrap();
         relation_from_rows(
             schema,
-            &[vec!["x", "1", "p"], vec!["y", "2", "q"], vec!["x", "1", "q"]],
+            &[
+                vec!["x", "1", "p"],
+                vec!["y", "2", "q"],
+                vec!["x", "1", "q"],
+            ],
         )
         .unwrap()
     }

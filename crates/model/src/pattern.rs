@@ -227,12 +227,7 @@ impl Pattern {
     /// `self ⪯ other` iff `self[B] ⪯ other[B]` for every attribute `B`.
     /// Returns `false` when the attribute sets differ.
     pub fn leq(&self, other: &Pattern) -> bool {
-        self.attrs == other.attrs
-            && self
-                .vals
-                .iter()
-                .zip(&other.vals)
-                .all(|(&a, &b)| a.leq(b))
+        self.attrs == other.attrs && self.vals.iter().zip(&other.vals).all(|(&a, &b)| a.leq(b))
     }
 
     /// The *lattice* generality order of Section 4: `(Y, sp) = other` is
@@ -332,7 +327,10 @@ mod tests {
     fn project_with_without() {
         let p = Pattern::from_pairs([(0, PVal::Const(1)), (1, PVal::Var), (3, PVal::Const(2))]);
         let q = p.project(AttrSet::from_iter([0, 3]));
-        assert_eq!(q, Pattern::from_pairs([(0, PVal::Const(1)), (3, PVal::Const(2))]));
+        assert_eq!(
+            q,
+            Pattern::from_pairs([(0, PVal::Const(1)), (3, PVal::Const(2))])
+        );
         let r = p.with(1, PVal::Const(9));
         assert_eq!(r.get(1), Some(PVal::Const(9)));
         let s = p.with(2, PVal::Var);
@@ -385,7 +383,10 @@ mod tests {
     fn constant_part() {
         let p = Pattern::from_pairs([(0, PVal::Const(1)), (1, PVal::Var), (2, PVal::Const(3))]);
         let c = p.constant_part();
-        assert_eq!(c, Pattern::from_pairs([(0, PVal::Const(1)), (2, PVal::Const(3))]));
+        assert_eq!(
+            c,
+            Pattern::from_pairs([(0, PVal::Const(1)), (2, PVal::Const(3))])
+        );
         assert!(c.is_all_const());
         assert!(!p.is_all_const());
         assert!(Pattern::wildcards(AttrSet::from_iter([0, 1])).is_all_wildcard());

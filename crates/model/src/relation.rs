@@ -211,6 +211,23 @@ impl Relation {
         })
     }
 
+    /// Clones the per-attribute dictionaries — the encoding state a
+    /// streaming consumer seeds [`RelationBuilder::from_dicts`] (or its
+    /// own interner) with to keep codes comparable with this instance.
+    pub fn dicts(&self) -> Vec<Dict> {
+        self.cols.iter().map(|c| c.dict.clone()).collect()
+    }
+
+    /// Interns `v` into attribute `a`'s dictionary, returning its code —
+    /// the other encoding hook for values arriving at runtime. Existing
+    /// codes are never reshuffled, so rules and relations previously
+    /// resolved against this instance stay valid; the value becomes
+    /// representable (e.g. as a rule constant) without occurring in any
+    /// tuple yet.
+    pub fn intern_value(&mut self, a: AttrId, v: &str) -> u32 {
+        self.cols[a].dict.intern(v)
+    }
+
     /// Average active-domain fraction relative to the number of rows — the
     /// paper's *correlation factor* (CF) of Section 6, measured on an
     /// actual instance.
@@ -268,6 +285,45 @@ impl RelationBuilder {
             schema,
             cols,
             n_rows: 0,
+        }
+    }
+
+    /// Starts building an *empty* relation whose dictionaries are seeded
+    /// with existing value↔code assignments — the encoding hook for
+    /// streamed tuples. Values already present keep their codes (so CFDs
+    /// discovered against the seeding relation remain directly
+    /// evaluable), and unseen values arriving later are interned with
+    /// fresh codes instead of erroring.
+    pub fn from_dicts(schema: Schema, dicts: Vec<Dict>) -> Result<Self> {
+        if dicts.len() != schema.arity() {
+            return Err(Error::Relation(format!(
+                "{} dictionaries for schema of arity {}",
+                dicts.len(),
+                schema.arity()
+            )));
+        }
+        let cols = dicts
+            .into_iter()
+            .map(|dict| Column {
+                codes: Vec::new(),
+                dict,
+            })
+            .collect();
+        Ok(RelationBuilder {
+            schema,
+            cols,
+            n_rows: 0,
+        })
+    }
+
+    /// Resumes building from an existing relation: the builder starts
+    /// with all of `rel`'s rows and dictionaries, so appended rows extend
+    /// the instance in place while every existing code stays stable.
+    pub fn from_relation(rel: &Relation) -> Self {
+        RelationBuilder {
+            schema: rel.schema.clone(),
+            cols: rel.cols.clone(),
+            n_rows: rel.n_rows,
         }
     }
 
@@ -424,6 +480,48 @@ mod tests {
         assert_eq!(p.value(2, 1), "c2");
         // codes are shared with the original columns
         assert_eq!(p.code(0, 0), r.code(0, 0));
+    }
+
+    #[test]
+    fn from_dicts_interns_unseen_values_with_fresh_codes() {
+        let r = sample();
+        // a fresh (empty) relation sharing r's code space
+        let mut b = RelationBuilder::from_dicts(r.schema().clone(), r.dicts()).unwrap();
+        // seen values keep their codes, unseen values get fresh ones
+        b.push_row(&["a1", "b9", "c1"]).unwrap();
+        b.push_row(&["a3", "b9", "c2"]).unwrap();
+        let s = b.finish();
+        assert_eq!(s.code(0, 0), r.code(0, 0), "known value keeps its code");
+        assert_eq!(s.code(0, 2), r.code(0, 2));
+        // "b9" and "a3" were out-of-dictionary: fresh codes past the seeds
+        assert_eq!(s.code(0, 1) as usize, r.column(1).domain_size());
+        assert_eq!(s.code(1, 0) as usize, r.column(0).domain_size());
+        // same unseen string twice ⇒ same fresh code
+        assert_eq!(s.code(0, 1), s.code(1, 1));
+        // and the round trip decodes back to the original strings
+        assert_eq!(s.tuple_values(0), vec!["a1", "b9", "c1"]);
+        assert_eq!(s.tuple_values(1), vec!["a3", "b9", "c2"]);
+        // arity mismatch is rejected
+        let schema2 = Schema::new(["A", "B"]).unwrap();
+        assert!(RelationBuilder::from_dicts(schema2, r.dicts()).is_err());
+    }
+
+    #[test]
+    fn from_relation_appends_with_stable_codes() {
+        let r = sample();
+        let mut b = RelationBuilder::from_relation(&r);
+        assert_eq!(b.n_rows(), 3);
+        b.push_row(&["a2", "b7", "c1"]).unwrap();
+        let s = b.finish();
+        assert_eq!(s.n_rows(), 4);
+        // old rows untouched, old codes stable
+        for t in 0..3 {
+            assert_eq!(s.tuple_values(t), r.tuple_values(t));
+        }
+        assert_eq!(s.code(3, 0), r.code(2, 0), "known value keeps its code");
+        // the unseen "b7" extended the dictionary rather than erroring
+        assert_eq!(s.value(3, 1), "b7");
+        assert_eq!(s.column(1).domain_size(), r.column(1).domain_size() + 1);
     }
 
     #[test]

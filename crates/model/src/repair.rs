@@ -228,11 +228,7 @@ mod tests {
     #[test]
     fn ties_break_toward_the_earliest_tuple() {
         let schema = Schema::new(["A", "B"]).unwrap();
-        let r = relation_from_rows(
-            schema,
-            &[vec!["x", "p"], vec!["x", "q"]],
-        )
-        .unwrap();
+        let r = relation_from_rows(schema, &[vec!["x", "p"], vec!["x", "q"]]).unwrap();
         let rule = parse_cfd(&r, "(A -> B, (_ || _))").unwrap();
         let reps = suggest_repairs(&r, &rule);
         let p = r.column(1).dict().code("p").unwrap();

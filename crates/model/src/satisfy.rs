@@ -116,10 +116,10 @@ mod tests {
     fn fig1_cfds_hold() {
         let r = cust();
         for txt in [
-            "([CC, ZIP] -> STR, (44, _ || _))",         // φ0
-            "([CC, AC] -> CT, (01, 908 || MH))",        // φ1
-            "([CC, AC] -> CT, (44, 131 || EDI))",       // φ2
-            "([CC, AC] -> CT, (01, 212 || NYC))",       // φ3
+            "([CC, ZIP] -> STR, (44, _ || _))",   // φ0
+            "([CC, AC] -> CT, (01, 908 || MH))",  // φ1
+            "([CC, AC] -> CT, (44, 131 || EDI))", // φ2
+            "([CC, AC] -> CT, (01, 212 || NYC))", // φ3
         ] {
             let cfd = parse_cfd(&r, txt).unwrap();
             assert!(satisfies(&r, &cfd), "{txt} should hold on r0");
@@ -184,8 +184,8 @@ mod tests {
     #[test]
     fn single_tuple_violation_constant_rhs() {
         let schema = Schema::new(["A", "B"]).unwrap();
-        let r = relation_from_rows(schema, &[vec!["x", "1"], vec!["x", "1"], vec!["x", "2"]])
-            .unwrap();
+        let r =
+            relation_from_rows(schema, &[vec!["x", "1"], vec!["x", "1"], vec!["x", "2"]]).unwrap();
         // all three tuples match A=x; one has B=2 ⇒ (A -> B, (x || 1)) fails
         let c = parse_cfd(&r, "(A -> B, (x || 1))").unwrap();
         assert!(!satisfies(&r, &c));

@@ -33,7 +33,9 @@ impl Schema {
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Result<Self> {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
         if names.is_empty() {
-            return Err(Error::Schema("schema must have at least one attribute".into()));
+            return Err(Error::Schema(
+                "schema must have at least one attribute".into(),
+            ));
         }
         if names.len() > 64 {
             return Err(Error::Schema(format!(
@@ -132,7 +134,10 @@ mod tests {
         assert_eq!(s.attr_id("PN"), Some(2));
         assert_eq!(s.attr_id("ZZ"), None);
         assert!(s.require("ZZ").is_err());
-        assert_eq!(s.attr_set(&["CC", "PN"]).unwrap(), AttrSet::from_iter([0, 2]));
+        assert_eq!(
+            s.attr_set(&["CC", "PN"]).unwrap(),
+            AttrSet::from_iter([0, 2])
+        );
     }
 
     #[test]

@@ -59,10 +59,7 @@ impl TableauCfd {
 
     /// `sup(φ) = min_{tp ∈ Tp} sup(φ_tp)` (Section 2.3).
     pub fn support(&self, rel: &Relation) -> usize {
-        self.members()
-            .map(|c| support(rel, &c))
-            .min()
-            .unwrap_or(0)
+        self.members().map(|c| support(rel, &c)).min().unwrap_or(0)
     }
 
     /// Renders the tableau in a tabular form.

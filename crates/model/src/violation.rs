@@ -11,7 +11,7 @@ use crate::pattern::PVal;
 use crate::relation::{Relation, TupleId};
 
 /// One violation of a CFD in an instance.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Violation {
     /// Tuple matches the LHS pattern but its RHS value is not `⪯` the RHS
     /// pattern constant.
@@ -165,7 +165,12 @@ mod tests {
         let schema = Schema::new(["A", "B"]).unwrap();
         let r = relation_from_rows(
             schema,
-            &[vec!["x", "1"], vec!["x", "2"], vec!["x", "3"], vec!["x", "4"]],
+            &[
+                vec!["x", "1"],
+                vec!["x", "2"],
+                vec!["x", "3"],
+                vec!["x", "4"],
+            ],
         )
         .unwrap();
         let c = parse_cfd(&r, "(A -> B, (_ || _))").unwrap();

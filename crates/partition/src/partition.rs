@@ -78,10 +78,7 @@ impl Partition {
     /// The partition w.r.t. `({A}, (c))`: a single class holding the
     /// tuples with `t[A] = c` (no class when none matches).
     pub fn by_constant(rel: &Relation, a: AttrId, code: u32) -> Partition {
-        let tuples: Vec<TupleId> = rel
-            .tuples()
-            .filter(|&t| rel.code(t, a) == code)
-            .collect();
+        let tuples: Vec<TupleId> = rel.tuples().filter(|&t| rel.code(t, a) == code).collect();
         let offsets = if tuples.is_empty() {
             vec![0]
         } else {
@@ -311,7 +308,14 @@ mod tests {
         let schema = Schema::new(["A"]).unwrap();
         let r = relation_from_rows(
             schema,
-            &[vec!["c"], vec!["a"], vec!["b"], vec!["a"], vec!["c"], vec!["c"]],
+            &[
+                vec!["c"],
+                vec!["a"],
+                vec!["b"],
+                vec!["a"],
+                vec!["c"],
+                vec!["c"],
+            ],
         )
         .unwrap();
         let p = Partition::by_attribute(&r, 0);

@@ -1,0 +1,106 @@
+//! Violation deltas: what a batch changed, instead of a full rescan.
+
+use cfd_model::FxHashMap;
+use cfd_model::Violation;
+
+/// Index of a rule in the engine's compiled rule list.
+pub type RuleId = usize;
+
+/// The net effect of one applied batch on the live violation set.
+///
+/// `raised` are violations that hold after the batch but did not before
+/// it; `cleared` held before and no longer do. Both lists are sorted by
+/// `(rule, violation)` and deduplicated, and transient violations —
+/// raised and cleared by the *same* batch (e.g. a group witness deleted
+/// and its dissenters re-anchored in one batch) — cancel out entirely.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchDelta {
+    /// Violations newly introduced by the batch.
+    pub raised: Vec<(RuleId, Violation)>,
+    /// Violations removed by the batch.
+    pub cleared: Vec<(RuleId, Violation)>,
+}
+
+impl BatchDelta {
+    /// True iff the batch changed no violation.
+    pub fn is_empty(&self) -> bool {
+        self.raised.is_empty() && self.cleared.is_empty()
+    }
+
+    /// Total number of changes.
+    pub fn len(&self) -> usize {
+        self.raised.len() + self.cleared.len()
+    }
+}
+
+/// One raw violation transition observed while applying a tuple.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Event {
+    Raised(RuleId, Violation),
+    Cleared(RuleId, Violation),
+}
+
+/// Folds the raw event stream of a batch into its net [`BatchDelta`].
+pub(crate) fn coalesce(events: impl IntoIterator<Item = Event>) -> BatchDelta {
+    let mut net: FxHashMap<(RuleId, Violation), i32> = FxHashMap::default();
+    for e in events {
+        match e {
+            Event::Raised(r, v) => *net.entry((r, v)).or_default() += 1,
+            Event::Cleared(r, v) => *net.entry((r, v)).or_default() -= 1,
+        }
+    }
+    let mut delta = BatchDelta::default();
+    for ((r, v), n) in net {
+        debug_assert!(
+            (-1..=1).contains(&n),
+            "violation {v:?} of rule {r} transitioned {n} times net"
+        );
+        match n.cmp(&0) {
+            std::cmp::Ordering::Greater => delta.raised.push((r, v)),
+            std::cmp::Ordering::Less => delta.cleared.push((r, v)),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    delta.raised.sort_unstable();
+    delta.cleared.sort_unstable();
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_violations_cancel() {
+        let v = Violation::Pair(1, 4);
+        let w = Violation::Single(9);
+        let d = coalesce([
+            Event::Raised(0, v),
+            Event::Cleared(0, v),
+            Event::Raised(2, w),
+            Event::Cleared(1, v),
+        ]);
+        assert_eq!(d.raised, vec![(2, w)]);
+        assert_eq!(d.cleared, vec![(1, v)]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert!(coalesce([]).is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let d = coalesce([
+            Event::Raised(1, Violation::Single(3)),
+            Event::Raised(0, Violation::Pair(0, 2)),
+            Event::Raised(0, Violation::Pair(0, 1)),
+        ]);
+        assert_eq!(
+            d.raised,
+            vec![
+                (0, Violation::Pair(0, 1)),
+                (0, Violation::Pair(0, 2)),
+                (1, Violation::Single(3)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! The streaming engine: dictionary encoding, the live row store, and
+//! sharded batch application.
+
+use crate::delta::{coalesce, BatchDelta, Event, RuleId};
+use crate::rule::{RuleState, RuleStats};
+use crate::RowId;
+use cfd_model::relation::{Dict, RelationBuilder};
+use cfd_model::{Cfd, Error, Relation, Result, Schema, Violation};
+
+/// One encoded operation of a batch, broadcast to every shard.
+struct Op {
+    id: RowId,
+    codes: Vec<u32>,
+    insert: bool,
+}
+
+/// An incremental violation-detection engine over streaming tuples.
+///
+/// Compile it from a warm [`Relation`] and a rule set (a canonical cover
+/// or any list of [`Cfd`]s whose codes refer to that relation), then feed
+/// it tuple batches:
+///
+/// * [`insert_batch`](StreamEngine::insert_batch) /
+///   [`delete_batch`](StreamEngine::delete_batch) apply a batch and
+///   return the violation *delta* — what was newly raised and newly
+///   cleared — instead of rescanning;
+/// * [`live_violations`](StreamEngine::live_violations) is always exactly
+///   what [`cfd_model::violation::detect_violations`] would report on the
+///   [`materialize`](StreamEngine::materialize)d live instance (with row
+///   ids mapped through [`live_ids`](StreamEngine::live_ids));
+/// * [`stats`](StreamEngine::stats) exposes per-rule support, violation
+///   count and confidence at any point.
+///
+/// Unseen attribute values arriving mid-stream are interned with fresh
+/// dictionary codes (the [`RelationBuilder::from_dicts`] hook), so the
+/// engine accepts open-domain traffic. Row ids are assigned
+/// monotonically and never reused; deleted rows keep their slot in the
+/// (append-only) code store, which trades memory for O(1) delete — the
+/// right call for a monitoring window that is periodically recompiled.
+///
+/// Rules are partitioned round-robin across `shards` worker threads;
+/// every batch is encoded once and applied to all shards in parallel.
+pub struct StreamEngine {
+    schema: Schema,
+    dicts: Vec<Dict>,
+    rules: Vec<Cfd>,
+    /// Rule display strings, resolved at compile time against the warm
+    /// relation (the engine's own dictionaries only grow, so codes in
+    /// `rules` stay decodable — but caching avoids re-resolving).
+    rule_texts: Vec<String>,
+    shards: Vec<Vec<RuleState>>,
+    /// Append-only column-major code store for every row ever inserted.
+    cols: Vec<Vec<u32>>,
+    live: Vec<bool>,
+    n_live: usize,
+}
+
+impl StreamEngine {
+    /// Compiles `rules` against the dictionaries of `rel` and warms the
+    /// indexes with every tuple of `rel`. The violations present in the
+    /// warm data are reported as the `raised` half of the returned
+    /// [`BatchDelta`]; warm rows get row ids `0..rel.n_rows()`.
+    pub fn warm(rel: &Relation, rules: Vec<Cfd>, shards: usize) -> (StreamEngine, BatchDelta) {
+        let mut engine = StreamEngine::compile(rel, rules, shards);
+        let rows: Vec<Vec<u32>> = rel
+            .tuples()
+            .map(|t| (0..rel.arity()).map(|a| rel.code(t, a)).collect())
+            .collect();
+        let delta = engine.insert_coded(rows);
+        (engine, delta)
+    }
+
+    /// Compiles `rules` against the dictionaries of `rel` without
+    /// inserting any tuple — the empty-window form of [`warm`].
+    ///
+    /// [`warm`]: StreamEngine::warm
+    pub fn compile(rel: &Relation, rules: Vec<Cfd>, shards: usize) -> StreamEngine {
+        let n_shards = shards.max(1).min(rules.len().max(1));
+        let mut shard_rules: Vec<Vec<RuleState>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for (i, cfd) in rules.iter().enumerate() {
+            shard_rules[i % n_shards].push(RuleState::compile(i, cfd));
+        }
+        let rule_texts = rules.iter().map(|c| c.display(rel)).collect();
+        StreamEngine {
+            schema: rel.schema().clone(),
+            dicts: rel.dicts(),
+            rules,
+            rule_texts,
+            shards: shard_rules,
+            cols: vec![Vec::new(); rel.arity()],
+            live: Vec::new(),
+            n_live: 0,
+        }
+    }
+
+    /// The schema tuples must conform to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The compiled rules, in rule-id order.
+    pub fn rules(&self) -> &[Cfd] {
+        &self.rules
+    }
+
+    /// The display form of rule `r` (the paper's syntax).
+    pub fn rule_text(&self, r: RuleId) -> &str {
+        &self.rule_texts[r]
+    }
+
+    /// Number of rule shards (worker threads per batch).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of live tuples.
+    pub fn n_live(&self) -> usize {
+        self.n_live
+    }
+
+    /// Number of rows ever inserted (the next insert takes id
+    /// `n_total`).
+    pub fn n_total(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True iff row `id` exists and has not been deleted.
+    pub fn is_live(&self, id: RowId) -> bool {
+        self.live.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// The live row ids, ascending (= insertion order).
+    pub fn live_ids(&self) -> Vec<RowId> {
+        (0..self.live.len() as RowId)
+            .filter(|&t| self.live[t as usize])
+            .collect()
+    }
+
+    /// The string values of row `id`, if it is live.
+    pub fn row_values(&self, id: RowId) -> Option<Vec<&str>> {
+        if !self.is_live(id) {
+            return None;
+        }
+        Some(
+            self.cols
+                .iter()
+                .zip(&self.dicts)
+                .map(|(col, dict)| dict.value(col[id as usize]))
+                .collect(),
+        )
+    }
+
+    /// Encodes and inserts a batch of string tuples, returning their new
+    /// row ids and the violation delta. Unseen values are interned with
+    /// fresh codes; a row of the wrong width fails the whole batch
+    /// before any tuple is applied.
+    pub fn insert_batch<S: AsRef<str>>(
+        &mut self,
+        rows: &[Vec<S>],
+    ) -> Result<(Vec<RowId>, BatchDelta)> {
+        let arity = self.schema.arity();
+        for row in rows {
+            if row.len() != arity {
+                return Err(Error::Relation(format!(
+                    "streamed row has {} values, schema has arity {arity}",
+                    row.len()
+                )));
+            }
+        }
+        let coded: Vec<Vec<u32>> = rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&mut self.dicts)
+                    .map(|(v, dict)| dict.intern(v.as_ref()))
+                    .collect()
+            })
+            .collect();
+        let first = self.live.len() as RowId;
+        let ids = (first..first + rows.len() as RowId).collect();
+        let delta = self.insert_coded(coded);
+        Ok((ids, delta))
+    }
+
+    /// Inserts pre-encoded rows (codes must be valid for the engine's
+    /// dictionaries). Used by [`warm`](StreamEngine::warm) and the
+    /// generators in benches.
+    pub fn insert_coded(&mut self, rows: Vec<Vec<u32>>) -> BatchDelta {
+        let ops: Vec<Op> = rows
+            .into_iter()
+            .map(|codes| {
+                debug_assert_eq!(codes.len(), self.schema.arity());
+                debug_assert!(codes
+                    .iter()
+                    .zip(&self.dicts)
+                    .all(|(&c, d)| (c as usize) < d.len()));
+                let id = self.live.len() as RowId;
+                for (col, &c) in self.cols.iter_mut().zip(&codes) {
+                    col.push(c);
+                }
+                self.live.push(true);
+                self.n_live += 1;
+                Op {
+                    id,
+                    codes,
+                    insert: true,
+                }
+            })
+            .collect();
+        self.apply(&ops)
+    }
+
+    /// Deletes a batch of live rows by id, returning the violation
+    /// delta. Unknown or already-deleted ids fail the whole batch before
+    /// any tuple is applied; a duplicate id within the batch is likewise
+    /// rejected.
+    pub fn delete_batch(&mut self, ids: &[RowId]) -> Result<BatchDelta> {
+        let mut seen = cfd_model::FxHashSet::default();
+        for &id in ids {
+            if !self.is_live(id) {
+                return Err(Error::Relation(format!("row {id} is not live")));
+            }
+            if !seen.insert(id) {
+                return Err(Error::Relation(format!("row {id} deleted twice in batch")));
+            }
+        }
+        let ops: Vec<Op> = ids
+            .iter()
+            .map(|&id| {
+                self.live[id as usize] = false;
+                self.n_live -= 1;
+                Op {
+                    id,
+                    codes: self.cols.iter().map(|col| col[id as usize]).collect(),
+                    insert: false,
+                }
+            })
+            .collect();
+        Ok(self.apply(&ops))
+    }
+
+    /// Below this many `op × rule` applications a batch is applied
+    /// sequentially even when sharded: per-rule work is sub-microsecond
+    /// hash updates, so spawning OS threads for a tiny batch costs more
+    /// than it saves. (A persistent worker pool would lower the
+    /// crossover; this keeps the engine dependency-free for now.)
+    const MIN_PARALLEL_WORK: usize = 2048;
+
+    /// Applies encoded ops to every shard (in parallel when more than
+    /// one and the batch is big enough to amortize thread spawns) and
+    /// coalesces the transitions into the batch's net delta.
+    fn apply(&mut self, ops: &[Op]) -> BatchDelta {
+        if ops.is_empty() {
+            return BatchDelta::default();
+        }
+        let work = ops.len() * self.rules.len();
+        let events: Vec<Event> = if self.shards.len() <= 1 || work < Self::MIN_PARALLEL_WORK {
+            let mut out = Vec::new();
+            for shard in &mut self.shards {
+                apply_shard(shard, ops, &mut out);
+            }
+            out
+        } else {
+            let chunks: Vec<Vec<Event>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| {
+                        scope.spawn(|| {
+                            let mut out = Vec::new();
+                            apply_shard(shard, ops, &mut out);
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            chunks.into_iter().flatten().collect()
+        };
+        coalesce(events)
+    }
+
+    /// The current live violation set, sorted by `(rule, violation)`.
+    /// Row ids are engine row ids; see [`materialize`] for the mapping
+    /// to a scan of the live instance.
+    ///
+    /// [`materialize`]: StreamEngine::materialize
+    pub fn live_violations(&self) -> Vec<(RuleId, Violation)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for rule in shard {
+                rule.live_violations(&mut out);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Current per-rule counters, in rule-id order.
+    pub fn stats(&self) -> Vec<RuleStats> {
+        let mut out: Vec<RuleStats> = self.shards.iter().flatten().map(|r| r.stats()).collect();
+        out.sort_unstable_by_key(|s| s.rule);
+        out
+    }
+
+    /// Materializes the live tuples as a [`Relation`] (insertion order,
+    /// dictionaries shared with the engine). Batch-scanning it with
+    /// [`cfd_model::violation::detect_violations`] and mapping dense row
+    /// ids through [`live_ids`](StreamEngine::live_ids) reproduces
+    /// [`live_violations`](StreamEngine::live_violations) exactly — the
+    /// reconciliation the test suite performs.
+    pub fn materialize(&self) -> Relation {
+        let mut b = RelationBuilder::from_dicts(self.schema.clone(), self.dicts.clone())
+            .expect("engine dictionaries match its schema");
+        let mut row = vec![0u32; self.schema.arity()];
+        for id in 0..self.live.len() {
+            if !self.live[id] {
+                continue;
+            }
+            for (v, col) in row.iter_mut().zip(&self.cols) {
+                *v = col[id];
+            }
+            b.push_coded_row(&row).expect("row width is the arity");
+        }
+        b.finish()
+    }
+}
+
+fn apply_shard(shard: &mut [RuleState], ops: &[Op], out: &mut Vec<Event>) {
+    for op in ops {
+        for rule in shard.iter_mut() {
+            if op.insert {
+                rule.insert(op.id, &op.codes, out);
+            } else {
+                rule.delete(op.id, &op.codes, out);
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! # cfd-stream
+//!
+//! Incremental violation detection for streaming tuple batches — the
+//! serving half of the CFD story. Discovery (cfd-core) produces a
+//! canonical cover offline; this crate compiles that cover into
+//! per-rule incremental indexes and keeps the violation set of a *live*,
+//! continuously changing instance current without ever rescanning it:
+//!
+//! * a **constant-RHS matcher** catches single-tuple violations the
+//!   moment the tuple arrives,
+//! * a **per-LHS-pattern group index** (key = codes on the wildcard
+//!   attributes → ordered members) catches pair violations of the
+//!   embedded FD and re-anchors groups when their witness is deleted,
+//! * rules are **sharded across worker threads**, so a batch is encoded
+//!   once and applied to all rule indexes in parallel,
+//! * per-rule **support / violation / confidence counters** are
+//!   queryable at any point, in O(#rules).
+//!
+//! [`StreamEngine::insert_batch`] / [`StreamEngine::delete_batch`]
+//! return [`BatchDelta`]s — violations newly raised and newly cleared —
+//! and the engine guarantees its live set always reconciles exactly with
+//! a batch [`cfd_model::violation::detect_violations`] scan of the
+//! materialized live instance.
+//!
+//! ```
+//! use cfd_model::cfd::parse_cfd;
+//! use cfd_model::csv::relation_from_csv_str;
+//! use cfd_model::Violation;
+//! use cfd_stream::StreamEngine;
+//!
+//! let warm = relation_from_csv_str("AC,CT\n908,MH\n131,EDI\n").unwrap();
+//! let rule = parse_cfd(&warm, "(AC -> CT, (131 || EDI))").unwrap();
+//! let (mut engine, warm_delta) = StreamEngine::warm(&warm, vec![rule], 1);
+//! assert!(warm_delta.is_empty(), "the warm data is clean");
+//!
+//! // a violating tuple arrives …
+//! let (ids, delta) = engine.insert_batch(&[vec!["131", "UN"]]).unwrap();
+//! assert_eq!(delta.raised, vec![(0, Violation::Single(ids[0]))]);
+//! // … and is corrected by the upstream producer
+//! let delta = engine.delete_batch(&ids).unwrap();
+//! assert_eq!(delta.cleared, vec![(0, Violation::Single(ids[0]))]);
+//! assert!(engine.live_violations().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod engine;
+mod rule;
+
+pub use delta::{BatchDelta, RuleId};
+pub use engine::StreamEngine;
+pub use rule::RuleStats;
+
+/// Engine-assigned tuple identifier: monotone per insert, never reused,
+/// stable across deletes (unlike the dense ids of a materialized scan).
+pub type RowId = cfd_model::relation::TupleId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_model::cfd::parse_cfd;
+    use cfd_model::relation::relation_from_rows;
+    use cfd_model::violation::detect_violations;
+    use cfd_model::{Schema, Violation};
+
+    /// The cust relation of Fig. 1 (clean variant).
+    fn cust() -> cfd_model::Relation {
+        let schema = Schema::new(["CC", "AC", "PN", "NM", "STR", "CT", "ZIP"]).unwrap();
+        relation_from_rows(
+            schema,
+            &[
+                vec!["01", "908", "1111111", "Mike", "Tree Ave.", "MH", "07974"],
+                vec!["01", "908", "1111111", "Rick", "Tree Ave.", "MH", "07974"],
+                vec!["01", "212", "2222222", "Joe", "5th Ave", "NYC", "01202"],
+                vec!["01", "908", "2222222", "Jim", "Tree Ave.", "MH", "07974"],
+                vec!["44", "131", "3333333", "Ben", "High St.", "EDI", "EH4 1DT"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn rules(rel: &cfd_model::Relation) -> Vec<cfd_model::Cfd> {
+        vec![
+            parse_cfd(rel, "([CC, ZIP] -> STR, (_, _ || _))").unwrap(),
+            parse_cfd(rel, "(AC -> CT, (131 || EDI))").unwrap(),
+            parse_cfd(rel, "([CC, AC] -> CT, (01, 908 || MH))").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn warm_on_clean_data_reports_nothing() {
+        let rel = cust();
+        let (engine, delta) = StreamEngine::warm(&rel, rules(&rel), 2);
+        assert!(delta.is_empty());
+        assert!(engine.live_violations().is_empty());
+        assert_eq!(engine.n_live(), 5);
+        let stats = engine.stats();
+        assert_eq!(stats.len(), 3);
+        assert!(stats.iter().all(|s| s.violations == 0));
+        assert!(stats.iter().all(|s| (s.confidence - 1.0).abs() < 1e-12));
+        // rule 0 is a plain-pattern FD: every tuple matches its LHS
+        assert_eq!(stats[0].matched, 5);
+        // rule 1 matches only the AC=131 tuple
+        assert_eq!(stats[1].matched, 1);
+    }
+
+    #[test]
+    fn pair_violation_raised_and_cleared() {
+        let rel = cust();
+        let (mut engine, _) = StreamEngine::warm(&rel, rules(&rel), 1);
+        // the new tuple shares CC,ZIP with rows 0/1/3 but has a new street
+        let (ids, delta) = engine
+            .insert_batch(&[vec![
+                "01", "908", "4444444", "Pat", "Oak Ln.", "MH", "07974",
+            ]])
+            .unwrap();
+        let t = ids[0];
+        assert_eq!(t, 5);
+        assert_eq!(delta.cleared, vec![]);
+        assert_eq!(delta.raised, vec![(0, Violation::Pair(0, t))]);
+        let stats = engine.stats();
+        assert_eq!(stats[0].violations, 1);
+        assert!(stats[0].confidence < 1.0);
+        // deleting the dissenter restores a clean state
+        let delta = engine.delete_batch(&[t]).unwrap();
+        assert_eq!(delta.cleared, vec![(0, Violation::Pair(0, t))]);
+        assert!(engine.live_violations().is_empty());
+    }
+
+    #[test]
+    fn witness_deletion_reanchors_the_group() {
+        let rel = cust();
+        let rules = vec![parse_cfd(&rel, "([CC, ZIP] -> STR, (_, _ || _))").unwrap()];
+        let (mut engine, _) = StreamEngine::warm(&rel, rules, 1);
+        // two dissenting streets in the 01/07974 group anchored at row 0
+        let (ids, delta) = engine
+            .insert_batch(&[
+                vec!["01", "908", "5555555", "Ann", "Oak Ln.", "MH", "07974"],
+                vec!["01", "908", "6666666", "Bob", "Ash Rd.", "MH", "07974"],
+            ])
+            .unwrap();
+        assert_eq!(
+            delta.raised,
+            vec![
+                (0, Violation::Pair(0, ids[0])),
+                (0, Violation::Pair(0, ids[1])),
+            ]
+        );
+        // delete the witness (row 0): rows 1 and 3 (same street) survive;
+        // the group re-anchors on row 1 and both dissenters re-attach
+        let delta = engine.delete_batch(&[0]).unwrap();
+        assert_eq!(
+            delta.cleared,
+            vec![
+                (0, Violation::Pair(0, ids[0])),
+                (0, Violation::Pair(0, ids[1])),
+            ]
+        );
+        assert_eq!(
+            delta.raised,
+            vec![
+                (0, Violation::Pair(1, ids[0])),
+                (0, Violation::Pair(1, ids[1])),
+            ]
+        );
+        // and the live set matches a fresh batch scan of the live instance
+        reconcile(&engine);
+    }
+
+    #[test]
+    fn unseen_values_get_fresh_codes() {
+        let rel = cust();
+        let (mut engine, _) = StreamEngine::warm(&rel, rules(&rel), 1);
+        // a brand-new country/city pair, never in the warm dictionaries
+        let (ids, delta) = engine
+            .insert_batch(&[vec!["49", "308", "7", "Uwe", "Bahnstr.", "B", "10115"]])
+            .unwrap();
+        assert!(delta.is_empty(), "{delta:?}");
+        assert_eq!(
+            engine.row_values(ids[0]).unwrap(),
+            vec!["49", "308", "7", "Uwe", "Bahnstr.", "B", "10115"]
+        );
+        // a second tuple in the same new group with a different street
+        let (ids2, delta) = engine
+            .insert_batch(&[vec!["49", "131", "8", "Eva", "Ringstr.", "B", "10115"]])
+            .unwrap();
+        assert!(delta
+            .raised
+            .contains(&(0, Violation::Pair(ids[0], ids2[0]))));
+        reconcile(&engine);
+    }
+
+    #[test]
+    fn transient_violations_cancel_within_a_batch() {
+        let rel = cust();
+        let rules = vec![parse_cfd(&rel, "([CC, ZIP] -> STR, (_, _ || _))").unwrap()];
+        let (mut engine, _) = StreamEngine::warm(&rel, rules, 1);
+        let (ids, _) = engine
+            .insert_batch(&[vec![
+                "01", "908", "5555555", "Ann", "Oak Ln.", "MH", "07974",
+            ]])
+            .unwrap();
+        // delete the witness and the dissenter together: the re-anchored
+        // dissent never surfaces in the delta
+        let delta = engine.delete_batch(&[0, ids[0]]).unwrap();
+        assert_eq!(delta.cleared, vec![(0, Violation::Pair(0, ids[0]))]);
+        assert_eq!(delta.raised, vec![]);
+        reconcile(&engine);
+    }
+
+    #[test]
+    fn delete_validation() {
+        let rel = cust();
+        let (mut engine, _) = StreamEngine::warm(&rel, rules(&rel), 1);
+        assert!(engine.delete_batch(&[99]).is_err(), "unknown id");
+        assert!(engine.delete_batch(&[0, 0]).is_err(), "duplicate in batch");
+        engine.delete_batch(&[0]).unwrap();
+        assert!(engine.delete_batch(&[0]).is_err(), "double delete");
+        assert_eq!(engine.n_live(), 4);
+        assert_eq!(engine.n_total(), 5);
+        // wrong-width insert is rejected before any mutation
+        assert!(engine.insert_batch(&[vec!["just", "two"]]).is_err());
+        assert_eq!(engine.n_total(), 5);
+    }
+
+    #[test]
+    fn sharding_is_behaviorally_invisible() {
+        let rel = cust();
+        let dirty = vec![
+            vec!["01", "908", "9", "Zed", "Low St.", "MH", "07974"],
+            vec!["44", "131", "9", "Kim", "High St.", "UN", "EH4 1DT"],
+        ];
+        let mut all: Vec<Vec<(usize, Violation)>> = Vec::new();
+        for shards in [1usize, 2, 3, 8] {
+            let (mut engine, warm_delta) = StreamEngine::warm(&rel, rules(&rel), shards);
+            assert!(warm_delta.is_empty());
+            let (_, d1) = engine.insert_batch(&dirty).unwrap();
+            assert!(!d1.is_empty());
+            all.push(engine.live_violations());
+            reconcile(&engine);
+        }
+        assert!(all.windows(2).all(|w| w[0] == w[1]));
+        // shard count is capped by the rule count
+        let (engine, _) = StreamEngine::warm(&rel, rules(&rel), 8);
+        assert_eq!(engine.n_shards(), 3);
+    }
+
+    /// Asserts the engine's live violation set equals a batch scan of
+    /// the materialized live instance.
+    fn reconcile(engine: &StreamEngine) {
+        let mat = engine.materialize();
+        let ids = engine.live_ids();
+        let mut want: Vec<(usize, Violation)> = detect_violations(&mat, engine.rules())
+            .into_iter()
+            .map(|(r, v)| {
+                (
+                    r,
+                    match v {
+                        Violation::Single(t) => Violation::Single(ids[t as usize]),
+                        Violation::Pair(a, b) => Violation::Pair(ids[a as usize], ids[b as usize]),
+                    },
+                )
+            })
+            .collect();
+        want.sort_unstable();
+        assert_eq!(engine.live_violations(), want);
+    }
+
+    #[test]
+    fn materialize_preserves_codes_and_order() {
+        let rel = cust();
+        let (mut engine, _) = StreamEngine::warm(&rel, rules(&rel), 1);
+        engine.delete_batch(&[1, 3]).unwrap();
+        engine
+            .insert_batch(&[vec!["01", "212", "2", "Max", "5th Ave", "NYC", "01202"]])
+            .unwrap();
+        let mat = engine.materialize();
+        assert_eq!(mat.n_rows(), 4);
+        assert_eq!(mat.tuple_values(0), rel.tuple_values(0));
+        assert_eq!(mat.tuple_values(1), rel.tuple_values(2));
+        assert_eq!(mat.tuple_values(2), rel.tuple_values(4));
+        assert_eq!(
+            mat.tuple_values(3),
+            vec!["01", "212", "2", "Max", "5th Ave", "NYC", "01202"]
+        );
+        // codes comparable with the warm relation
+        assert_eq!(mat.code(0, 0), rel.code(0, 0));
+    }
+}

@@ -1,0 +1,148 @@
+//! The engine's correctness contract, checked property-style: after any
+//! randomized sequence of insert/delete batches, the engine's live
+//! violation set equals a batch `detect_violations` scan of the
+//! materialized live instance, and the deltas it emitted compose to
+//! exactly that set.
+
+use cfd_core::FastCfd;
+use cfd_model::relation::{Relation, RelationBuilder};
+use cfd_model::violation::detect_violations;
+use cfd_model::{Schema, Violation};
+use cfd_stream::{RowId, StreamEngine};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// An arbitrary warm relation: 1–10 rows, 2–4 attributes, domain ≤ 3
+/// (tiny, so FastCFD yields a rich rule mix quickly).
+fn arb_warm() -> impl Strategy<Value = Relation> {
+    (2usize..=4, 1usize..=10)
+        .prop_flat_map(|(arity, rows)| {
+            proptest::collection::vec(proptest::collection::vec(0u32..3, arity), rows)
+        })
+        .prop_map(|rows| {
+            let arity = rows[0].len();
+            let schema = Schema::new((0..arity).map(|i| format!("A{i}"))).unwrap();
+            let mut b = RelationBuilder::new(schema);
+            for row in &rows {
+                b.push_coded_row(row).unwrap();
+            }
+            b.finish()
+        })
+}
+
+/// A stream script: per op, an action selector plus a row of value
+/// indexes. Even action ⇒ insert (codes 0..4, so index 3 exercises the
+/// out-of-dictionary path — the warm data only has `v0`–`v2`); odd
+/// action ⇒ delete of the live row at position `row[0] % n_live`.
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, Vec<u32>)>> {
+    proptest::collection::vec((0u8..4, proptest::collection::vec(0u32..4, 4)), 0usize..=24)
+}
+
+/// Maps a batch-scan violation (dense row ids) back to engine row ids.
+fn to_engine_ids(ids: &[RowId], v: Violation) -> Violation {
+    match v {
+        Violation::Single(t) => Violation::Single(ids[t as usize]),
+        Violation::Pair(a, b) => Violation::Pair(ids[a as usize], ids[b as usize]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn deltas_reconcile_with_batch_detection(
+        warm in arb_warm(),
+        ops in arb_ops(),
+        shards in 1usize..=3,
+    ) {
+        // a real discovered cover: minimal 1-frequent constant+variable CFDs
+        let rules: Vec<_> = FastCfd::new(1).discover(&warm).into_iter().collect();
+        let (mut engine, warm_delta) = StreamEngine::warm(&warm, rules, shards);
+        // rules discovered on the warm data hold on the warm data
+        prop_assert!(warm_delta.is_empty(), "{warm_delta:?}");
+
+        // the violation set maintained *only* through emitted deltas
+        let mut running: BTreeSet<(usize, Violation)> = BTreeSet::new();
+
+        for (i, (action, row)) in ops.iter().enumerate() {
+            let delta = if action % 2 == 0 || engine.n_live() == 0 {
+                let arity = engine.schema().arity();
+                let values: Vec<String> =
+                    row.iter().take(arity).map(|c| format!("v{c}")).collect();
+                let (_, delta) = engine.insert_batch(&[values]).unwrap();
+                delta
+            } else {
+                let live = engine.live_ids();
+                let victim = live[row[0] as usize % live.len()];
+                engine.delete_batch(&[victim]).unwrap()
+            };
+
+            // deltas must be consistent with the running set …
+            for rv in &delta.cleared {
+                prop_assert!(running.remove(rv), "op {i}: cleared unknown {rv:?}");
+            }
+            for rv in &delta.raised {
+                prop_assert!(running.insert(*rv), "op {i}: raised duplicate {rv:?}");
+            }
+            // … compose to exactly the engine's live set …
+            let live_set: Vec<(usize, Violation)> = running.iter().copied().collect();
+            prop_assert_eq!(&live_set, &engine.live_violations(), "op {}", i);
+
+            // … and the live set must equal a full batch rescan of the
+            // materialized live instance
+            let mat = engine.materialize();
+            let ids = engine.live_ids();
+            let mut want: Vec<(usize, Violation)> = detect_violations(&mat, engine.rules())
+                .into_iter()
+                .map(|(r, v)| (r, to_engine_ids(&ids, v)))
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(&want, &engine.live_violations(), "op {}", i);
+
+            // counters stay coherent with the violation set
+            let stats = engine.stats();
+            for s in &stats {
+                let per_rule = engine
+                    .live_violations()
+                    .iter()
+                    .filter(|(r, _)| *r == s.rule)
+                    .count();
+                prop_assert_eq!(s.violations, per_rule);
+                prop_assert!((0.0..=1.0).contains(&s.confidence));
+                prop_assert!(s.matched <= engine.n_live());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_counts_agree_pairwise(
+        warm in arb_warm(),
+        ops in arb_ops(),
+    ) {
+        // the same script applied at different shard counts produces the
+        // same deltas in the same order
+        let rules: Vec<_> = FastCfd::new(1).discover(&warm).into_iter().collect();
+        let (mut e1, _) = StreamEngine::warm(&warm, rules.clone(), 1);
+        let (mut e4, _) = StreamEngine::warm(&warm, rules, 4);
+        for (action, row) in &ops {
+            if *action % 2 == 0 || e1.n_live() == 0 {
+                let arity = e1.schema().arity();
+                let values: Vec<String> =
+                    row.iter().take(arity).map(|c| format!("v{c}")).collect();
+                let batch = std::slice::from_ref(&values);
+                let (ids1, d1) = e1.insert_batch(batch).unwrap();
+                let (ids4, d4) = e4.insert_batch(batch).unwrap();
+                prop_assert_eq!(ids1, ids4);
+                prop_assert_eq!(d1, d4);
+            } else {
+                let live = e1.live_ids();
+                let victim = live[row[0] as usize % live.len()];
+                let d1 = e1.delete_batch(&[victim]).unwrap();
+                let d4 = e4.delete_batch(&[victim]).unwrap();
+                prop_assert_eq!(d1, d4);
+            }
+        }
+        prop_assert_eq!(e1.live_violations(), e4.live_violations());
+        prop_assert_eq!(e1.stats(), e4.stats());
+    }
+}

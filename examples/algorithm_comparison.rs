@@ -37,7 +37,10 @@ fn main() {
     let (tane, t_tane) = timed(|| Tane::new().discover(&rel));
     let (fastfd, t_fastfd) = timed(|| FastFd::new().discover(&rel));
 
-    println!("{:<12} {:>10} {:>8} {:>8}", "algorithm", "time (s)", "const", "var");
+    println!(
+        "{:<12} {:>10} {:>8} {:>8}",
+        "algorithm", "time (s)", "const", "var"
+    );
     let row = |name: &str, t: f64, cover: &CanonicalCover| {
         let (c, v) = cover.counts();
         println!("{name:<12} {t:>10.3} {c:>8} {v:>8}");

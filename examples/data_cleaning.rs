@@ -23,7 +23,10 @@ fn main() {
     let k = 20;
     let rules = FastCfd::new(k).discover(&clean);
     let (n_const, n_var) = rules.counts();
-    println!("discovered {} rules ({n_const} constant, {n_var} variable) at k = {k}", rules.len());
+    println!(
+        "discovered {} rules ({n_const} constant, {n_var} variable) at k = {k}",
+        rules.len()
+    );
     for cfd in rules.iter().take(8) {
         println!("  {}", cfd.display(&clean));
     }

@@ -19,7 +19,10 @@ fn main() {
 
     // CFDMiner: constant CFDs only (object-identification rules)
     let constants = CfdMiner::new(k).discover(&rel);
-    println!("CFDMiner — {} minimal {k}-frequent constant CFDs:", constants.len());
+    println!(
+        "CFDMiner — {} minimal {k}-frequent constant CFDs:",
+        constants.len()
+    );
     print!("{}", constants.display(&rel));
 
     // FastCFD: the full canonical cover (constant + variable CFDs)

@@ -6,6 +6,7 @@
 //! cfd check    <data.csv> <rules.txt> [--limit N]
 //! cfd repair   <data.csv> <rules.txt> <out.csv>
 //! cfd stats    <data.csv>
+//! cfd watch    <initial.csv> <rules.txt> [--shards N]
 //! ```
 //!
 //! `discover` prints one rule per line in the paper's syntax — the same
@@ -14,6 +15,18 @@
 //! ```sh
 //! cfd discover clean.csv --k 20 > rules.txt
 //! cfd check dirty.csv rules.txt
+//! ```
+//!
+//! `watch` keeps checking as the data changes: it warms the incremental
+//! engine on the initial CSV, then reads a stream of operations from
+//! stdin — one CSV row (optionally prefixed `+`) per insert, `-<id>`
+//! per delete, an empty line (or `.`) to apply the pending batch — and
+//! prints the violation deltas (`RAISED` / `CLEARED` lines) plus
+//! per-rule statistics instead of rescanning:
+//!
+//! ```sh
+//! cfd discover clean.csv --k 20 > rules.txt
+//! tail -f updates.log | cfd watch clean.csv rules.txt --shards 4
 //! ```
 
 use cfd_suite::core::{CfdMiner, Ctane, FastCfd};
@@ -29,7 +42,8 @@ fn usage() -> ExitCode {
          \x20              [--max-lhs N] [--threads N] [--constants-only] [--tableau]\n  \
          cfd check <data.csv> <rules.txt> [--limit N]\n  \
          cfd repair <data.csv> <rules.txt> <out.csv>\n  \
-         cfd stats <data.csv>"
+         cfd stats <data.csv>\n  \
+         cfd watch <initial.csv> <rules.txt> [--shards N]"
     );
     ExitCode::from(2)
 }
@@ -43,6 +57,7 @@ struct Args {
     constants_only: bool,
     tableau: bool,
     limit: usize,
+    shards: usize,
 }
 
 fn parse_args(argv: &[String]) -> Option<Args> {
@@ -55,6 +70,7 @@ fn parse_args(argv: &[String]) -> Option<Args> {
         constants_only: false,
         tableau: false,
         limit: 20,
+        shards: 1,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -64,6 +80,7 @@ fn parse_args(argv: &[String]) -> Option<Args> {
             "--max-lhs" => a.max_lhs = Some(it.next()?.parse().ok()?),
             "--threads" => a.threads = it.next()?.parse().ok()?,
             "--limit" => a.limit = it.next()?.parse().ok()?,
+            "--shards" => a.shards = it.next()?.parse().ok()?,
             "--constants-only" => a.constants_only = true,
             "--tableau" => a.tableau = true,
             other if !other.starts_with('-') => a.positional.push(other.to_string()),
@@ -119,21 +136,32 @@ fn discover(a: &Args) -> Result<ExitCode> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn check(a: &Args) -> Result<ExitCode> {
-    let rel = relation_from_csv_path(&a.positional[0])?;
-    let rules_text = std::fs::read_to_string(&a.positional[1])?;
+/// Parses a rules file against `rel`'s dictionaries, warning about (and
+/// skipping) lines whose constants do not occur in `rel`.
+fn load_rules(rel: &Relation, path: &str) -> Result<Vec<(String, Cfd)>> {
+    let rules_text = std::fs::read_to_string(path)?;
     let mut rules: Vec<(String, Cfd)> = Vec::new();
     for (no, line) in rules_text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        match parse_cfd(&rel, line) {
+        match parse_cfd(rel, line) {
             Ok(cfd) => rules.push((line.to_string(), cfd)),
             Err(e) => eprintln!("# skipping line {}: {e}", no + 1),
         }
     }
-    eprintln!("# checking {} rules against {}", rules.len(), a.positional[0]);
+    Ok(rules)
+}
+
+fn check(a: &Args) -> Result<ExitCode> {
+    let rel = relation_from_csv_path(&a.positional[0])?;
+    let rules = load_rules(&rel, &a.positional[1])?;
+    eprintln!(
+        "# checking {} rules against {}",
+        rules.len(),
+        a.positional[0]
+    );
     let mut dirty = false;
     for (text, cfd) in &rules {
         let vs = cfd_suite::model::violation::violations_limited(&rel, cfd, a.limit + 1);
@@ -171,18 +199,10 @@ fn check(a: &Args) -> Result<ExitCode> {
 
 fn repair(a: &Args) -> Result<ExitCode> {
     let rel = relation_from_csv_path(&a.positional[0])?;
-    let rules_text = std::fs::read_to_string(&a.positional[1])?;
-    let mut rules: Vec<Cfd> = Vec::new();
-    for (no, line) in rules_text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        match parse_cfd(&rel, line) {
-            Ok(cfd) => rules.push(cfd),
-            Err(e) => eprintln!("# skipping line {}: {e}", no + 1),
-        }
-    }
+    let rules: Vec<Cfd> = load_rules(&rel, &a.positional[1])?
+        .into_iter()
+        .map(|(_, cfd)| cfd)
+        .collect();
     use cfd_suite::model::repair::{apply_repairs, suggest_repairs_for_cover};
     let before = detect_violations(&rel, &rules).len();
     let repairs = suggest_repairs_for_cover(&rel, &rules);
@@ -207,6 +227,171 @@ fn repair(a: &Args) -> Result<ExitCode> {
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Streaming watch loop: warm the incremental engine on the initial
+/// CSV, then apply insert/delete batches from stdin and print violation
+/// deltas. Protocol, one operation per line:
+///
+/// * `<v1>,<v2>,…` or `+<v1>,<v2>,…` — stage a tuple insert (use the
+///   `+` prefix when the first field itself starts with `#` or `-`),
+/// * `-<row id>` — stage a delete (ids are printed on insert and are
+///   stable: the initial CSV occupies `0..n`),
+/// * empty line or `.` — apply the staged batch (deletes first, then
+///   inserts, so a row can be replaced in one flush) and print its
+///   delta; a rejected half (bad width, dead id) aborts the whole
+///   flush, discarding both halves,
+/// * `#…` — comment, ignored,
+/// * `?` — print per-rule statistics.
+///
+/// Unlike `check`, rule constants need not occur in the initial CSV:
+/// they are interned into the dictionaries up front, so a monitoring
+/// rule can precede the first tuple it matches. EOF applies any staged
+/// batch and prints final statistics. Exit code 0 when the final live
+/// instance satisfies every rule, 1 otherwise.
+fn watch(a: &Args) -> Result<ExitCode> {
+    use cfd_suite::model::cfd::parse_cfd_interning;
+    use cfd_suite::prelude::StreamEngine;
+    use std::io::BufRead;
+
+    let mut rel = relation_from_csv_path(&a.positional[0])?;
+    let rules_text = std::fs::read_to_string(&a.positional[1])?;
+    let mut texts: Vec<String> = Vec::new();
+    let mut cfds: Vec<Cfd> = Vec::new();
+    for (no, line) in rules_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_cfd_interning(&mut rel, line) {
+            Ok(cfd) => {
+                texts.push(line.to_string());
+                cfds.push(cfd);
+            }
+            Err(e) => eprintln!("# skipping line {}: {e}", no + 1),
+        }
+    }
+    let (mut engine, warm) = StreamEngine::warm(&rel, cfds, a.shards);
+    eprintln!(
+        "# watching {} rules over {} ({} tuples, {} shards)",
+        engine.rules().len(),
+        a.positional[0],
+        engine.n_live(),
+        engine.n_shards(),
+    );
+
+    let print_delta = |engine: &StreamEngine, delta: &cfd_suite::prelude::BatchDelta| {
+        for &(r, v) in &delta.raised {
+            match v {
+                Violation::Single(t) => {
+                    let vals = engine.row_values(t).unwrap_or_default();
+                    println!("RAISED {} tuple {t}: {vals:?}", texts[r]);
+                }
+                Violation::Pair(t1, t2) => {
+                    let v2 = engine.row_values(t2).unwrap_or_default();
+                    println!("RAISED {} tuples {t1} and {t2}: {v2:?}", texts[r]);
+                }
+            }
+        }
+        for &(r, v) in &delta.cleared {
+            match v {
+                Violation::Single(t) => println!("CLEARED {} tuple {t}", texts[r]),
+                Violation::Pair(t1, t2) => {
+                    println!("CLEARED {} tuples {t1} and {t2}", texts[r])
+                }
+            }
+        }
+    };
+    let print_stats = |engine: &StreamEngine| {
+        for s in engine.stats() {
+            println!(
+                "STATS rule {} matched={} violations={} confidence={:.4}  {}",
+                s.rule, s.matched, s.violations, s.confidence, texts[s.rule]
+            );
+        }
+        println!(
+            "STATS live={} violations={}",
+            engine.n_live(),
+            engine.live_violations().len()
+        );
+    };
+    print_delta(&engine, &warm);
+
+    let mut inserts: Vec<Vec<String>> = Vec::new();
+    let mut deletes: Vec<u32> = Vec::new();
+    let stdin = std::io::stdin();
+    // The flush is all-or-nothing at the operator level: both halves
+    // are validated before either is applied, so one bad line cannot
+    // leave the stream half-applied and silently diverged.
+    let apply = |engine: &mut StreamEngine,
+                 inserts: &mut Vec<Vec<String>>,
+                 deletes: &mut Vec<u32>| {
+        let arity = engine.schema().arity();
+        let mut seen = std::collections::HashSet::new();
+        let bad_delete = deletes
+            .iter()
+            .find(|&&id| !engine.is_live(id) || !seen.insert(id));
+        if let Some(&id) = bad_delete {
+            eprintln!(
+                "# batch rejected (both halves discarded): row {id} is not live or staged twice"
+            );
+        } else if let Some(row) = inserts.iter().find(|r| r.len() != arity) {
+            eprintln!(
+                    "# batch rejected (both halves discarded): row has {} values, schema has arity {arity}",
+                    row.len()
+                );
+        } else {
+            if !deletes.is_empty() {
+                match engine.delete_batch(deletes) {
+                    Ok(delta) => print_delta(engine, &delta),
+                    Err(e) => eprintln!("# delete batch rejected: {e}"),
+                }
+            }
+            if !inserts.is_empty() {
+                match engine.insert_batch(inserts) {
+                    Ok((ids, delta)) => {
+                        println!(
+                            "APPLIED +{} rows {}..={}",
+                            ids.len(),
+                            ids[0],
+                            ids[ids.len() - 1]
+                        );
+                        print_delta(engine, &delta);
+                    }
+                    Err(e) => eprintln!("# insert batch rejected: {e}"),
+                }
+            }
+        }
+        deletes.clear();
+        inserts.clear();
+    };
+    for line in stdin.lock().lines() {
+        let line = line.map_err(Error::from)?;
+        let line = line.trim();
+        match line {
+            "" | "." => apply(&mut engine, &mut inserts, &mut deletes),
+            "?" => print_stats(&engine),
+            _ if line.starts_with('#') => {}
+            _ => {
+                if let Some(id) = line.strip_prefix('-') {
+                    match id.trim().parse::<u32>() {
+                        Ok(id) => deletes.push(id),
+                        Err(_) => eprintln!("# bad delete (want -<row id>): {line:?}"),
+                    }
+                } else {
+                    let row = line.strip_prefix('+').unwrap_or(line);
+                    inserts.push(row.split(',').map(|v| v.trim().to_string()).collect());
+                }
+            }
+        }
+    }
+    apply(&mut engine, &mut inserts, &mut deletes);
+    print_stats(&engine);
+    if engine.live_violations().is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 fn stats(a: &Args) -> Result<ExitCode> {
@@ -237,7 +422,7 @@ fn main() -> ExitCode {
     };
     let need = match cmd.as_str() {
         "discover" | "stats" => 1,
-        "check" => 2,
+        "check" | "watch" => 2,
         "repair" => 3,
         _ => return usage(),
     };
@@ -249,6 +434,7 @@ fn main() -> ExitCode {
         "check" => check(&args),
         "repair" => repair(&args),
         "stats" => stats(&args),
+        "watch" => watch(&args),
         _ => unreachable!(),
     };
     match run {

@@ -10,7 +10,9 @@
 //! * [`itemset`] — free and closed item-set mining (Section 3.1);
 //! * [`core`] — the discovery algorithms: CFDMiner, CTANE, FastCFD/NaiveFast;
 //! * [`fd`] — the classical FD baselines TANE and FastFD;
-//! * [`datagen`] — synthetic datasets used by the paper's evaluation.
+//! * [`datagen`] — synthetic datasets used by the paper's evaluation;
+//! * [`stream`] — the incremental violation-detection engine for
+//!   streaming tuple batches (`cfd watch`).
 //!
 //! ## Quickstart
 //!
@@ -33,15 +35,17 @@ pub use cfd_fd as fd;
 pub use cfd_itemset as itemset;
 pub use cfd_model as model;
 pub use cfd_partition as partition;
+pub use cfd_stream as stream;
 
 /// The items most programs need.
 pub mod prelude {
     pub use cfd_core::{BruteForce, CfdMiner, Ctane, DiffSetMode, FastCfd};
+    pub use cfd_model::cfd::parse_cfd;
+    pub use cfd_model::csv::{relation_from_csv_path, relation_from_csv_str};
+    pub use cfd_model::violation::{detect_violations, Violation};
     pub use cfd_model::{
         normalize_cfd, satisfies, support, violations, AttrSet, CanonicalCover, Cfd, CfdClass,
         Error, PVal, Pattern, Relation, RelationBuilder, Result, Schema,
     };
-    pub use cfd_model::cfd::parse_cfd;
-    pub use cfd_model::csv::{relation_from_csv_path, relation_from_csv_str};
-    pub use cfd_model::violation::{detect_violations, Violation};
+    pub use cfd_stream::{BatchDelta, RuleStats, StreamEngine};
 }

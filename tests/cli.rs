@@ -44,9 +44,16 @@ fn discover_check_round_trip() {
         .args(["discover", clean.to_str().unwrap(), "--k", "2"])
         .output()
         .expect("cfd discover runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let rules_text = String::from_utf8(out.stdout).unwrap();
-    assert!(rules_text.contains("([AC] -> CT, (908 || MH))"), "{rules_text}");
+    assert!(
+        rules_text.contains("([AC] -> CT, (908 || MH))"),
+        "{rules_text}"
+    );
     std::fs::write(&rules, &rules_text).unwrap();
 
     // clean data passes
@@ -126,6 +133,85 @@ fn discover_algorithms_and_flags() {
 }
 
 #[test]
+fn watch_streams_violation_deltas() {
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join(format!("cfd-cli4-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let clean = dir.join("clean.csv");
+    let rules = dir.join("rules.txt");
+    write_csv(&clean, false);
+
+    // rules discovered on the clean data feed the watch loop
+    let out = bin()
+        .args(["discover", clean.to_str().unwrap(), "--k", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::write(&rules, out.stdout).unwrap();
+
+    // script: a violating insert (AC=131 with CT=UN breaks
+    // (AC -> CT, (131 || EDI))), stats, then delete it again
+    let script = "44,131,9999999,Eve,High St.,UN,EH4 1DT\n.\n?\n-8\n.\n";
+    let mut child = bin()
+        .args([
+            "watch",
+            clean.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "--shards",
+            "2",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("cfd watch starts");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+
+    // warm data is clean, so the first delta comes from the insert
+    // (the 8 warm tuples take ids 0..=7, the insert is row 8)
+    assert!(stderr.contains("watching"), "{stderr}");
+    assert!(stdout.contains("APPLIED +1 rows 8..=8"), "{stdout}");
+    assert!(stdout.contains("RAISED"), "{stdout}");
+    assert!(stdout.contains("tuple 8"), "{stdout}");
+    // the mid-stream stats snapshot sees the violation …
+    assert!(stdout.contains("violations=1"), "{stdout}");
+    // … and deleting the tuple clears it again
+    assert!(stdout.contains("CLEARED"), "{stdout}");
+    assert!(stdout.contains("STATS live=8 violations=0"), "{stdout}");
+    // final state is clean ⇒ exit 0
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+
+    // a stream ending in a dirty state exits 1
+    let mut child = bin()
+        .args(["watch", clean.to_str().unwrap(), rules.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"44,131,9999999,Eve,High St.,UN,EH4 1DT\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("RAISED"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn repair_command_round_trip() {
     let dir = std::env::temp_dir().join(format!("cfd-cli3-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -152,7 +238,11 @@ fn repair_command_round_trip() {
         ])
         .output()
         .unwrap();
-    assert!(rep.status.success(), "{}", String::from_utf8_lossy(&rep.stderr));
+    assert!(
+        rep.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rep.stderr)
+    );
     let log = String::from_utf8_lossy(&rep.stderr).to_string();
     assert!(log.contains("cell edits applied"), "{log}");
 
@@ -164,7 +254,11 @@ fn repair_command_round_trip() {
         .args(["check", fixed.to_str().unwrap(), rules.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(chk.status.success(), "{}", String::from_utf8_lossy(&chk.stdout));
+    assert!(
+        chk.status.success(),
+        "{}",
+        String::from_utf8_lossy(&chk.stdout)
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -61,8 +61,14 @@ fn example4_classification() {
 #[test]
 fn support_claims() {
     let r = cust_relation();
-    assert_eq!(support(&r, &cfd(&r, "([CC, AC] -> CT, (01, 908 || MH))")), 3);
-    assert_eq!(support(&r, &cfd(&r, "([CC, AC] -> CT, (44, 131 || EDI))")), 2);
+    assert_eq!(
+        support(&r, &cfd(&r, "([CC, AC] -> CT, (01, 908 || MH))")),
+        3
+    );
+    assert_eq!(
+        support(&r, &cfd(&r, "([CC, AC] -> CT, (44, 131 || EDI))")),
+        2
+    );
     assert_eq!(support(&r, &cfd(&r, "([CC, AC] -> CT, (_, _ || _))")), 8);
     assert_eq!(
         support(&r, &cfd(&r, "([CC, AC, PN] -> STR, (_, _, _ || _))")),

@@ -11,10 +11,7 @@ use proptest::prelude::*;
 fn arb_relation() -> impl Strategy<Value = Relation> {
     (2usize..=4, 1usize..=16)
         .prop_flat_map(|(arity, rows)| {
-            proptest::collection::vec(
-                proptest::collection::vec(0u32..3, arity),
-                rows,
-            )
+            proptest::collection::vec(proptest::collection::vec(0u32..3, arity), rows)
         })
         .prop_map(|rows| {
             let arity = rows[0].len();
