@@ -1,11 +1,14 @@
 //! Criterion micro-benchmarks for the design-choice ablations of
 //! DESIGN.md: Lemma 5 free-set pruning, the Closed₂ vs stripped-partition
-//! difference-set engines, FindMin dynamic reordering, and the classical
-//! FD baselines (TANE vs FastFD).
+//! difference-set engines, FindMin dynamic reordering, the classical
+//! FD baselines (TANE vs FastFD), and the partition-layer constant
+//! lookups (full-relation scans vs cached counting-sort value regions).
 
 use cfd_core::{DiffSetMode, FastCfd};
 use cfd_datagen::tax::TaxGenerator;
 use cfd_fd::{FastFd, Tane};
+use cfd_model::pattern::PVal;
+use cfd_partition::{Partition, RelationIndex};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -49,6 +52,65 @@ fn bench(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("fd", "fastfd"), &rel, |b, rel| {
         b.iter(|| FastFd::new().discover(rel))
     });
+
+    // partition-layer constant lookups: the CTANE-shaped workload of
+    // repeated by_constant + refine(·, Const) over every frequent value
+    // of the small-domain columns — full-relation scans vs the cached
+    // counting-sort value regions of a RelationIndex
+    // (base column, refining column, code) triples over the
+    // small-domain columns — large equivalence classes refined by
+    // selective constants, the shape CTANE's lattice walk produces
+    let small: Vec<usize> = (0..rel.arity())
+        .filter(|&a| rel.column(a).domain_size() <= 64)
+        .collect();
+    let rel_ref = &rel;
+    let lookups: Vec<(usize, usize, u32)> = small
+        .iter()
+        .flat_map(|&base| {
+            small
+                .iter()
+                .filter(move |&&a| a != base)
+                .flat_map(move |&a| {
+                    (0..rel_ref.column(a).domain_size() as u32).map(move |c| (base, a, c))
+                })
+        })
+        .collect();
+    let bases: Vec<Partition> = (0..rel.arity())
+        .map(|a| Partition::by_attribute(&rel, a))
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("const-lookup", "scan"),
+        &(&rel, &lookups, &bases),
+        |b, (rel, lookups, bases)| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &(base, a, c) in lookups.iter() {
+                    // the pre-index code path: one full scan per lookup,
+                    // class-by-class filtering per refinement
+                    let members: Vec<u32> = rel.tuples().filter(|&t| rel.code(t, a) == c).collect();
+                    let p = bases[base].refine(rel, a, PVal::Const(c));
+                    total += members.len() + p.n_rows();
+                }
+                total
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("const-lookup", "indexed"),
+        &(&rel, &lookups, &bases),
+        |b, (rel, lookups, bases)| {
+            b.iter(|| {
+                let index = RelationIndex::new(rel);
+                let mut total = 0usize;
+                for &(base, a, c) in lookups.iter() {
+                    let members = Partition::by_constant_in(index.column(rel, a), c);
+                    let p = bases[base].refine_with(rel, &index, a, PVal::Const(c));
+                    total += members.n_rows() + p.n_rows();
+                }
+                total
+            })
+        },
+    );
     group.finish();
 }
 

@@ -31,7 +31,7 @@ use cfd_model::fxhash::FxHashMap;
 use cfd_model::pattern::{PVal, Pattern};
 use cfd_model::relation::Relation;
 use cfd_model::schema::AttrId;
-use cfd_partition::Partition;
+use cfd_partition::{Partition, RelationIndex};
 
 /// One lattice element `(X, sp)`.
 struct Element {
@@ -77,6 +77,9 @@ impl Ctane {
         if n == 0 || n < self.k {
             return CanonicalCover::from_cfds(out);
         }
+        // per-column value regions, built lazily and shared by every
+        // constant refinement of the run
+        let col_index = RelationIndex::new(rel);
 
         // C⁺(∅) = L1: every (A, _) plus every k-frequent (A, a)
         let mut init_candidates: Vec<(AttrId, PVal)> = Vec::new();
@@ -275,7 +278,7 @@ impl Ctane {
                             .partition
                             .as_ref()
                             .expect("current level keeps partitions")
-                            .refine(rel, extra_attr, extra_val);
+                            .refine_with(rel, &col_index, extra_attr, extra_val);
                         if part.n_rows() < self.k {
                             continue;
                         }

@@ -14,7 +14,9 @@
 //!   `⪯` of Section 2.1.2,
 //! * [`Cfd`] — a conditional functional dependency `(X → A, (tp ‖ pA))`,
 //! * satisfaction ([`satisfies`]), support ([`support()`](support())) and violation
-//!   detection ([`violations`]) primitives,
+//!   detection ([`violations`]) primitives — the per-rule reference
+//!   implementations; cover-level validation lives in the shared
+//!   kernel crate `cfd-validate`,
 //! * [`cover`] — canonical-cover bookkeeping and the constant/variable
 //!   normal form of Lemma 1,
 //! * a small CSV reader/writer ([`csv`]) so relations can be loaded from
@@ -48,7 +50,7 @@ pub use error::{Error, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use pattern::{PVal, Pattern};
 pub use relation::{Relation, RelationBuilder};
-pub use repair::{apply_repairs, suggest_repairs, suggest_repairs_for_cover, Repair};
+pub use repair::{apply_repairs, suggest_repairs, Repair};
 pub use satisfy::satisfies;
 pub use schema::{AttrId, Schema};
 pub use support::{pattern_support, support};

@@ -15,6 +15,12 @@
 //! Suggestions are advisory: applying them may surface further
 //! violations of other rules (full constraint-repair is its own research
 //! area, e.g. ref \[27\] of the paper).
+//!
+//! [`suggest_repairs`] is the per-rule reference; repairing against a
+//! whole cover (with per-cell deduplication) goes through the shared
+//! validation kernel (`cfd-validate::suggest_repairs_for_cover`), which
+//! reproduces the same suggestions from one grouping pass per LHS
+//! wildcard set.
 
 use crate::cfd::Cfd;
 use crate::fxhash::FxHashMap;
@@ -116,25 +122,6 @@ pub fn suggest_repairs(rel: &Relation, cfd: &Cfd) -> Vec<Repair> {
     out
 }
 
-/// Suggests repairs for a whole rule set, deduplicated per cell: when
-/// several rules implicate the same `(tuple, attribute)` cell, the first
-/// rule's suggestion wins (rule order = caller's priority order).
-pub fn suggest_repairs_for_cover<'a, I>(rel: &Relation, cfds: I) -> Vec<Repair>
-where
-    I: IntoIterator<Item = &'a Cfd>,
-{
-    let mut seen = crate::fxhash::FxHashSet::default();
-    let mut out = Vec::new();
-    for cfd in cfds {
-        for r in suggest_repairs(rel, cfd) {
-            if seen.insert((r.tuple, r.attr)) {
-                out.push(r);
-            }
-        }
-    }
-    out
-}
-
 /// Applies repairs, producing a new relation that shares the original's
 /// dictionaries (original untouched).
 pub fn apply_repairs(rel: &Relation, repairs: &[Repair]) -> Relation {
@@ -204,7 +191,16 @@ mod tests {
             parse_cfd(&r, "(AC -> CT, (908 || MH))").unwrap(),
             parse_cfd(&r, "(AC -> CT, (_ || _))").unwrap(),
         ];
-        let reps = suggest_repairs_for_cover(&r, &rules);
+        // cover-level repair = per-rule repairs, first rule wins per cell
+        let mut seen = crate::fxhash::FxHashSet::default();
+        let mut reps = Vec::new();
+        for rule in &rules {
+            for rep in suggest_repairs(&r, rule) {
+                if seen.insert((rep.tuple, rep.attr)) {
+                    reps.push(rep);
+                }
+            }
+        }
         let fixed = apply_repairs(&r, &reps);
         for rule in &rules {
             let fixed_rule = parse_cfd(&fixed, &rule.display(&r)).unwrap();
@@ -222,7 +218,6 @@ mod tests {
         let rule = parse_cfd(&r, "(AC -> CT, (212 || NYC))").unwrap();
         assert!(satisfies(&r, &rule));
         assert!(suggest_repairs(&r, &rule).is_empty());
-        assert!(suggest_repairs_for_cover(&r, [&rule]).is_empty());
     }
 
     #[test]

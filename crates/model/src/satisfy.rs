@@ -6,6 +6,11 @@
 //! Taking `t1 = t2` shows a *single* tuple can violate a CFD whose RHS
 //! pattern is a constant (Example 3), which is why the constant-RHS check
 //! below is a per-tuple test rather than a per-class test.
+//!
+//! [`satisfies`] checks one rule in one scan and serves as the semantic
+//! reference. Checking a whole cover (`r ⊨ Σ`) goes through the shared
+//! validation kernel (`cfd-validate::satisfies_cover`), which shares
+//! one grouping pass across all rules with the same LHS wildcard set.
 
 use crate::cfd::Cfd;
 use crate::fxhash::FxHashMap;
@@ -70,11 +75,6 @@ pub fn satisfies(rel: &Relation, cfd: &Cfd) -> bool {
     }
 }
 
-/// Checks `r ⊨ Σ` for a set of CFDs.
-pub fn satisfies_all<'a, I: IntoIterator<Item = &'a Cfd>>(rel: &Relation, cfds: I) -> bool {
-    cfds.into_iter().all(|c| satisfies(rel, c))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,7 +109,6 @@ mod tests {
         let f2 = parse_cfd(&r, "([CC, AC, PN] -> STR, (_, _, _ || _))").unwrap();
         assert!(satisfies(&r, &f1));
         assert!(satisfies(&r, &f2));
-        assert!(satisfies_all(&r, [&f1, &f2]));
     }
 
     #[test]

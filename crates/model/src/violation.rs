@@ -4,6 +4,12 @@
 //! tuples of a (dirty) instance that falsify each rule. As Example 3 of
 //! the paper notes, a CFD with a constant RHS pattern can be violated by a
 //! single tuple, while the embedded FD needs a pair of tuples.
+//!
+//! The functions here scan the relation once per *rule* and are the
+//! semantic reference the rest of the system is checked against.
+//! Applying a whole cover goes through the shared validation kernel
+//! (`cfd-validate`), which groups rules sharing an LHS wildcard set
+//! into one pass and reproduces these results exactly.
 
 use crate::cfd::Cfd;
 use crate::fxhash::FxHashMap;
@@ -88,26 +94,6 @@ pub fn violations(rel: &Relation, cfd: &Cfd) -> Vec<Violation> {
     violations_limited(rel, cfd, usize::MAX)
 }
 
-/// Scans a rule set against an instance, returning `(rule index, violation)`
-/// pairs — the basic primitive of a CFD-based cleaning pass.
-///
-/// The rules' dictionary codes must refer to `rel`'s dictionaries: use the
-/// same relation they were discovered on, a dictionary-sharing copy
-/// (`restrict`/`project`/`with_replaced_codes`/`with_replaced_values`), or
-/// re-resolve foreign rules with [`crate::cfd::transfer_cfd`] first.
-pub fn detect_violations<'a, I>(rel: &Relation, cfds: I) -> Vec<(usize, Violation)>
-where
-    I: IntoIterator<Item = &'a Cfd>,
-{
-    let mut out = Vec::new();
-    for (i, cfd) in cfds.into_iter().enumerate() {
-        for v in violations(rel, cfd) {
-            out.push((i, v));
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,19 +163,5 @@ mod tests {
         assert_eq!(violations(&r, &c).len(), 3);
         assert_eq!(violations_limited(&r, &c, 2).len(), 2);
         assert_eq!(violations_limited(&r, &c, 0).len(), 0);
-    }
-
-    #[test]
-    fn detect_across_rule_set() {
-        let r = cust();
-        let rules = vec![
-            parse_cfd(&r, "([CC, ZIP] -> STR, (_, _ || _))").unwrap(),
-            parse_cfd(&r, "(AC -> CT, (131 || EDI))").unwrap(),
-            parse_cfd(&r, "([CC, AC] -> CT, (01, 908 || MH))").unwrap(),
-        ];
-        let found = detect_violations(&r, &rules);
-        assert!(found.iter().any(|(i, _)| *i == 0));
-        assert!(found.iter().any(|(i, _)| *i == 1));
-        assert!(!found.iter().any(|(i, _)| *i == 2));
     }
 }

@@ -12,13 +12,21 @@
 //!
 //! The module also provides *stripped* partitions and tuple-pair *agree
 //! sets* ([`agree`]), the ingredients of FastFD-style difference-set
-//! computation used by the paper's NaiveFast variant (Section 5.4).
+//! computation used by the paper's NaiveFast variant (Section 5.4) —
+//! plus the shared grouping primitives the validation kernel and the
+//! streaming engine are built on: per-column counting-sort value
+//! regions ([`ValueIndex`], cached per relation by [`RelationIndex`])
+//! and dense multi-column group ids ([`GroupIds`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agree;
+pub mod group;
+pub mod index;
 pub mod partition;
 
 pub use agree::{agree_sets, agree_sets_of_rows};
+pub use group::GroupIds;
+pub use index::{RelationIndex, ValueIndex};
 pub use partition::Partition;

@@ -1,5 +1,6 @@
 //! Equivalence-class partitions w.r.t. `(X, sp)` pairs.
 
+use crate::index::{RelationIndex, ValueIndex};
 use cfd_model::fxhash::FxHashMap;
 use cfd_model::pattern::PVal;
 use cfd_model::relation::{Relation, TupleId};
@@ -46,45 +47,29 @@ impl Partition {
     }
 
     /// The partition w.r.t. `({A}, (_))`: one class per active-domain
-    /// value of `A`.
+    /// value of `A`. One counting sort — the same pass that builds a
+    /// [`ValueIndex`], which this delegates to.
     pub fn by_attribute(rel: &Relation, a: AttrId) -> Partition {
-        let codes = rel.column(a).codes();
-        let dom = rel.column(a).domain_size();
-        // counting sort by code: dictionary codes are dense by construction
-        let mut counts = vec![0u32; dom];
-        for &c in codes {
-            counts[c as usize] += 1;
-        }
-        let mut offsets = Vec::with_capacity(dom + 1);
-        offsets.push(0u32);
-        let mut fill = vec![0u32; dom]; // write cursor of each value's region
-        let mut acc = 0u32;
-        for (v, &n) in counts.iter().enumerate() {
-            fill[v] = acc;
-            if n > 0 {
-                acc += n;
-                offsets.push(acc);
-            }
-        }
-        let mut tuples = vec![0 as TupleId; codes.len()];
-        for (t, &c) in codes.iter().enumerate() {
-            let slot = &mut fill[c as usize];
-            tuples[*slot as usize] = t as TupleId;
-            *slot += 1;
-        }
-        Partition { tuples, offsets }
+        ValueIndex::build(rel, a).to_partition()
     }
 
     /// The partition w.r.t. `({A}, (c))`: a single class holding the
     /// tuples with `t[A] = c` (no class when none matches).
+    ///
+    /// Builds the column's counting-sort value regions and extracts the
+    /// region of `code`; callers doing *repeated* constant lookups
+    /// should build the index once ([`crate::RelationIndex`], or
+    /// [`ValueIndex::build`] directly) and use
+    /// [`by_constant_in`](Partition::by_constant_in), which is
+    /// O(region) per lookup.
     pub fn by_constant(rel: &Relation, a: AttrId, code: u32) -> Partition {
-        let tuples: Vec<TupleId> = rel.tuples().filter(|&t| rel.code(t, a) == code).collect();
-        let offsets = if tuples.is_empty() {
-            vec![0]
-        } else {
-            vec![0, tuples.len() as u32]
-        };
-        Partition { tuples, offsets }
+        ValueIndex::build(rel, a).constant_partition(code)
+    }
+
+    /// [`by_constant`](Partition::by_constant) against a pre-built
+    /// column index: O(region), no relation scan.
+    pub fn by_constant_in(idx: &ValueIndex, code: u32) -> Partition {
+        idx.constant_partition(code)
     }
 
     /// Number of equivalence classes.
@@ -161,6 +146,70 @@ impl Partition {
                         offsets.push(tuples.len() as u32);
                     }
                 }
+            }
+        }
+        Partition { tuples, offsets }
+    }
+
+    /// [`refine`](Partition::refine) against a cached column index.
+    ///
+    /// Wildcard refinement is unchanged, but constant refinement stops
+    /// testing every member of every class: the index's value region for
+    /// `c` lists exactly the tuples carrying `c`, so each class is
+    /// intersected with the (ascending) region window overlapping it —
+    /// per class, whichever of "scan the class" and "probe the window"
+    /// is cheaper. When the constant is selective (the common case for
+    /// k-frequent constant patterns on skewed columns), refinement cost
+    /// drops from O(class members) to O(matches · log).
+    pub fn refine_with(
+        &self,
+        rel: &Relation,
+        idx: &RelationIndex,
+        b: AttrId,
+        v: PVal,
+    ) -> Partition {
+        let c = match v {
+            PVal::Var => return self.refine(rel, b, v),
+            PVal::Const(c) => c,
+        };
+        let region = idx.column(rel, b).region(c);
+        if region.is_empty() {
+            return Partition {
+                tuples: Vec::new(),
+                offsets: vec![0],
+            };
+        }
+        let col = rel.column(b);
+        let log_region = (usize::BITS - region.len().leading_zeros()) as usize;
+        let mut tuples = Vec::new();
+        let mut offsets = vec![0u32];
+        for class in self.classes() {
+            debug_assert!(class.windows(2).all(|w| w[0] < w[1]));
+            let before = tuples.len();
+            // a class smaller than the cost of locating its region
+            // window is cheapest to filter directly
+            if class.len() <= 2 * log_region {
+                tuples.extend(class.iter().copied().filter(|&t| col.code(t) == c));
+            } else {
+                // the region members that could fall in this class
+                let lo = region.partition_point(|&t| t < class[0]);
+                let hi = region.partition_point(|&t| t <= *class.last().unwrap());
+                let window = &region[lo..hi];
+                // probe the smaller side: window members against the
+                // class, or class members against the column
+                let log_class = (usize::BITS - class.len().leading_zeros()) as usize;
+                if window.len() * log_class < class.len() {
+                    for &t in window {
+                        if class.binary_search(&t).is_ok() {
+                            tuples.push(t);
+                        }
+                    }
+                } else {
+                    tuples.extend(class.iter().copied().filter(|&t| col.code(t) == c));
+                }
+            }
+            if tuples.len() > before {
+                offsets.push(tuples.len() as u32);
             }
         }
         Partition { tuples, offsets }

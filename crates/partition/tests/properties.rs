@@ -6,7 +6,7 @@ use cfd_model::pattern::PVal;
 use cfd_model::relation::{Relation, RelationBuilder, TupleId};
 use cfd_model::schema::Schema;
 use cfd_partition::agree::agree_sets_of_rows;
-use cfd_partition::Partition;
+use cfd_partition::{GroupIds, Partition, RelationIndex};
 use proptest::prelude::*;
 
 fn arb_relation() -> impl Strategy<Value = Relation> {
@@ -113,6 +113,74 @@ proptest! {
             .filter(|c| c.len() >= 2)
             .collect();
         prop_assert_eq!(canon(&s), want);
+    }
+
+    #[test]
+    fn indexed_refinement_is_exactly_refinement(rel in arb_relation()) {
+        // refine_with must produce byte-identical partitions to refine,
+        // for every (attr, value) pair, constant and wildcard alike —
+        // classes in the same order with the same member order
+        let index = RelationIndex::new(&rel);
+        for base_attr in 0..rel.arity() {
+            let base = Partition::by_attribute(&rel, base_attr);
+            for a in 0..rel.arity() {
+                for c in 0..rel.column(a).domain_size() as u32 {
+                    let plain = base.refine(&rel, a, PVal::Const(c));
+                    let indexed = base.refine_with(&rel, &index, a, PVal::Const(c));
+                    prop_assert_eq!(plain.rows(), indexed.rows());
+                    prop_assert_eq!(plain.n_classes(), indexed.n_classes());
+                }
+                let plain = base.refine(&rel, a, PVal::Var);
+                let indexed = base.refine_with(&rel, &index, a, PVal::Var);
+                prop_assert_eq!(plain.rows(), indexed.rows());
+                prop_assert_eq!(plain.n_classes(), indexed.n_classes());
+            }
+        }
+    }
+
+    #[test]
+    fn by_constant_matches_region_and_scan(rel in arb_relation()) {
+        let index = RelationIndex::new(&rel);
+        for a in 0..rel.arity() {
+            // every dictionary code, plus one out-of-dictionary probe
+            for c in 0..=rel.column(a).domain_size() as u32 {
+                let scan: Vec<TupleId> =
+                    rel.tuples().filter(|&t| rel.code(t, a) == c).collect();
+                let p = Partition::by_constant(&rel, a, c);
+                let q = Partition::by_constant_in(index.column(&rel, a), c);
+                prop_assert_eq!(p.rows(), &scan[..]);
+                prop_assert_eq!(q.rows(), &scan[..]);
+                prop_assert_eq!(p.n_classes(), usize::from(!scan.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn group_ids_partition_the_rows(rel in arb_relation()) {
+        // GroupIds must induce exactly the partition by_attribute-and-
+        // refine builds, for every attribute pair
+        for a in 0..rel.arity() {
+            for b in 0..rel.arity() {
+                if a == b { continue; }
+                let g = GroupIds::build(&rel, &[a, b]);
+                let mut classes: std::collections::BTreeMap<u32, Vec<TupleId>> =
+                    Default::default();
+                for t in rel.tuples() {
+                    classes.entry(g.gid(t)).or_default().push(t);
+                }
+                let got: Vec<Vec<TupleId>> = {
+                    let mut v: Vec<Vec<TupleId>> = classes.into_values().collect();
+                    v.sort();
+                    v
+                };
+                prop_assert_eq!(got, direct_partition(&rel, &[a, b], &[]));
+                // witnesses are per-group minima
+                let wit = g.witnesses();
+                for t in rel.tuples() {
+                    prop_assert!(wit[g.gid(t) as usize] <= t);
+                }
+            }
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ struct Op {
 ///   return the violation *delta* — what was newly raised and newly
 ///   cleared — instead of rescanning;
 /// * [`live_violations`](StreamEngine::live_violations) is always exactly
-///   what [`cfd_model::violation::detect_violations`] would report on the
+///   what [`cfd_validate::detect_violations`] would report on the
 ///   [`materialize`](StreamEngine::materialize)d live instance (with row
 ///   ids mapped through [`live_ids`](StreamEngine::live_ids));
 /// * [`stats`](StreamEngine::stats) exposes per-rule support, violation
@@ -60,13 +60,40 @@ impl StreamEngine {
     /// indexes with every tuple of `rel`. The violations present in the
     /// warm data are reported as the `raised` half of the returned
     /// [`BatchDelta`]; warm rows get row ids `0..rel.n_rows()`.
+    ///
+    /// The warm start goes through the shared validation kernel: the
+    /// cover is compiled into a [`cfd_validate::CoverPlan`] (one
+    /// grouping pass per distinct LHS wildcard set) and every rule's
+    /// index is bulk-built from its family's flat group ids, instead of
+    /// replaying the warm data tuple by tuple through the incremental
+    /// path with a hashed `Vec<u32>` key per row and rule.
     pub fn warm(rel: &Relation, rules: Vec<Cfd>, shards: usize) -> (StreamEngine, BatchDelta) {
         let mut engine = StreamEngine::compile(rel, rules, shards);
-        let rows: Vec<Vec<u32>> = rel
-            .tuples()
-            .map(|t| (0..rel.arity()).map(|a| rel.code(t, a)).collect())
-            .collect();
-        let delta = engine.insert_coded(rows);
+        let plan = cfd_validate::CoverPlan::compile(rel, &engine.rules);
+        for (col, a) in engine.cols.iter_mut().zip(0..rel.arity()) {
+            *col = rel.column(a).codes().to_vec();
+        }
+        engine.live = vec![true; rel.n_rows()];
+        engine.n_live = rel.n_rows();
+        let work = rel.n_rows() * engine.rules.len();
+        let shards = &mut engine.shards;
+        if shards.len() <= 1 || work < Self::MIN_PARALLEL_WORK {
+            // same threshold as apply(): a tiny warm window is cheaper
+            // to build sequentially than to spawn threads for
+            for shard in shards.iter_mut() {
+                warm_shard(shard, rel, &plan);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for shard in shards.iter_mut() {
+                    scope.spawn(|| warm_shard(shard, rel, &plan));
+                }
+            });
+        }
+        let delta = BatchDelta {
+            raised: engine.live_violations(),
+            cleared: Vec::new(),
+        };
         (engine, delta)
     }
 
@@ -305,7 +332,7 @@ impl StreamEngine {
 
     /// Materializes the live tuples as a [`Relation`] (insertion order,
     /// dictionaries shared with the engine). Batch-scanning it with
-    /// [`cfd_model::violation::detect_violations`] and mapping dense row
+    /// [`cfd_validate::detect_violations`] and mapping dense row
     /// ids through [`live_ids`](StreamEngine::live_ids) reproduces
     /// [`live_violations`](StreamEngine::live_violations) exactly — the
     /// reconciliation the test suite performs.
@@ -323,6 +350,15 @@ impl StreamEngine {
             b.push_coded_row(&row).expect("row width is the arity");
         }
         b.finish()
+    }
+}
+
+/// Bulk-builds one shard's rule indexes from the compiled plan's family
+/// group ids.
+fn warm_shard(shard: &mut [RuleState], rel: &Relation, plan: &cfd_validate::CoverPlan) {
+    for rule in shard.iter_mut() {
+        let gids = plan.family_of(rule.rule).map(|f| plan.group_ids(f).gids());
+        rule.warm_from(rel, gids);
     }
 }
 

@@ -19,7 +19,7 @@
 //! [`StreamEngine::insert_batch`] / [`StreamEngine::delete_batch`]
 //! return [`BatchDelta`]s — violations newly raised and newly cleared —
 //! and the engine guarantees its live set always reconciles exactly with
-//! a batch [`cfd_model::violation::detect_violations`] scan of the
+//! a batch [`cfd_validate::detect_violations`] scan of the
 //! materialized live instance.
 //!
 //! ```
@@ -62,8 +62,8 @@ mod tests {
     use super::*;
     use cfd_model::cfd::parse_cfd;
     use cfd_model::relation::relation_from_rows;
-    use cfd_model::violation::detect_violations;
     use cfd_model::{Schema, Violation};
+    use cfd_validate::detect_violations;
 
     /// The cust relation of Fig. 1 (clean variant).
     fn cust() -> cfd_model::Relation {

@@ -105,6 +105,66 @@ impl RuleState {
         self.consts.iter().all(|&(a, c)| codes[a] == c)
     }
 
+    /// Bulk-builds the index from a warm relation in one pass — the
+    /// kernel-backed warm start. `gids` is the shared `tuple → group id`
+    /// mapping of the rule's family from the compiled
+    /// [`cfd_validate::CoverPlan`] (`None` for constant-RHS rules, which
+    /// have no family). Produces exactly the state per-tuple
+    /// [`insert`](RuleState::insert)ion would, without hashing a
+    /// heap-allocated key per row: rows funnel through the family's flat
+    /// group ids and each group's `Vec<u32>` key is materialized once.
+    pub(crate) fn warm_from(&mut self, rel: &cfd_model::Relation, gids: Option<&[u32]>) {
+        debug_assert_eq!(self.matched, 0, "warm_from on a fresh state");
+        match &mut self.index {
+            Index::ConstRhs {
+                rhs_code,
+                dissenters,
+            } => {
+                let rhs_codes = rel.column(self.rhs_attr).codes();
+                'rows: for t in rel.tuples() {
+                    for &(a, c) in &self.consts {
+                        if rel.code(t, a) != c {
+                            continue 'rows;
+                        }
+                    }
+                    self.matched += 1;
+                    if rhs_codes[t as usize] != *rhs_code {
+                        dissenters.insert(t);
+                    }
+                }
+            }
+            Index::VarRhs {
+                wild,
+                groups,
+                violating,
+            } => {
+                let gids = gids.expect("variable rules carry their family gids");
+                let rhs_codes = rel.column(self.rhs_attr).codes();
+                // members per group id, in row order (rows ascend, so
+                // the first member is the group witness)
+                let mut members: FxHashMap<u32, Vec<(RowId, u32)>> = FxHashMap::default();
+                'rows: for t in rel.tuples() {
+                    for &(a, c) in &self.consts {
+                        if rel.code(t, a) != c {
+                            continue 'rows;
+                        }
+                    }
+                    self.matched += 1;
+                    members
+                        .entry(gids[t as usize])
+                        .or_default()
+                        .push((t, rhs_codes[t as usize]));
+                }
+                for rows in members.into_values() {
+                    let witness_rhs = rows[0].1;
+                    *violating += rows.iter().filter(|&&(_, c)| c != witness_rhs).count();
+                    let key: Vec<u32> = wild.iter().map(|&a| rel.code(rows[0].0, a)).collect();
+                    groups.insert(key, rows.into_iter().collect());
+                }
+            }
+        }
+    }
+
     /// Applies one inserted tuple, appending violation transitions to
     /// `out`. Row ids are assigned monotonically by the engine, so an
     /// insert can never precede an existing group witness.

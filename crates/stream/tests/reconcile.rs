@@ -6,9 +6,9 @@
 
 use cfd_core::FastCfd;
 use cfd_model::relation::{Relation, RelationBuilder};
-use cfd_model::violation::detect_violations;
 use cfd_model::{Schema, Violation};
 use cfd_stream::{RowId, StreamEngine};
+use cfd_validate::detect_violations;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 

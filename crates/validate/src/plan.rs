@@ -1,0 +1,588 @@
+//! Cover compilation and the one-pass evaluator.
+//!
+//! [`CoverPlan::compile`] turns a rule set into an execution plan:
+//!
+//! * variable-RHS rules are grouped into **families** by their LHS
+//!   wildcard attribute set, and each family runs **one** dense
+//!   grouping pass ([`cfd_partition::GroupIds`] — flat `u64` keys, no
+//!   per-tuple `Vec<u32>` allocation) shared by every rule of the
+//!   family;
+//! * constant-RHS rules need no grouping at all (Lemma 1 normal form:
+//!   their LHS is all-constant) — they are plain filtered scans.
+//!
+//! [`CoverPlan::validate`] then evaluates every rule against the
+//! relation. Per rule, the scan is **driven by the smallest value
+//! region** of its LHS constants (via the shared
+//! [`cfd_partition::RelationIndex`] cache) instead of the full
+//! relation, and a variable rule's group state is a flat array indexed
+//! by group id (or a small `u32`-keyed map when the driving region is
+//! much smaller than the group universe). Rules are sharded across
+//! worker threads — the architecture `cfd-stream` uses for batches —
+//! and results are merged in rule order, so the report is byte-for-byte
+//! identical at any thread count.
+
+use crate::report::{RuleReport, ValidationReport};
+use cfd_model::fxhash::FxHashMap;
+use cfd_model::pattern::PVal;
+use cfd_model::relation::{Relation, TupleId};
+use cfd_model::schema::AttrId;
+use cfd_model::{Cfd, Violation};
+use cfd_partition::{GroupIds, RelationIndex};
+
+/// Options of one validation run.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidateOptions {
+    /// Worker threads to shard rules across (min 1; capped by the rule
+    /// count). The report does not depend on this.
+    pub threads: usize,
+    /// Per-rule cap on the collected violation sample. Counters are
+    /// exact regardless — the cap only bounds
+    /// [`RuleReport::sample`](crate::RuleReport::sample).
+    pub limit: usize,
+}
+
+impl Default for ValidateOptions {
+    fn default() -> ValidateOptions {
+        ValidateOptions {
+            threads: 1,
+            limit: usize::MAX,
+        }
+    }
+}
+
+/// The RHS-kind-specific part of a compiled rule.
+enum RuleRhs {
+    /// Constant RHS: matching tuples must carry this code.
+    Const(u32),
+    /// Variable RHS: groups of the family must agree on the RHS.
+    Var {
+        /// Index into [`CoverPlan::families`].
+        family: usize,
+    },
+}
+
+/// One rule, compiled: the LHS constant filter, the RHS attribute, and
+/// how to judge the RHS.
+struct CompiledRule {
+    rule: usize,
+    consts: Vec<(AttrId, u32)>,
+    rhs_attr: AttrId,
+    rhs: RuleRhs,
+}
+
+/// One LHS wildcard attribute set and its shared grouping.
+struct Family {
+    gids: GroupIds,
+}
+
+/// One schedulable piece of a validation run: a whole family (its
+/// grouping is loaded once, its witness array computed once, then every
+/// member rule evaluated against them) or a single constant-RHS rule.
+enum Unit {
+    Family(usize),
+    ConstRule(usize),
+}
+
+/// A compiled cover: compile once, validate everywhere (batch check,
+/// repair, streaming warm start).
+pub struct CoverPlan {
+    rules: Vec<CompiledRule>,
+    families: Vec<Family>,
+    /// Variable rules of each family, in rule order.
+    family_rules: Vec<Vec<usize>>,
+    /// The constant-RHS rules, in rule order.
+    const_rules: Vec<usize>,
+}
+
+impl CoverPlan {
+    /// Compiles a rule set against `rel` (one grouping pass per
+    /// distinct LHS wildcard set, single-threaded).
+    pub fn compile<'a, I>(rel: &Relation, cfds: I) -> CoverPlan
+    where
+        I: IntoIterator<Item = &'a Cfd>,
+    {
+        CoverPlan::compile_with(rel, cfds, 1)
+    }
+
+    /// [`compile`](CoverPlan::compile) with the family grouping passes
+    /// sharded across `threads` worker threads.
+    pub fn compile_with<'a, I>(rel: &Relation, cfds: I, threads: usize) -> CoverPlan
+    where
+        I: IntoIterator<Item = &'a Cfd>,
+    {
+        let mut rules = Vec::new();
+        let mut family_of_wild: FxHashMap<Vec<AttrId>, usize> = FxHashMap::default();
+        let mut wilds: Vec<Vec<AttrId>> = Vec::new();
+        let mut family_rules: Vec<Vec<usize>> = Vec::new();
+        let mut const_rules = Vec::new();
+        for (i, cfd) in cfds.into_iter().enumerate() {
+            let consts: Vec<(AttrId, u32)> = cfd
+                .lhs()
+                .iter()
+                .filter_map(|(a, v)| v.as_const().map(|c| (a, c)))
+                .collect();
+            let rhs = match cfd.rhs_val() {
+                PVal::Const(c) => {
+                    const_rules.push(i);
+                    RuleRhs::Const(c)
+                }
+                PVal::Var => {
+                    let wild: Vec<AttrId> = cfd.lhs().wildcard_attrs().iter().collect();
+                    let family = *family_of_wild.entry(wild.clone()).or_insert_with(|| {
+                        wilds.push(wild);
+                        family_rules.push(Vec::new());
+                        wilds.len() - 1
+                    });
+                    family_rules[family].push(i);
+                    RuleRhs::Var { family }
+                }
+            };
+            rules.push(CompiledRule {
+                rule: i,
+                consts,
+                rhs_attr: cfd.rhs_attr(),
+                rhs,
+            });
+        }
+        let families = run_sharded(threads, &wilds, |wild| Family {
+            gids: GroupIds::build(rel, wild),
+        });
+        CoverPlan {
+            rules,
+            families,
+            family_rules,
+            const_rules,
+        }
+    }
+
+    /// Number of compiled rules.
+    pub fn n_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The family (grouping) a variable rule belongs to; `None` for
+    /// constant-RHS rules, which need no grouping.
+    pub fn family_of(&self, rule: usize) -> Option<usize> {
+        match self.rules[rule].rhs {
+            RuleRhs::Const(_) => None,
+            RuleRhs::Var { family } => Some(family),
+        }
+    }
+
+    /// The shared `tuple → group id` mapping of family `f` — what the
+    /// streaming engine bulk-builds its warm indexes from.
+    pub fn group_ids(&self, f: usize) -> &GroupIds {
+        &self.families[f].gids
+    }
+
+    /// Validates the compiled cover against `rel`, sharded across
+    /// `opts.threads` workers. The unit of scheduling is a whole family
+    /// (so a family's witness array is computed once and shared by all
+    /// its rules) or a single constant-RHS rule.
+    ///
+    /// `rel` must be the relation the plan was compiled for.
+    pub fn validate(&self, rel: &Relation, opts: &ValidateOptions) -> ValidationReport {
+        let index = RelationIndex::new(rel);
+        let units: Vec<Unit> = (0..self.families.len())
+            .map(Unit::Family)
+            .chain(self.const_rules.iter().map(|&r| Unit::ConstRule(r)))
+            .collect();
+        let chunks = run_sharded(opts.threads, &units, |unit| match unit {
+            Unit::ConstRule(r) => vec![eval_const_rule(rel, &index, &self.rules[*r], opts.limit)],
+            Unit::Family(f) => self.eval_family(rel, &index, *f, opts.limit),
+        });
+        let mut rules: Vec<RuleReport> = chunks.into_iter().flatten().collect();
+        rules.sort_unstable_by_key(|r| r.rule);
+        ValidationReport {
+            rules,
+            n_rows: rel.n_rows(),
+        }
+    }
+
+    /// Checks `r ⊨ Σ` for the compiled cover, stopping at the **first**
+    /// violation — the boolean form of [`validate`](CoverPlan::validate)
+    /// for callers that don't need counters (a dirty instance answers
+    /// as soon as one dissenting tuple is met, like the per-rule
+    /// reference's early exit, but still sharing one grouping pass per
+    /// family). Runs the same scanners as `validate`, with a sink that
+    /// aborts on the first violation.
+    pub fn holds(&self, rel: &Relation) -> bool {
+        let index = RelationIndex::new(rel);
+        for &r in &self.const_rules {
+            let mut dirty = false;
+            scan_const_rule(rel, &index, &self.rules[r], &mut |_, _| {
+                dirty = true;
+                false
+            });
+            if dirty {
+                return false;
+            }
+        }
+        for (f, rules) in self.family_rules.iter().enumerate() {
+            let mut witness: Option<Vec<u32>> = None;
+            for &r in rules {
+                let rule = &self.rules[r];
+                let mut dirty = false;
+                let mut abort = |_, _| {
+                    dirty = true;
+                    false
+                };
+                if rule.consts.is_empty() {
+                    let wit = witness.get_or_insert_with(|| self.families[f].gids.witnesses());
+                    scan_plain_var_rule(rel, rule, &self.families[f].gids, wit, &mut abort);
+                } else {
+                    scan_var_rule(rel, &index, rule, &self.families[f].gids, &mut abort);
+                }
+                if dirty {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Evaluates every rule of one family: the family's grouping was
+    /// computed at compile time, its witness array is computed here at
+    /// most once (only if some member rule has no LHS constants), and
+    /// each member rule is one driven scan.
+    fn eval_family(
+        &self,
+        rel: &Relation,
+        index: &RelationIndex,
+        f: usize,
+        limit: usize,
+    ) -> Vec<RuleReport> {
+        let mut witness: Option<Vec<u32>> = None;
+        self.family_rules[f]
+            .iter()
+            .map(|&r| {
+                let rule = &self.rules[r];
+                let mut violations = 0usize;
+                let mut sample = Vec::new();
+                let support;
+                {
+                    let mut count = |w, t| {
+                        violations += 1;
+                        if sample.len() < limit {
+                            sample.push(Violation::Pair(w, t));
+                        }
+                        true
+                    };
+                    support = if rule.consts.is_empty() {
+                        let wit = witness.get_or_insert_with(|| self.families[f].gids.witnesses());
+                        scan_plain_var_rule(rel, rule, &self.families[f].gids, wit, &mut count)
+                    } else {
+                        scan_var_rule(rel, index, rule, &self.families[f].gids, &mut count)
+                    };
+                }
+                RuleReport {
+                    rule: r,
+                    support,
+                    violations,
+                    sample,
+                    confidence: confidence(violations, support),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Compiles and validates in one call — the `cfd check` entry point.
+pub fn validate<'a, I>(rel: &Relation, cfds: I, opts: &ValidateOptions) -> ValidationReport
+where
+    I: IntoIterator<Item = &'a Cfd>,
+{
+    CoverPlan::compile_with(rel, cfds, opts.threads).validate(rel, opts)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads
+/// (round-robin shards, results re-assembled in item order — the output
+/// cannot depend on the thread count).
+fn run_sharded<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(threads)
+                        .map(|(i, item)| (i, f(item)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    for (i, r) in chunks.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|s| s.unwrap()).collect()
+}
+
+/// Sentinel for an empty group slot (no tuple id reaches `u32::MAX`).
+const EMPTY: u64 = u64::MAX;
+
+/// Group state of one variable rule: `(first tuple) << 32 | first RHS
+/// code`, indexed by group id — flat when the group universe is in
+/// proportion to the rows scanned, a small hash map when the driving
+/// region makes most groups unreachable.
+enum Slots {
+    Dense(Vec<u64>),
+    Sparse(FxHashMap<u32, u64>),
+}
+
+impl Slots {
+    #[inline]
+    fn get(&self, gid: u32) -> u64 {
+        match self {
+            Slots::Dense(v) => v[gid as usize],
+            Slots::Sparse(m) => m.get(&gid).copied().unwrap_or(EMPTY),
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, gid: u32, slot: u64) {
+        match self {
+            Slots::Dense(v) => v[gid as usize] = slot,
+            Slots::Sparse(m) => {
+                m.insert(gid, slot);
+            }
+        }
+    }
+}
+
+/// The scan driver: all rows, or the smallest LHS-constant value region
+/// (always ascending, so scan order — and therefore witness choice and
+/// violation order — is identical either way).
+enum Driver<'a> {
+    Full(u32),
+    Region(&'a [TupleId]),
+}
+
+impl Driver<'_> {
+    fn rows(&self) -> usize {
+        match self {
+            Driver::Full(n) => *n as usize,
+            Driver::Region(r) => r.len(),
+        }
+    }
+
+    fn for_each(&self, mut f: impl FnMut(TupleId)) {
+        match self {
+            Driver::Full(n) => (0..*n).for_each(&mut f),
+            Driver::Region(r) => r.iter().copied().for_each(&mut f),
+        }
+    }
+
+    /// [`for_each`](Driver::for_each) with early exit: stops as soon as
+    /// `f` returns `false`.
+    fn all(&self, mut f: impl FnMut(TupleId) -> bool) -> bool {
+        match self {
+            Driver::Full(n) => (0..*n).all(&mut f),
+            Driver::Region(r) => r.iter().all(|&t| f(t)),
+        }
+    }
+}
+
+/// Runs `f` over the tuples matching `consts`, in ascending row order,
+/// driven by the smallest constant value region — the shared scan shape
+/// of validation and repair.
+pub(crate) fn scan_matching(
+    rel: &Relation,
+    index: &RelationIndex,
+    consts: &[(AttrId, u32)],
+    mut f: impl FnMut(TupleId),
+) {
+    let (driver, residual) = pick_driver(rel, index, consts);
+    let filters: Vec<(&[u32], u32)> = residual
+        .iter()
+        .map(|&(a, c)| (rel.column(a).codes(), c))
+        .collect();
+    driver.for_each(|t| {
+        if filters.iter().all(|&(codes, c)| codes[t as usize] == c) {
+            f(t);
+        }
+    });
+}
+
+/// Picks the scan driver for a rule: the smallest value region among
+/// its LHS constants (the filter pushed into the scan), or the full
+/// relation when the rule has none. Returns the driver and the
+/// *residual* constant filters the scan still has to test.
+fn pick_driver<'a>(
+    rel: &Relation,
+    index: &'a RelationIndex,
+    consts: &[(AttrId, u32)],
+) -> (Driver<'a>, Vec<(AttrId, u32)>) {
+    let best = consts
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, c))| (index.column(rel, a).region(c).len(), i))
+        .min();
+    match best {
+        None => (Driver::Full(rel.n_rows() as u32), consts.to_vec()),
+        Some((_, i)) => {
+            let (a, c) = consts[i];
+            let residual = consts
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &p)| p)
+                .collect();
+            (Driver::Region(index.column(rel, a).region(c)), residual)
+        }
+    }
+}
+
+/// `1 - violations / support`, 1.0 when nothing matches.
+fn confidence(violations: usize, support: usize) -> f64 {
+    if support == 0 {
+        1.0
+    } else {
+        1.0 - violations as f64 / support as f64
+    }
+}
+
+/// Evaluates one constant-RHS rule in a single driven scan.
+fn eval_const_rule(
+    rel: &Relation,
+    index: &RelationIndex,
+    rule: &CompiledRule,
+    limit: usize,
+) -> RuleReport {
+    let mut violations = 0usize;
+    let mut sample = Vec::new();
+    let support = scan_const_rule(rel, index, rule, &mut |_, t| {
+        violations += 1;
+        if sample.len() < limit {
+            sample.push(Violation::Single(t));
+        }
+        true
+    });
+    RuleReport {
+        rule: rule.rule,
+        support,
+        violations,
+        sample,
+        confidence: confidence(violations, support),
+    }
+}
+
+/// The violation sink of a rule scan: called as `(witness, tuple)` per
+/// violation (for a constant-RHS rule both are the dissenting tuple);
+/// returning `false` aborts the scan. Every evaluation mode — counting
+/// (`validate`) and early-exit (`holds`) — runs through the same three
+/// scanners below, so the two paths cannot drift apart.
+type Sink<'s> = &'s mut dyn FnMut(TupleId, TupleId) -> bool;
+
+/// Scans one constant-RHS rule, feeding dissenting tuples to `sink`.
+/// Returns the support counted up to the stop point.
+fn scan_const_rule(
+    rel: &Relation,
+    index: &RelationIndex,
+    rule: &CompiledRule,
+    sink: Sink,
+) -> usize {
+    let RuleRhs::Const(expect) = rule.rhs else {
+        unreachable!("scan_const_rule takes a const-RHS rule");
+    };
+    let (driver, residual) = pick_driver(rel, index, &rule.consts);
+    let filters: Vec<(&[u32], u32)> = residual
+        .iter()
+        .map(|&(a, c)| (rel.column(a).codes(), c))
+        .collect();
+    let rhs_codes = rel.column(rule.rhs_attr).codes();
+    let mut support = 0usize;
+    driver.all(|t| {
+        if !filters.iter().all(|&(codes, c)| codes[t as usize] == c) {
+            return true;
+        }
+        support += 1;
+        rhs_codes[t as usize] == expect || sink(t, t)
+    });
+    support
+}
+
+/// Scans one variable rule that carries LHS constants: the scan is
+/// driven by the smallest constant region and per-group witnesses are
+/// tracked per rule (the rule's witness is the first tuple matching
+/// *its* constants, not the family's global first). Feeds
+/// `(witness, dissenter)` pairs to `sink`; returns the support counted
+/// up to the stop point.
+fn scan_var_rule(
+    rel: &Relation,
+    index: &RelationIndex,
+    rule: &CompiledRule,
+    gids: &GroupIds,
+    sink: Sink,
+) -> usize {
+    let (driver, residual) = pick_driver(rel, index, &rule.consts);
+    let filters: Vec<(&[u32], u32)> = residual
+        .iter()
+        .map(|&(a, c)| (rel.column(a).codes(), c))
+        .collect();
+    let rhs_codes = rel.column(rule.rhs_attr).codes();
+    let n_groups = gids.n_groups();
+    let gids = gids.gids();
+    let mut support = 0usize;
+    // a driving region much smaller than the group universe cannot
+    // touch most groups — use a map instead of a flat array there
+    let mut slots = if n_groups <= 4 * driver.rows() {
+        Slots::Dense(vec![EMPTY; n_groups])
+    } else {
+        Slots::Sparse(FxHashMap::default())
+    };
+    driver.all(|t| {
+        if !filters.iter().all(|&(codes, c)| codes[t as usize] == c) {
+            return true;
+        }
+        support += 1;
+        let gid = gids[t as usize];
+        let rhs = rhs_codes[t as usize];
+        let slot = slots.get(gid);
+        if slot == EMPTY {
+            debug_assert_ne!(((t as u64) << 32) | rhs as u64, EMPTY);
+            slots.set(gid, ((t as u64) << 32) | rhs as u64);
+            true
+        } else if (slot & 0xFFFF_FFFF) as u32 != rhs {
+            sink((slot >> 32) as TupleId, t)
+        } else {
+            true
+        }
+    });
+    support
+}
+
+/// Scans one variable rule with **no** LHS constants: its group
+/// witnesses are the family's, so the scan is two array loads and a
+/// compare per row. Feeds `(witness, dissenter)` pairs to `sink`;
+/// returns the rule's support (every tuple matches).
+fn scan_plain_var_rule(
+    rel: &Relation,
+    rule: &CompiledRule,
+    gids: &GroupIds,
+    witness: &[u32],
+    sink: Sink,
+) -> usize {
+    debug_assert!(rule.consts.is_empty());
+    let rhs_codes = rel.column(rule.rhs_attr).codes();
+    for (t, &g) in gids.gids().iter().enumerate() {
+        let w = witness[g as usize];
+        if rhs_codes[t] != rhs_codes[w as usize] && !sink(w as TupleId, t as TupleId) {
+            break;
+        }
+    }
+    rel.n_rows()
+}

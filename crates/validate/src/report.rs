@@ -1,0 +1,64 @@
+//! Validation results: per-rule counters plus a bounded violation
+//! sample, for a whole cover at once.
+
+use cfd_model::Violation;
+
+/// The outcome of validating one rule of a cover.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleReport {
+    /// Index of the rule in the validated cover.
+    pub rule: usize,
+    /// Tuples matching the rule's LHS pattern constants (its support on
+    /// the instance; for a plain FD this is every tuple).
+    pub support: usize,
+    /// Exact number of violations — what
+    /// [`cfd_model::violation::violations`] would return the length of.
+    pub violations: usize,
+    /// The first violations in scan order, capped at the run's
+    /// [`limit`](crate::ValidateOptions::limit). With an uncapped limit
+    /// this is exactly [`cfd_model::violation::violations`] on the rule.
+    pub sample: Vec<Violation>,
+    /// `1 - violations / support` (1.0 when nothing matches): the
+    /// fraction of matching tuples not implicated in a violation — the
+    /// same confidence the streaming engine tracks per rule.
+    pub confidence: f64,
+}
+
+impl RuleReport {
+    /// True iff the instance satisfies the rule (`r ⊨ φ`).
+    pub fn satisfied(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// The outcome of validating an entire cover against one instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValidationReport {
+    /// Per-rule reports, in rule order.
+    pub rules: Vec<RuleReport>,
+    /// Number of tuples validated.
+    pub n_rows: usize,
+}
+
+impl ValidationReport {
+    /// True iff the instance satisfies every rule (`r ⊨ Σ`).
+    pub fn satisfied(&self) -> bool {
+        self.rules.iter().all(|r| r.satisfied())
+    }
+
+    /// Total violation count across all rules.
+    pub fn total_violations(&self) -> usize {
+        self.rules.iter().map(|r| r.violations).sum()
+    }
+
+    /// Flattens the per-rule samples into `(rule, violation)` pairs in
+    /// rule order — with an uncapped limit, exactly what the per-rule
+    /// reference scan ([`crate::detect_violations`]'s contract) reports.
+    pub fn detect(&self) -> Vec<(usize, Violation)> {
+        let mut out = Vec::new();
+        for r in &self.rules {
+            out.extend(r.sample.iter().map(|&v| (r.rule, v)));
+        }
+        out
+    }
+}

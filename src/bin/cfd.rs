@@ -3,11 +3,16 @@
 //! ```text
 //! cfd discover <data.csv> [--k N] [--algo fastcfd|ctane|naive|cfdminer|tane|fastfd]
 //!              [--max-lhs N] [--threads N] [--constants-only] [--tableau]
-//! cfd check    <data.csv> <rules.txt> [--limit N]
+//! cfd check    <data.csv> <rules.txt> [--limit N] [--threads N]
 //! cfd repair   <data.csv> <rules.txt> <out.csv>
 //! cfd stats    <data.csv>
 //! cfd watch    <initial.csv> <rules.txt> [--shards N]
 //! ```
+//!
+//! `--threads N` parallelizes `discover` for `--algo fastcfd` (FindCover
+//! is embarrassingly parallel across RHS attributes; the other
+//! algorithms are single-threaded and say so) and `check` (rules are
+//! sharded across workers by the validation kernel).
 //!
 //! `discover` prints one rule per line in the paper's syntax — the same
 //! syntax `check` parses back, so the two commands compose:
@@ -40,10 +45,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  cfd discover <data.csv> [--k N] [--algo fastcfd|ctane|naive|cfdminer|tane|fastfd]\n\
          \x20              [--max-lhs N] [--threads N] [--constants-only] [--tableau]\n  \
-         cfd check <data.csv> <rules.txt> [--limit N]\n  \
+         cfd check <data.csv> <rules.txt> [--limit N] [--threads N]\n  \
          cfd repair <data.csv> <rules.txt> <out.csv>\n  \
          cfd stats <data.csv>\n  \
-         cfd watch <initial.csv> <rules.txt> [--shards N]"
+         cfd watch <initial.csv> <rules.txt> [--shards N]\n\
+         (--threads parallelizes discovery for --algo fastcfd only, and check)"
     );
     ExitCode::from(2)
 }
@@ -100,6 +106,14 @@ fn discover(a: &Args) -> Result<ExitCode> {
         a.k
     );
     let t0 = std::time::Instant::now();
+    if a.threads > 1 && a.algo != "fastcfd" {
+        eprintln!(
+            "# warning: --threads {} is ignored by --algo {} — only fastcfd \
+             parallelizes discovery (FindCover shards across RHS attributes); \
+             running single-threaded",
+            a.threads, a.algo
+        );
+    }
     let cover = match a.algo.as_str() {
         "fastcfd" => FastCfd::new(a.k).threads(a.threads).discover(&rel),
         "naive" => FastCfd::naive(a.k).discover(&rel),
@@ -158,20 +172,29 @@ fn check(a: &Args) -> Result<ExitCode> {
     let rel = relation_from_csv_path(&a.positional[0])?;
     let rules = load_rules(&rel, &a.positional[1])?;
     eprintln!(
-        "# checking {} rules against {}",
+        "# checking {} rules against {} ({} threads)",
         rules.len(),
-        a.positional[0]
+        a.positional[0],
+        a.threads.max(1),
     );
-    let mut dirty = false;
-    for (text, cfd) in &rules {
-        let vs = cfd_suite::model::violation::violations_limited(&rel, cfd, a.limit + 1);
-        if vs.is_empty() {
+    // one kernel pass over the relation for the whole cover: rules
+    // sharing an LHS wildcard set share a grouping, and the sample cap
+    // keeps per-rule output bounded while the counters stay exact
+    let report = validate(
+        &rel,
+        rules.iter().map(|(_, cfd)| cfd),
+        &ValidateOptions {
+            threads: a.threads,
+            limit: a.limit,
+        },
+    );
+    for r in &report.rules {
+        if r.satisfied() {
             continue;
         }
-        dirty = true;
-        let shown = vs.len().min(a.limit);
+        let (text, _) = &rules[r.rule];
         println!("VIOLATED {text}");
-        for v in vs.iter().take(shown) {
+        for v in &r.sample {
             match v {
                 Violation::Single(t) => {
                     println!("  tuple {}: {:?}", t + 1, rel.tuple_values(*t))
@@ -185,15 +208,18 @@ fn check(a: &Args) -> Result<ExitCode> {
                 ),
             }
         }
-        if vs.len() > shown {
-            println!("  ... more violations (raise --limit)");
+        if r.violations > r.sample.len() {
+            println!(
+                "  ... {} more violations (raise --limit)",
+                r.violations - r.sample.len()
+            );
         }
     }
-    if dirty {
-        Ok(ExitCode::FAILURE)
-    } else {
+    if report.satisfied() {
         println!("OK: all rules hold");
         Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
     }
 }
 
@@ -203,7 +229,7 @@ fn repair(a: &Args) -> Result<ExitCode> {
         .into_iter()
         .map(|(_, cfd)| cfd)
         .collect();
-    use cfd_suite::model::repair::{apply_repairs, suggest_repairs_for_cover};
+    use cfd_suite::model::repair::apply_repairs;
     let before = detect_violations(&rel, &rules).len();
     let repairs = suggest_repairs_for_cover(&rel, &rules);
     let fixed = apply_repairs(&rel, &repairs);

@@ -11,8 +11,12 @@
 //! * [`core`] — the discovery algorithms: CFDMiner, CTANE, FastCFD/NaiveFast;
 //! * [`fd`] — the classical FD baselines TANE and FastFD;
 //! * [`datagen`] — synthetic datasets used by the paper's evaluation;
+//! * [`validate`] — the shared validation kernel: compile a cover once,
+//!   validate whole relations in one (parallel) pass (`cfd check`,
+//!   `cfd repair`);
 //! * [`stream`] — the incremental violation-detection engine for
-//!   streaming tuple batches (`cfd watch`).
+//!   streaming tuple batches (`cfd watch`), warm-started through the
+//!   kernel.
 //!
 //! ## Quickstart
 //!
@@ -36,16 +40,21 @@ pub use cfd_itemset as itemset;
 pub use cfd_model as model;
 pub use cfd_partition as partition;
 pub use cfd_stream as stream;
+pub use cfd_validate as validate;
 
 /// The items most programs need.
 pub mod prelude {
     pub use cfd_core::{BruteForce, CfdMiner, Ctane, DiffSetMode, FastCfd};
     pub use cfd_model::cfd::parse_cfd;
     pub use cfd_model::csv::{relation_from_csv_path, relation_from_csv_str};
-    pub use cfd_model::violation::{detect_violations, Violation};
+    pub use cfd_model::violation::Violation;
     pub use cfd_model::{
         normalize_cfd, satisfies, support, violations, AttrSet, CanonicalCover, Cfd, CfdClass,
         Error, PVal, Pattern, Relation, RelationBuilder, Result, Schema,
     };
     pub use cfd_stream::{BatchDelta, RuleStats, StreamEngine};
+    pub use cfd_validate::{
+        detect_violations, satisfies_cover, suggest_repairs_for_cover, validate, CoverPlan,
+        RuleReport, ValidateOptions, ValidationReport,
+    };
 }

@@ -74,6 +74,65 @@ fn discover_check_round_trip() {
     assert!(report.contains("VIOLATED"), "{report}");
     assert!(report.contains("Low St."), "{report}");
 
+    // the kernel shards rules across threads without changing the report
+    let bad4 = bin()
+        .args([
+            "check",
+            dirty.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "--threads",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(!bad4.status.success());
+    assert_eq!(
+        report,
+        String::from_utf8_lossy(&bad4.stdout).to_string(),
+        "4-thread check output differs from single-threaded"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn discover_warns_when_threads_are_ignored() {
+    let dir = std::env::temp_dir().join(format!("cfd-cli5-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("data.csv");
+    write_csv(&csv, false);
+    let path = csv.to_str().unwrap();
+
+    // ctane is single-threaded: asking for threads warns on stderr
+    let out = bin()
+        .args([
+            "discover",
+            path,
+            "--k",
+            "2",
+            "--algo",
+            "ctane",
+            "--threads",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        stderr.contains("--threads 4 is ignored by --algo ctane"),
+        "{stderr}"
+    );
+
+    // fastcfd parallelizes: no warning
+    let out = bin()
+        .args(["discover", path, "--k", "2", "--threads", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(!stderr.contains("ignored"), "{stderr}");
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -68,7 +68,7 @@ fn discover_then_clean_workflow() {
     let dirty = dirty_cust_relation();
     let rules = FastCfd::new(2).discover(&clean);
     assert!(rules.iter().all(|c| satisfies(&clean, c)));
-    let found = cfd_suite::model::violation::detect_violations(&dirty, rules.cfds());
+    let found = cfd_suite::validate::detect_violations(&dirty, rules.cfds());
     assert!(!found.is_empty(), "dirty data must trigger violations");
     // t6's corrupted street (row 5) is implicated
     let implicated: std::collections::HashSet<u32> = found
@@ -92,7 +92,7 @@ fn noise_injection_cleaning_recall() {
     let rules = FastCfd::new(6).discover(&clean);
     let (dirty, cells) = inject_noise(&clean, 0.01, 99);
     assert!(!cells.is_empty());
-    let found = cfd_suite::model::violation::detect_violations(&dirty, rules.cfds());
+    let found = cfd_suite::validate::detect_violations(&dirty, rules.cfds());
     // soundness of the harness: every reported violation is a real
     // violation of a rule that held on clean data
     for &(i, _) in &found {
@@ -136,15 +136,15 @@ fn wbc_discovery_is_consistent() {
 
 #[test]
 fn repair_suggestions_reduce_violations() {
-    use cfd_suite::model::repair::{apply_repairs, suggest_repairs_for_cover};
+    use cfd_suite::model::repair::apply_repairs;
     let clean = TaxGenerator::new(800).generate();
     let rules = FastCfd::new(8).discover(&clean);
     let (dirty, cells) = inject_noise(&clean, 0.005, 17);
     assert!(!cells.is_empty());
-    let before = cfd_suite::model::violation::detect_violations(&dirty, rules.cfds()).len();
+    let before = cfd_suite::validate::detect_violations(&dirty, rules.cfds()).len();
     let repairs = suggest_repairs_for_cover(&dirty, rules.cfds());
     let fixed = apply_repairs(&dirty, &repairs);
-    let after = cfd_suite::model::violation::detect_violations(&fixed, rules.cfds()).len();
+    let after = cfd_suite::validate::detect_violations(&fixed, rules.cfds()).len();
     assert!(
         after < before,
         "repairs must reduce violations: {before} -> {after}"
