@@ -23,11 +23,23 @@
 //! producing them.
 
 use crate::table::{Cell, Table};
-use cfd_core::{CfdMiner, Ctane, FastCfd};
-use cfd_fd::{FastFd, Tane};
+use cfd_core::api::{Algo, Control, DiscoverOptions, Discoverer};
+use cfd_core::FastCfd;
+use cfd_model::cover::CanonicalCover;
 use cfd_model::relation::Relation;
 use std::path::Path;
 use std::time::Instant;
+
+/// The harness's one door into discovery: every non-ablation
+/// measurement goes through the unified `Discoverer` API, so the
+/// harness exercises exactly what the CLI and library users run.
+/// Ablation experiments configure struct-level knobs directly — those
+/// knobs are deliberately not part of `DiscoverOptions`.
+fn discover(algo: Algo, opts: &DiscoverOptions, rel: &Relation) -> CanonicalCover {
+    algo.discover_with(rel, opts, &Control::default())
+        .expect("harness options are valid")
+        .cover
+}
 
 /// All primary experiment identifiers, in suite order.
 pub const EXPERIMENT_IDS: &[&str] = &[
@@ -185,11 +197,14 @@ fn fig5(scale: Scale) -> Vec<(String, Table)> {
     for dbsize in sizes {
         let rel = tax(dbsize, 7, 0.7);
         let k = k_of(dbsize);
-        let (_, c_miner) = Guard::new(f64::MAX).run(|| CfdMiner::new(k).discover(&rel));
-        let (_, c_miner2) = Guard::new(f64::MAX).run(|| CfdMiner::new(2).discover(&rel));
-        let (_, c_ctane) = g_ctane.run(|| Ctane::new(k).discover(&rel));
-        let (_, c_naive) = g_naive.run(|| FastCfd::naive(k).discover(&rel));
-        let (cover, c_fast) = Guard::new(f64::MAX).run(|| FastCfd::new(k).discover(&rel));
+        let (_, c_miner) =
+            Guard::new(f64::MAX).run(|| discover(Algo::CfdMiner, &DiscoverOptions::new(k), &rel));
+        let (_, c_miner2) =
+            Guard::new(f64::MAX).run(|| discover(Algo::CfdMiner, &DiscoverOptions::new(2), &rel));
+        let (_, c_ctane) = g_ctane.run(|| discover(Algo::Ctane, &DiscoverOptions::new(k), &rel));
+        let (_, c_naive) = g_naive.run(|| discover(Algo::Naive, &DiscoverOptions::new(k), &rel));
+        let (cover, c_fast) =
+            Guard::new(f64::MAX).run(|| discover(Algo::FastCfd, &DiscoverOptions::new(k), &rel));
         t5.push_row(dbsize, vec![c_miner, c_miner2, c_ctane, c_naive, c_fast]);
         let (nc, nv) = cover.expect("fastcfd always runs").counts();
         t6.push_row(dbsize, vec![Cell::Count(nc), Cell::Count(nv)]);
@@ -219,10 +234,12 @@ fn fig7(scale: Scale) -> Vec<(String, Table)> {
         let c_ctane = if arity > scale.ctane_arity_cap() {
             g_ctane.skip()
         } else {
-            g_ctane.run(|| Ctane::new(k).discover(&rel)).1
+            g_ctane
+                .run(|| discover(Algo::Ctane, &DiscoverOptions::new(k), &rel))
+                .1
         };
-        let (_, c_naive) = g_naive.run(|| FastCfd::naive(k).discover(&rel));
-        let (_, c_fast) = g_fast.run(|| FastCfd::new(k).discover(&rel));
+        let (_, c_naive) = g_naive.run(|| discover(Algo::Naive, &DiscoverOptions::new(k), &rel));
+        let (_, c_fast) = g_fast.run(|| discover(Algo::FastCfd, &DiscoverOptions::new(k), &rel));
         t.push_row(arity, vec![c_ctane, c_naive, c_fast]);
     }
     vec![("fig7".into(), t)]
@@ -256,9 +273,10 @@ fn fig8(scale: Scale) -> Vec<(String, Table)> {
     let mut g_ctane = Guard::new(scale.budget());
     let mut g_naive = Guard::new(scale.budget());
     for &k in ks.iter().rev() {
-        let (_, c_ctane) = g_ctane.run(|| Ctane::new(k).discover(&rel));
-        let (_, c_naive) = g_naive.run(|| FastCfd::naive(k).discover(&rel));
-        let (cover, c_fast) = Guard::new(f64::MAX).run(|| FastCfd::new(k).discover(&rel));
+        let (_, c_ctane) = g_ctane.run(|| discover(Algo::Ctane, &DiscoverOptions::new(k), &rel));
+        let (_, c_naive) = g_naive.run(|| discover(Algo::Naive, &DiscoverOptions::new(k), &rel));
+        let (cover, c_fast) =
+            Guard::new(f64::MAX).run(|| discover(Algo::FastCfd, &DiscoverOptions::new(k), &rel));
         t8.rows
             .insert(0, (k.to_string(), vec![c_ctane, c_naive, c_fast]));
         let (nc, nv) = cover.expect("fastcfd always runs").counts();
@@ -285,9 +303,9 @@ fn fig10(scale: Scale) -> Vec<(String, Table)> {
     let mut g_fast = Guard::new(scale.budget());
     for &cf in cfs.iter().rev() {
         let rel = tax(dbsize, 9, cf);
-        let (_, c_ctane) = g_ctane.run(|| Ctane::new(k).discover(&rel));
-        let (_, c_naive) = g_naive.run(|| FastCfd::naive(k).discover(&rel));
-        let (_, c_fast) = g_fast.run(|| FastCfd::new(k).discover(&rel));
+        let (_, c_ctane) = g_ctane.run(|| discover(Algo::Ctane, &DiscoverOptions::new(k), &rel));
+        let (_, c_naive) = g_naive.run(|| discover(Algo::Naive, &DiscoverOptions::new(k), &rel));
+        let (_, c_fast) = g_fast.run(|| discover(Algo::FastCfd, &DiscoverOptions::new(k), &rel));
         t.rows
             .insert(0, (format!("{cf:.1}"), vec![c_ctane, c_naive, c_fast]));
     }
@@ -325,13 +343,11 @@ fn dataset_k_sweep(
     let mut g_fast = Guard::new(scale.budget());
     for &k in ks.iter().rev() {
         let c_ctane = {
-            let ctane = match ctane_max_lhs {
-                Some(m) => Ctane::new(k).max_lhs(m),
-                None => Ctane::new(k),
-            };
-            g_ctane.run(|| ctane.discover(rel)).1
+            let mut opts = DiscoverOptions::new(k);
+            opts.max_lhs = ctane_max_lhs;
+            g_ctane.run(|| discover(Algo::Ctane, &opts, rel)).1
         };
-        let (cover, c_fast) = g_fast.run(|| FastCfd::new(k).discover(rel));
+        let (cover, c_fast) = g_fast.run(|| discover(Algo::FastCfd, &DiscoverOptions::new(k), rel));
         tt.rows.insert(0, (k.to_string(), vec![c_ctane, c_fast]));
         let counts = match cover {
             Some(c) => {
@@ -555,10 +571,10 @@ fn fd_baseline(scale: Scale) -> Vec<(String, Table)> {
     for dbsize in sizes {
         let rel = tax(dbsize, 7, 0.7);
         let t0 = Instant::now();
-        let tane = Tane::new().discover(&rel);
+        let tane = discover(Algo::Tane, &DiscoverOptions::new(1), &rel);
         let s_tane = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let fastfd = FastFd::new().discover(&rel);
+        let fastfd = discover(Algo::FastFd, &DiscoverOptions::new(1), &rel);
         let s_fastfd = t1.elapsed().as_secs_f64();
         assert_eq!(tane.cfds(), fastfd.cfds());
         t.push_row(

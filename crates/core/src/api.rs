@@ -1,0 +1,1001 @@
+//! The unified discovery API: one trait, one options struct, one
+//! structured outcome — for all six algorithms.
+//!
+//! The paper presents CFDMiner, CTANE and FastCFD as interchangeable
+//! answers to the same problem; this module makes them (plus the
+//! brute-force oracle and the TANE/FastFD baselines) interchangeable in
+//! code. Every consumer — the `cfd` CLI, the examples, the bench
+//! harness, tests, an embedding server — goes through the same three
+//! types:
+//!
+//! * [`DiscoverOptions`] — the validated, algorithm-independent knobs
+//!   (support `k`, `max_lhs`, `threads`, `constants_only`, attribute
+//!   projection);
+//! * [`Discoverer`] — the trait all algorithms implement, with a
+//!   cancellation/progress hook ([`Control`]);
+//! * [`Discovery`] — the structured outcome: the cover plus per-phase
+//!   timings, search counters, and machine-readable [`Note`]s for
+//!   options the chosen algorithm ignores (replacing ad-hoc stderr
+//!   warnings).
+//!
+//! The [`Algo`] registry ([`Algo::parse`], [`Algo::all`]) maps stable
+//! names to algorithms so CLIs and test matrices never string-match:
+//!
+//! ```
+//! use cfd_core::api::{Algo, Control, DiscoverOptions, Discoverer};
+//! use cfd_datagen::cust::cust_relation;
+//!
+//! let rel = cust_relation();
+//! let opts = DiscoverOptions::new(2);
+//! let fast = Algo::FastCfd.discover_with(&rel, &opts, &Control::default()).unwrap();
+//! let ctane = Algo::parse("ctane").unwrap()
+//!     .discover_with(&rel, &opts, &Control::default()).unwrap();
+//! assert_eq!(fast.cover.cfds(), ctane.cover.cfds());
+//! assert!(fast.stats.candidates > 0);
+//! ```
+
+use crate::bruteforce::BruteForce;
+use crate::cfdminer::CfdMiner;
+use crate::ctane::Ctane;
+use crate::fastcfd::{DiffSetMode, FastCfd};
+use cfd_fd::{FastFd, Tane};
+use cfd_model::attrset::AttrSet;
+use cfd_model::cover::CanonicalCover;
+use cfd_model::json::Json;
+pub use cfd_model::progress::{Cancelled, Control, PhaseTiming, Progress, SearchStats};
+use cfd_model::relation::Relation;
+
+/// The algorithm registry: every discovery algorithm the suite ships,
+/// under its stable CLI/wire name.
+///
+/// `Algo` is both a name table ([`Algo::parse`], [`Algo::name`],
+/// [`Algo::all`]) and itself a [`Discoverer`] (delegating to a
+/// default-configured instance), so a matrix over every algorithm is a
+/// plain loop:
+///
+/// ```
+/// use cfd_core::api::{Algo, Control, DiscoverOptions, Discoverer};
+/// let rel = cfd_datagen::cust::cust_relation();
+/// for algo in Algo::all() {
+///     let d = algo.discover_with(&rel, &DiscoverOptions::new(2), &Control::default()).unwrap();
+///     println!("{}: {} rules", algo, d.cover.len());
+/// }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Algo {
+    /// CFDMiner — constant CFDs via free/closed item sets (Section 3).
+    CfdMiner,
+    /// CTANE — level-wise general CFD discovery (Section 4).
+    Ctane,
+    /// FastCFD — depth-first over closed-set difference sets (Section 5).
+    FastCfd,
+    /// NaiveFast — FastCFD with stripped-partition difference sets.
+    Naive,
+    /// TANE — classical FD discovery (plain FDs only).
+    Tane,
+    /// FastFD — depth-first classical FD discovery (plain FDs only).
+    FastFd,
+    /// Exhaustive enumeration — the test oracle (tiny instances only).
+    BruteForce,
+}
+
+impl Algo {
+    /// Every registered algorithm, in documentation order. Drives the
+    /// CLI's `--algo` table, `cfd algos`, and the CI algorithm matrix.
+    pub fn all() -> [Algo; 7] {
+        [
+            Algo::CfdMiner,
+            Algo::Ctane,
+            Algo::FastCfd,
+            Algo::Naive,
+            Algo::Tane,
+            Algo::FastFd,
+            Algo::BruteForce,
+        ]
+    }
+
+    /// The stable name (what [`Algo::parse`] accepts).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Algo::CfdMiner => "cfdminer",
+            Algo::Ctane => "ctane",
+            Algo::FastCfd => "fastcfd",
+            Algo::Naive => "naive",
+            Algo::Tane => "tane",
+            Algo::FastFd => "fastfd",
+            Algo::BruteForce => "bruteforce",
+        }
+    }
+
+    /// One-line description for help output.
+    pub const fn description(self) -> &'static str {
+        match self {
+            Algo::CfdMiner => "constant CFDs via free/closed item sets (Section 3)",
+            Algo::Ctane => "general CFDs, level-wise with C+ pruning (Section 4)",
+            Algo::FastCfd => "general CFDs, depth-first over difference sets (Section 5)",
+            Algo::Naive => "FastCFD with stripped-partition difference sets (NaiveFast)",
+            Algo::Tane => "classical minimal FDs, level-wise (baseline)",
+            Algo::FastFd => "classical minimal FDs, depth-first (baseline)",
+            Algo::BruteForce => "exhaustive oracle — tiny instances only",
+        }
+    }
+
+    /// Resolves a (case-insensitive) name. The error lists every valid
+    /// name, so CLIs can surface it verbatim.
+    pub fn parse(name: &str) -> Result<Algo, UnknownAlgo> {
+        let lower = name.to_ascii_lowercase();
+        Algo::all()
+            .into_iter()
+            .find(|a| a.name() == lower)
+            .ok_or_else(|| UnknownAlgo(name.to_string()))
+    }
+
+    /// True iff the algorithm honors [`DiscoverOptions::threads`]
+    /// (FastCFD shards `FindCover` across RHS attributes).
+    pub const fn parallelizes(self) -> bool {
+        matches!(self, Algo::FastCfd | Algo::Naive)
+    }
+
+    /// True iff the algorithm honors [`DiscoverOptions::max_lhs`].
+    pub const fn honors_max_lhs(self) -> bool {
+        matches!(self, Algo::Ctane | Algo::Tane)
+    }
+
+    /// True iff the algorithm uses the support threshold `k` (the FD
+    /// baselines discover exact FDs regardless of support).
+    pub const fn uses_support(self) -> bool {
+        !matches!(self, Algo::Tane | Algo::FastFd)
+    }
+
+    /// True iff the algorithm only ever produces constant CFDs.
+    pub const fn constants_native(self) -> bool {
+        matches!(self, Algo::CfdMiner)
+    }
+
+    /// True iff the algorithm only produces plain FDs (all-wildcard
+    /// variable CFDs) — `constants_only` yields an empty cover.
+    pub const fn fds_only(self) -> bool {
+        matches!(self, Algo::Tane | Algo::FastFd)
+    }
+
+    /// A default-configured instance of the algorithm (shared knobs
+    /// come from [`DiscoverOptions`] at `discover_with` time;
+    /// algorithm-specific ablation knobs keep their paper defaults).
+    pub fn discoverer(self) -> Box<dyn Discoverer> {
+        match self {
+            Algo::CfdMiner => Box::new(CfdMiner::new(1)),
+            Algo::Ctane => Box::new(Ctane::new(1)),
+            Algo::FastCfd => Box::new(FastCfd::new(1)),
+            Algo::Naive => Box::new(FastCfd::naive(1)),
+            Algo::Tane => Box::new(Tane::new()),
+            Algo::FastFd => Box::new(FastFd::new()),
+            Algo::BruteForce => Box::new(BruteForce::new(1)),
+        }
+    }
+}
+
+impl std::fmt::Display for Algo {
+    /// Prints [`Algo::name`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algo {
+    type Err = UnknownAlgo;
+    fn from_str(s: &str) -> Result<Algo, UnknownAlgo> {
+        Algo::parse(s)
+    }
+}
+
+/// An algorithm name [`Algo::parse`] did not recognize.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownAlgo(pub String);
+
+impl std::fmt::Display for UnknownAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown algorithm {:?} (valid: ", self.0)?;
+        for (i, a) in Algo::all().into_iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(a.name())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for UnknownAlgo {}
+
+/// Algorithm-independent discovery options, validated once up front.
+///
+/// One struct configures every algorithm; options an algorithm has no
+/// use for are *reported*, not silently dropped — [`Discovery::notes`]
+/// carries a machine-readable [`Note`] per ignored option.
+///
+/// ```
+/// use cfd_core::api::{Algo, Control, DiscoverOptions, Discoverer};
+/// let rel = cfd_datagen::cust::cust_relation();
+/// let opts = DiscoverOptions::new(2).max_lhs(3).threads(4);
+/// let d = Algo::Ctane.discover_with(&rel, &opts, &Control::default()).unwrap();
+/// // CTANE honors max_lhs but not threads — and says so:
+/// assert_eq!(d.notes.len(), 1);
+/// assert_eq!(d.notes[0].option, "threads");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiscoverOptions {
+    /// Support threshold `k ≥ 1`: discovered CFDs must hold on at least
+    /// `k` tuples (ignored by the FD baselines).
+    pub k: usize,
+    /// Upper bound on LHS size (honored by the level-wise algorithms).
+    pub max_lhs: Option<usize>,
+    /// Worker threads (honored by FastCFD/NaiveFast; `1` = serial).
+    pub threads: usize,
+    /// Restrict the result to constant CFDs (applied natively by
+    /// CFDMiner, as a post-filter elsewhere).
+    pub constants_only: bool,
+    /// Project the relation onto this attribute set before discovery;
+    /// the resulting cover speaks the projected schema (see
+    /// [`Discovery::relation`]).
+    pub project: Option<AttrSet>,
+}
+
+impl Default for DiscoverOptions {
+    /// `k = 2`, everything else off — the paper's demonstration
+    /// configuration.
+    fn default() -> DiscoverOptions {
+        DiscoverOptions::new(2)
+    }
+}
+
+impl DiscoverOptions {
+    /// Options with support threshold `k` and every other knob off.
+    pub fn new(k: usize) -> DiscoverOptions {
+        DiscoverOptions {
+            k,
+            max_lhs: None,
+            threads: 1,
+            constants_only: false,
+            project: None,
+        }
+    }
+
+    /// Sets the LHS size bound.
+    pub fn max_lhs(mut self, m: usize) -> DiscoverOptions {
+        self.max_lhs = Some(m);
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, t: usize) -> DiscoverOptions {
+        self.threads = t;
+        self
+    }
+
+    /// Restricts the result to constant CFDs.
+    pub fn constants_only(mut self) -> DiscoverOptions {
+        self.constants_only = true;
+        self
+    }
+
+    /// Projects the relation onto `attrs` before discovery.
+    pub fn project(mut self, attrs: AttrSet) -> DiscoverOptions {
+        self.project = Some(attrs);
+        self
+    }
+
+    /// Validates the options against a relation. Every [`Discoverer`]
+    /// checks this before running; call it directly to fail fast.
+    pub fn validate(&self, rel: &Relation) -> Result<(), DiscoverError> {
+        let fail = |m: String| Err(DiscoverError::Options(m));
+        if self.k < 1 {
+            return fail("support threshold k must be at least 1".into());
+        }
+        if self.threads < 1 {
+            return fail("threads must be at least 1".into());
+        }
+        if let Some(p) = self.project {
+            if p.is_empty() {
+                return fail("projection must keep at least one attribute".into());
+            }
+            let universe = rel.schema().all_attrs();
+            if !p.is_subset(universe) {
+                return fail(format!(
+                    "projection references attribute ids outside the schema (arity {})",
+                    rel.arity()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the options (attribute ids resolved against `rel`).
+    pub fn to_json(&self, rel: &Relation) -> Json {
+        Json::obj([
+            ("k", Json::from(self.k)),
+            ("max_lhs", Json::from(self.max_lhs)),
+            ("threads", Json::from(self.threads)),
+            ("constants_only", Json::from(self.constants_only)),
+            (
+                "project",
+                match self.project {
+                    None => Json::Null,
+                    Some(set) => Json::arr(set.iter().map(|a| Json::from(rel.schema().name(a)))),
+                },
+            ),
+        ])
+    }
+}
+
+/// A machine-readable remark attached to a [`Discovery`] — today always
+/// "this option was ignored", replacing the CLI's former ad-hoc stderr
+/// warnings. `Display` renders the human-facing sentence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Note {
+    /// The algorithm the note is about.
+    pub algo: Algo,
+    /// The ignored option, in CLI-flag spelling (`"threads"`,
+    /// `"max-lhs"`, `"k"`, `"constants-only"`).
+    pub option: &'static str,
+    /// The value that was supplied.
+    pub value: String,
+    /// Why the option had no effect.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for Note {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "--{} {} is ignored by --algo {}: {}",
+            self.option, self.value, self.algo, self.reason
+        )
+    }
+}
+
+impl Note {
+    /// Serializes the note.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("algo", Json::from(self.algo.name())),
+            ("option", Json::from(self.option)),
+            ("value", Json::from(self.value.as_str())),
+            ("reason", Json::from(self.reason)),
+        ])
+    }
+}
+
+/// A discovery run failed before producing a cover.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DiscoverError {
+    /// The options failed [`DiscoverOptions::validate`].
+    Options(String),
+    /// The run was cancelled through its [`Control`].
+    Cancelled,
+    /// The algorithm cannot run on this input (e.g. the brute-force
+    /// oracle refuses arity > 10).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for DiscoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscoverError::Options(m) => write!(f, "invalid options: {m}"),
+            DiscoverError::Cancelled => f.write_str("discovery cancelled"),
+            DiscoverError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DiscoverError {}
+
+impl From<Cancelled> for DiscoverError {
+    fn from(_: Cancelled) -> DiscoverError {
+        DiscoverError::Cancelled
+    }
+}
+
+/// The structured outcome of a discovery run.
+#[derive(Clone, Debug)]
+pub struct Discovery {
+    /// Which algorithm ran.
+    pub algo: Algo,
+    /// The canonical cover (after `constants_only` filtering).
+    pub cover: CanonicalCover,
+    /// Search counters (candidates tested/pruned, partitions computed,
+    /// …) with the algorithm's per-phase timings in
+    /// [`SearchStats::phases`]; a final `total` phase covers the whole
+    /// run including projection and filtering.
+    pub stats: SearchStats,
+    /// Options the run ignored, one note per option.
+    pub notes: Vec<Note>,
+    /// The options the run was configured with.
+    pub options: DiscoverOptions,
+    /// When [`DiscoverOptions::project`] was set: the projected
+    /// relation the cover's attribute ids refer to.
+    pub projected: Option<Relation>,
+}
+
+impl Discovery {
+    /// The relation the cover speaks: the projection when one was
+    /// requested, otherwise `input` (pass the relation you discovered
+    /// on). Use this for [`CanonicalCover::to_text`] / display.
+    pub fn relation<'a>(&'a self, input: &'a Relation) -> &'a Relation {
+        self.projected.as_ref().unwrap_or(input)
+    }
+
+    /// Total wall-clock duration (the `total` phase).
+    pub fn total_time(&self) -> std::time::Duration {
+        self.stats
+            .phases
+            .iter()
+            .rev()
+            .find(|p| p.name == "total")
+            .map(|p| p.duration)
+            .unwrap_or_default()
+    }
+
+    /// Serializes the whole outcome — rules (wire text + structure),
+    /// counts, counters, timings, notes — as one JSON object. This is
+    /// the document behind `cfd discover --format json`.
+    pub fn to_json(&self, input: &Relation) -> Json {
+        let rel = self.relation(input);
+        let (nc, nv) = self.cover.counts();
+        Json::obj([
+            ("algorithm", Json::from(self.algo.name())),
+            ("options", self.options.to_json(input)),
+            ("rules", self.cover.to_json(rel)),
+            (
+                "counts",
+                Json::obj([
+                    ("total", Json::from(self.cover.len())),
+                    ("constant", Json::from(nc)),
+                    ("variable", Json::from(nv)),
+                ]),
+            ),
+            (
+                "stats",
+                Json::obj([
+                    ("candidates", Json::from(self.stats.candidates)),
+                    ("pruned", Json::from(self.stats.pruned)),
+                    ("partitions", Json::from(self.stats.partitions)),
+                    ("free_sets", Json::from(self.stats.free_sets)),
+                    ("closed_sets", Json::from(self.stats.closed_sets)),
+                    (
+                        "diff_set_families",
+                        Json::from(self.stats.diff_set_families),
+                    ),
+                    ("emitted", Json::from(self.stats.emitted)),
+                ]),
+            ),
+            (
+                "timings",
+                Json::arr(self.stats.phases.iter().map(|p| {
+                    Json::obj([
+                        ("phase", Json::from(p.name)),
+                        ("seconds", Json::from(p.duration.as_secs_f64())),
+                    ])
+                })),
+            ),
+            ("notes", Json::arr(self.notes.iter().map(Note::to_json))),
+        ])
+    }
+}
+
+/// The unified discovery interface all six algorithms implement.
+///
+/// Implementors provide [`Discoverer::algo`] (their registry identity)
+/// and [`Discoverer::run`] (the instrumented core). Consumers call the
+/// provided [`Discoverer::discover_with`], which validates the options,
+/// applies the projection, runs the algorithm, post-filters for
+/// `constants_only`, and assembles the [`Discovery`] outcome with
+/// notes for ignored options.
+///
+/// Shared knobs (`k`, `max_lhs`, `threads`) are read from
+/// [`DiscoverOptions`] — the single source of truth on this path.
+/// Struct-level builder knobs cover algorithm-specific ablations only
+/// (e.g. [`FastCfd::dynamic_reorder`]) and keep configuring the legacy
+/// `discover(&rel)` shorthand.
+///
+/// ```
+/// use cfd_core::api::{Control, DiscoverOptions, Discoverer};
+/// use cfd_core::FastCfd;
+///
+/// let rel = cfd_datagen::cust::cust_relation();
+/// let d = FastCfd::new(1)
+///     .discover_with(&rel, &DiscoverOptions::new(2), &Control::default())
+///     .unwrap();
+/// assert!(d.cover.iter().all(|c| cfd_model::satisfies(&rel, c)));
+/// ```
+pub trait Discoverer {
+    /// The registry identity of this algorithm.
+    fn algo(&self) -> Algo;
+
+    /// The instrumented core: discover on `rel` as configured by
+    /// `opts`, polling `ctrl` at coarse checkpoints and filling
+    /// `stats`. Prefer [`Discoverer::discover_with`], which adds
+    /// validation, projection, filtering and note synthesis.
+    fn run(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, DiscoverError>;
+
+    /// Full-service discovery: validates `opts`, projects, runs,
+    /// filters, and returns the structured [`Discovery`].
+    fn discover_with(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+    ) -> Result<Discovery, DiscoverError> {
+        opts.validate(rel)?;
+        let algo = self.algo();
+        let mut notes = Vec::new();
+        if opts.threads > 1 && !algo.parallelizes() {
+            notes.push(Note {
+                algo,
+                option: "threads",
+                value: opts.threads.to_string(),
+                reason: "only fastcfd/naive parallelize discovery (FindCover shards \
+                         across RHS attributes); running single-threaded",
+            });
+        }
+        if opts.max_lhs.is_some() && !algo.honors_max_lhs() {
+            notes.push(Note {
+                algo,
+                option: "max-lhs",
+                value: opts.max_lhs.unwrap_or_default().to_string(),
+                reason: "this algorithm does not bound LHS size; the full cover is produced",
+            });
+        }
+        if opts.k > 1 && !algo.uses_support() {
+            notes.push(Note {
+                algo,
+                option: "k",
+                value: opts.k.to_string(),
+                reason: "the FD baselines discover exact FDs regardless of support",
+            });
+        }
+        if opts.constants_only && algo.fds_only() {
+            notes.push(Note {
+                algo,
+                option: "constants-only",
+                value: "true".into(),
+                reason: "FD baselines produce no constant rules; the result is empty",
+            });
+        }
+        let t0 = std::time::Instant::now();
+        let projected = match opts.project {
+            Some(attrs) => Some(
+                rel.project(attrs)
+                    .map_err(|e| DiscoverError::Options(e.to_string()))?,
+            ),
+            None => None,
+        };
+        let work = projected.as_ref().unwrap_or(rel);
+        let mut stats = SearchStats::default();
+        let cover = self.run(work, opts, ctrl, &mut stats)?;
+        let cover = if opts.constants_only && !algo.constants_native() {
+            cover.constant_cover()
+        } else {
+            cover
+        };
+        stats.phase("total", t0.elapsed());
+        Ok(Discovery {
+            algo,
+            cover,
+            stats,
+            notes,
+            options: opts.clone(),
+            projected,
+        })
+    }
+}
+
+impl Discoverer for CfdMiner {
+    fn algo(&self) -> Algo {
+        Algo::CfdMiner
+    }
+
+    fn run(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, DiscoverError> {
+        Ok(CfdMiner::new(opts.k).run(rel, ctrl, stats)?)
+    }
+}
+
+impl Discoverer for Ctane {
+    fn algo(&self) -> Algo {
+        Algo::Ctane
+    }
+
+    fn run(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, DiscoverError> {
+        let alg = Ctane {
+            k: opts.k,
+            max_lhs: opts.max_lhs,
+        };
+        Ok(alg.run(rel, ctrl, stats)?)
+    }
+}
+
+impl Discoverer for FastCfd {
+    fn algo(&self) -> Algo {
+        if self.mode == DiffSetMode::StrippedPartitions {
+            Algo::Naive
+        } else {
+            Algo::FastCfd
+        }
+    }
+
+    fn run(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, DiscoverError> {
+        // shared knobs from opts; ablation knobs (mode, reordering,
+        // constant-CFD delegation, free-set pruning) from self
+        let alg = FastCfd {
+            k: opts.k,
+            threads: opts.threads.max(1),
+            ..*self
+        };
+        Ok(alg.run(rel, ctrl, stats)?)
+    }
+}
+
+impl Discoverer for Tane {
+    fn algo(&self) -> Algo {
+        Algo::Tane
+    }
+
+    fn run(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, DiscoverError> {
+        let alg = match opts.max_lhs {
+            Some(m) => Tane::new().max_lhs(m),
+            None => Tane::new(),
+        };
+        Ok(alg.run(rel, ctrl, stats)?)
+    }
+}
+
+impl Discoverer for FastFd {
+    fn algo(&self) -> Algo {
+        Algo::FastFd
+    }
+
+    fn run(
+        &self,
+        rel: &Relation,
+        _opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, DiscoverError> {
+        Ok(FastFd::run(self, rel, ctrl, stats)?)
+    }
+}
+
+impl Discoverer for BruteForce {
+    fn algo(&self) -> Algo {
+        Algo::BruteForce
+    }
+
+    fn run(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, DiscoverError> {
+        if rel.arity() > 10 {
+            return Err(DiscoverError::Unsupported(format!(
+                "bruteforce is a test oracle; refusing arity {} > 10",
+                rel.arity()
+            )));
+        }
+        Ok(BruteForce::new(opts.k).run(rel, ctrl, stats)?)
+    }
+}
+
+impl Discoverer for Algo {
+    fn algo(&self) -> Algo {
+        *self
+    }
+
+    fn run(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, DiscoverError> {
+        self.discoverer().run(rel, opts, ctrl, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_datagen::cust::cust_relation;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn registry_names_round_trip() {
+        for algo in Algo::all() {
+            assert_eq!(Algo::parse(algo.name()), Ok(algo));
+            assert_eq!(Algo::parse(&algo.name().to_uppercase()), Ok(algo));
+            assert_eq!(algo.to_string(), algo.name());
+        }
+        let err = Algo::parse("levelwise").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("levelwise") && msg.contains("fastcfd"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn all_algorithms_run_through_the_trait() {
+        let rel = cust_relation();
+        let opts = DiscoverOptions::new(2);
+        let reference = Algo::FastCfd
+            .discover_with(&rel, &opts, &Control::default())
+            .unwrap();
+        for algo in Algo::all() {
+            let d = algo
+                .discover_with(&rel, &opts, &Control::default())
+                .unwrap();
+            assert_eq!(d.algo, algo);
+            assert!(d.total_time() > std::time::Duration::ZERO);
+            match algo {
+                // the general algorithms agree on the canonical cover
+                Algo::Ctane | Algo::Naive | Algo::BruteForce => {
+                    assert_eq!(d.cover.cfds(), reference.cover.cfds(), "{algo}")
+                }
+                // CFDMiner is the constant fragment
+                Algo::CfdMiner => {
+                    assert_eq!(d.cover.cfds(), reference.cover.constant_cover().cfds())
+                }
+                // the FD baselines produce plain FDs only
+                Algo::Tane | Algo::FastFd => {
+                    assert!(d.cover.iter().all(|c| c.is_plain_fd()))
+                }
+                Algo::FastCfd => {}
+            }
+        }
+    }
+
+    #[test]
+    fn trait_and_legacy_paths_agree() {
+        let rel = cust_relation();
+        for k in [1, 2, 3] {
+            let legacy = FastCfd::new(k).discover(&rel);
+            let unified = FastCfd::new(1)
+                .discover_with(&rel, &DiscoverOptions::new(k), &Control::default())
+                .unwrap();
+            assert_eq!(legacy.cfds(), unified.cover.cfds(), "k={k}");
+        }
+        let legacy = Ctane::new(2).max_lhs(2).discover(&rel);
+        let unified = Algo::Ctane
+            .discover_with(
+                &rel,
+                &DiscoverOptions::new(2).max_lhs(2),
+                &Control::default(),
+            )
+            .unwrap();
+        assert_eq!(legacy.cfds(), unified.cover.cfds());
+    }
+
+    #[test]
+    fn options_are_validated() {
+        let rel = cust_relation();
+        let bad_k = DiscoverOptions::new(0);
+        assert!(matches!(
+            Algo::FastCfd.discover_with(&rel, &bad_k, &Control::default()),
+            Err(DiscoverError::Options(_))
+        ));
+        let mut bad_threads = DiscoverOptions::new(2);
+        bad_threads.threads = 0;
+        assert!(bad_threads.validate(&rel).is_err());
+        let bad_proj = DiscoverOptions::new(2).project(AttrSet::from_iter([63]));
+        assert!(matches!(
+            bad_proj.validate(&rel),
+            Err(DiscoverError::Options(_))
+        ));
+        assert!(DiscoverOptions::new(2)
+            .project(AttrSet::EMPTY)
+            .validate(&rel)
+            .is_err());
+    }
+
+    #[test]
+    fn ignored_options_become_notes() {
+        let rel = cust_relation();
+        let d = Algo::Ctane
+            .discover_with(
+                &rel,
+                &DiscoverOptions::new(2).threads(4),
+                &Control::default(),
+            )
+            .unwrap();
+        assert_eq!(d.notes.len(), 1);
+        let n = &d.notes[0];
+        assert_eq!((n.option, n.value.as_str()), ("threads", "4"));
+        assert!(n
+            .to_string()
+            .contains("--threads 4 is ignored by --algo ctane"));
+        // honored options produce no note
+        let d = Algo::FastCfd
+            .discover_with(
+                &rel,
+                &DiscoverOptions::new(2).threads(4),
+                &Control::default(),
+            )
+            .unwrap();
+        assert!(d.notes.is_empty());
+        // the FD baselines note both k > 1 and constants_only
+        let mut opts = DiscoverOptions::new(2);
+        opts.constants_only = true;
+        let d = Algo::Tane
+            .discover_with(&rel, &opts, &Control::default())
+            .unwrap();
+        let mut noted: Vec<&str> = d.notes.iter().map(|n| n.option).collect();
+        noted.sort_unstable();
+        assert_eq!(noted, ["constants-only", "k"]);
+        assert!(d.cover.is_empty());
+    }
+
+    #[test]
+    fn constants_only_filters_general_covers() {
+        let rel = cust_relation();
+        let full = Algo::FastCfd
+            .discover_with(&rel, &DiscoverOptions::new(2), &Control::default())
+            .unwrap();
+        let mut opts = DiscoverOptions::new(2);
+        opts.constants_only = true;
+        let constants = Algo::FastCfd
+            .discover_with(&rel, &opts, &Control::default())
+            .unwrap();
+        assert_eq!(constants.cover.cfds(), full.cover.constant_cover().cfds());
+        let miner = Algo::CfdMiner
+            .discover_with(&rel, &opts, &Control::default())
+            .unwrap();
+        assert_eq!(miner.cover.cfds(), constants.cover.cfds());
+    }
+
+    #[test]
+    fn projection_discovers_on_the_sub_relation() {
+        let rel = cust_relation();
+        // project away NM (attr 3 in cust: CC, AC, PN, NM, STR, CT, ZIP)
+        let keep = rel.schema().attr_set(&["CC", "AC", "CT"]).unwrap();
+        let opts = DiscoverOptions::new(2).project(keep);
+        let d = Algo::FastCfd
+            .discover_with(&rel, &opts, &Control::default())
+            .unwrap();
+        let sub = d.relation(&rel);
+        assert_eq!(sub.arity(), 3);
+        // the cover speaks the projected schema and round-trips on it
+        let text = d.cover.to_text(sub);
+        assert_eq!(
+            CanonicalCover::from_text(sub, &text).unwrap().cfds(),
+            d.cover.cfds()
+        );
+        // and matches discovery on a hand-projected relation
+        let direct = FastCfd::new(2).discover(&rel.project(keep).unwrap());
+        assert_eq!(d.cover.cfds(), direct.cfds());
+    }
+
+    #[test]
+    fn cancellation_aborts_the_run() {
+        let rel = cust_relation();
+        let flag = AtomicBool::new(true); // pre-cancelled
+        let ctrl = Control::default().cancel_with(&flag);
+        for algo in Algo::all() {
+            let r = algo.discover_with(&rel, &DiscoverOptions::new(2), &ctrl);
+            assert!(
+                matches!(r, Err(DiscoverError::Cancelled)),
+                "{algo} must honor cancellation"
+            );
+        }
+        flag.store(false, Ordering::Relaxed);
+        assert!(Algo::FastCfd
+            .discover_with(&rel, &DiscoverOptions::new(2), &ctrl)
+            .is_ok());
+    }
+
+    #[test]
+    fn progress_events_are_reported() {
+        use std::sync::Mutex;
+        let rel = cust_relation();
+        let phases: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        let sink = |p: cfd_model::progress::Progress| phases.lock().unwrap().push(p.phase);
+        let ctrl = Control::default().progress_with(&sink);
+        Algo::Ctane
+            .discover_with(&rel, &DiscoverOptions::new(2), &ctrl)
+            .unwrap();
+        assert!(phases.lock().unwrap().contains(&"level"));
+    }
+
+    #[test]
+    fn stats_count_real_work() {
+        let rel = cust_relation();
+        for algo in Algo::all() {
+            let d = algo
+                .discover_with(&rel, &DiscoverOptions::new(2), &Control::default())
+                .unwrap();
+            assert!(d.stats.candidates > 0, "{algo} must count candidate tests");
+            assert!(
+                d.stats.phases.iter().any(|p| p.name == "total"),
+                "{algo} must record a total phase"
+            );
+        }
+        // free sets are counted exactly once, however constant CFDs are
+        // delegated: FastCFD and CFDMiner mine the same k-frequent sets
+        let opts = DiscoverOptions::new(2);
+        let fast = Algo::FastCfd
+            .discover_with(&rel, &opts, &Control::default())
+            .unwrap();
+        let miner = Algo::CfdMiner
+            .discover_with(&rel, &opts, &Control::default())
+            .unwrap();
+        assert_eq!(fast.stats.free_sets, miner.stats.free_sets);
+    }
+
+    #[test]
+    fn discovery_serializes_to_parseable_json() {
+        let rel = cust_relation();
+        let d = Algo::Ctane
+            .discover_with(
+                &rel,
+                &DiscoverOptions::new(2).threads(2),
+                &Control::default(),
+            )
+            .unwrap();
+        let doc = d.to_json(&rel);
+        let back = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(back.get("algorithm").and_then(Json::as_str), Some("ctane"));
+        let rules = back.get("rules").unwrap().as_array().unwrap();
+        assert_eq!(rules.len(), d.cover.len());
+        // every rule's wire text parses back against the relation
+        for r in rules {
+            let text = r.get("text").unwrap().as_str().unwrap();
+            assert!(cfd_model::cfd::parse_cfd(&rel, text).is_ok(), "{text}");
+        }
+        let notes = back.get("notes").unwrap().as_array().unwrap();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(
+            notes[0].get("option").and_then(Json::as_str),
+            Some("threads")
+        );
+    }
+
+    #[test]
+    fn bruteforce_refuses_wide_relations_gracefully() {
+        use cfd_model::relation::relation_from_rows;
+        use cfd_model::schema::Schema;
+        let names: Vec<String> = (0..11).map(|i| format!("A{i}")).collect();
+        let row: Vec<&str> = (0..11).map(|_| "x").collect();
+        let rel = relation_from_rows(Schema::new(names).unwrap(), &[row.clone(), row]).unwrap();
+        let r = Algo::BruteForce.discover_with(&rel, &DiscoverOptions::new(1), &Control::default());
+        assert!(matches!(r, Err(DiscoverError::Unsupported(_))));
+    }
+}

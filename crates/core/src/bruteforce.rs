@@ -11,6 +11,7 @@ use cfd_model::attrset::AttrSet;
 use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
 use cfd_model::pattern::{PVal, Pattern};
+use cfd_model::progress::{Cancelled, Control, SearchStats};
 use cfd_model::relation::Relation;
 
 /// Exhaustive discovery of the canonical cover (minimal, k-frequent
@@ -30,6 +31,20 @@ impl BruteForce {
     /// Enumerates the canonical cover of `rel`. Cost is
     /// `O(arity · 2^arity · Π(dom+1) · |r|)` — keep instances tiny.
     pub fn discover(&self, rel: &Relation) -> CanonicalCover {
+        self.run(rel, &Control::default(), &mut SearchStats::default())
+            .expect("default Control is never cancelled")
+    }
+
+    /// [`BruteForce::discover`] with run control and instrumentation:
+    /// polls `ctrl` per LHS attribute set, reports `rhs` progress, and
+    /// counts candidate CFDs tested (`candidates`) against those
+    /// surviving the minimality referee (`emitted`).
+    pub fn run(
+        &self,
+        rel: &Relation,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, Cancelled> {
         let arity = rel.arity();
         assert!(
             arity <= 10,
@@ -39,14 +54,17 @@ impl BruteForce {
         for rhs in 0..arity {
             let lhs_universe = AttrSet::full(arity).without(rhs);
             for lhs_attrs in lhs_universe.subsets() {
+                ctrl.check()?;
                 let attrs: Vec<usize> = lhs_attrs.iter().collect();
                 let mut pattern_vals: Vec<PVal> = Vec::with_capacity(attrs.len());
-                self.enumerate(rel, &attrs, &mut pattern_vals, rhs, &mut out);
+                self.enumerate(rel, &attrs, &mut pattern_vals, rhs, &mut out, stats);
             }
+            ctrl.report("rhs", rhs + 1, arity);
         }
-        CanonicalCover::from_cfds(out)
+        Ok(CanonicalCover::from_cfds(out))
     }
 
+    #[allow(clippy::too_many_arguments)] // internal recursion carrying instrumentation
     fn enumerate(
         &self,
         rel: &Relation,
@@ -54,6 +72,7 @@ impl BruteForce {
         vals: &mut Vec<PVal>,
         rhs: usize,
         out: &mut Vec<Cfd>,
+        stats: &mut SearchStats,
     ) {
         if vals.len() == attrs.len() {
             let lhs = Pattern::from_pairs(attrs.iter().copied().zip(vals.iter().copied()));
@@ -64,16 +83,24 @@ impl BruteForce {
             // variable CFDs with an empty wildcard part)
             if !lhs.is_all_const() {
                 let var = Cfd::variable(lhs.clone(), rhs);
+                stats.candidates += 1;
                 if is_minimal(rel, &var, self.k) {
+                    stats.emitted += 1;
                     out.push(var);
+                } else {
+                    stats.pruned += 1;
                 }
             }
             // constant CFDs need an all-constant LHS
             if lhs.is_all_const() {
                 for a in 0..rel.column(rhs).domain_size() as u32 {
                     let con = Cfd::new(lhs.clone(), rhs, PVal::Const(a));
+                    stats.candidates += 1;
                     if is_minimal(rel, &con, self.k) {
+                        stats.emitted += 1;
                         out.push(con);
+                    } else {
+                        stats.pruned += 1;
                     }
                 }
             }
@@ -81,11 +108,11 @@ impl BruteForce {
         }
         let a = attrs[vals.len()];
         vals.push(PVal::Var);
-        self.enumerate(rel, attrs, vals, rhs, out);
+        self.enumerate(rel, attrs, vals, rhs, out, stats);
         vals.pop();
         for c in 0..rel.column(a).domain_size() as u32 {
             vals.push(PVal::Const(c));
-            self.enumerate(rel, attrs, vals, rhs, out);
+            self.enumerate(rel, attrs, vals, rhs, out, stats);
             vals.pop();
         }
     }

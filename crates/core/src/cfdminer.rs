@@ -21,6 +21,7 @@ use cfd_itemset::mine::{mine_free_closed, MineOptions, Mined};
 use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
 use cfd_model::pattern::PVal;
+use cfd_model::progress::{Cancelled, Control, SearchStats};
 use cfd_model::relation::Relation;
 
 /// Constant CFD discovery (Section 3.2).
@@ -44,6 +45,21 @@ impl CfdMiner {
     /// Discovers the canonical cover of minimal k-frequent *constant*
     /// CFDs of `rel`.
     pub fn discover(&self, rel: &Relation) -> CanonicalCover {
+        self.run(rel, &Control::default(), &mut SearchStats::default())
+            .expect("default Control is never cancelled")
+    }
+
+    /// [`CfdMiner::discover`] with run control and instrumentation:
+    /// polls `ctrl` after the mining phase, times `mine`, and counts
+    /// free/closed sets plus candidate RHS items (`candidates`) and
+    /// items rejected as non-minimal (`pruned`).
+    pub fn run(
+        &self,
+        rel: &Relation,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, Cancelled> {
+        let t0 = std::time::Instant::now();
         let mined = mine_free_closed(
             rel,
             self.k,
@@ -52,13 +68,31 @@ impl CfdMiner {
                 ..MineOptions::default()
             },
         );
-        self.discover_from_mined(&mined)
+        stats.phase("mine", t0.elapsed());
+        ctrl.check()?;
+        ctrl.report("mine", 1, 1);
+        let t1 = std::time::Instant::now();
+        let cover = self.mined_with_stats(&mined, stats);
+        stats.phase("rhs-items", t1.elapsed());
+        Ok(cover)
     }
 
     /// Discovery over an existing mining result (FastCFD shares the
     /// k-frequent free sets with CFDMiner, so the mining cost is paid
     /// once).
     pub fn discover_from_mined(&self, mined: &Mined) -> CanonicalCover {
+        self.mined_with_stats(mined, &mut SearchStats::default())
+    }
+
+    /// [`CfdMiner::discover_from_mined`] filling `stats` (the entry
+    /// point FastCFD shares when it delegates constant CFDs here).
+    pub(crate) fn mined_with_stats(
+        &self,
+        mined: &Mined,
+        stats: &mut SearchStats,
+    ) -> CanonicalCover {
+        stats.free_sets += mined.free.len() as u64;
+        stats.closed_sets += mined.closed.len() as u64;
         let mut out: Vec<Cfd> = Vec::new();
         for free in &mined.free {
             let clo = &mined.closed[free.closure as usize].pattern;
@@ -83,9 +117,13 @@ impl CfdMiner {
             }
             for a in fresh.iter() {
                 let v = clo.get(a).expect("attr drawn from closure");
+                stats.candidates += 1;
                 if !forbidden.contains(&(a, v)) {
                     let code = v.as_const().expect("closures are all-constant");
+                    stats.emitted += 1;
                     out.push(Cfd::new(free.pattern.clone(), a, PVal::Const(code)));
+                } else {
+                    stats.pruned += 1;
                 }
             }
         }

@@ -29,6 +29,7 @@ use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
 use cfd_model::fxhash::FxHashMap;
 use cfd_model::pattern::{PVal, Pattern};
+use cfd_model::progress::{Cancelled, Control, SearchStats};
 use cfd_model::relation::Relation;
 use cfd_model::schema::AttrId;
 use cfd_partition::{Partition, RelationIndex};
@@ -46,8 +47,8 @@ struct Element {
 /// Level-wise CFD discovery (Section 4).
 #[derive(Clone, Copy, Debug)]
 pub struct Ctane {
-    k: usize,
-    max_lhs: Option<usize>,
+    pub(crate) k: usize,
+    pub(crate) max_lhs: Option<usize>,
 }
 
 impl Ctane {
@@ -71,11 +72,25 @@ impl Ctane {
 
     /// Discovers the canonical cover of minimal k-frequent CFDs.
     pub fn discover(&self, rel: &Relation) -> CanonicalCover {
+        self.run(rel, &Control::default(), &mut SearchStats::default())
+            .expect("default Control is never cancelled")
+    }
+
+    /// [`Ctane::discover`] with run control and instrumentation: polls
+    /// `ctrl` once per lattice level, reports `level` progress, and
+    /// counts validity tests (`candidates`), retired lattice elements
+    /// (`pruned`) and materialized partitions (`partitions`).
+    pub fn run(
+        &self,
+        rel: &Relation,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, Cancelled> {
         let n = rel.n_rows();
         let arity = rel.arity();
         let mut out: Vec<Cfd> = Vec::new();
         if n == 0 || n < self.k {
-            return CanonicalCover::from_cfds(out);
+            return Ok(CanonicalCover::from_cfds(out));
         }
         // per-column value regions, built lazily and shared by every
         // constant refinement of the run
@@ -102,12 +117,14 @@ impl Ctane {
         let mut level: Vec<Element> = Vec::new();
         for a in 0..arity {
             let by_attr = Partition::by_attribute(rel, a);
+            stats.partitions += 1;
             // constant elements: one per k-frequent value
             for class in by_attr.classes() {
                 if class.len() >= self.k {
                     let code = rel.code(class[0], a);
                     let pattern = Pattern::from_pairs([(a, PVal::Const(code))]);
                     let part = Partition::from_parts(class.to_vec(), vec![0, class.len() as u32]);
+                    stats.partitions += 1;
                     level.push(Element {
                         cplus: filter_cond1(&init_candidates, &pattern),
                         n_classes: part.n_classes(),
@@ -133,6 +150,8 @@ impl Ctane {
 
         let mut ell = 1usize;
         loop {
+            ctrl.check()?;
+            ctrl.report("level", ell, arity);
             // process most-general patterns first (the paper's level order):
             // within an attribute set, fewer constants ⇒ earlier
             level.sort_unstable_by(|a, b| {
@@ -165,6 +184,7 @@ impl Ctane {
                     let &(p_classes, p_rows) = prev_counts
                         .get(&parent_pat)
                         .expect("parent element must exist (generation invariant)");
+                    stats.candidates += 1;
                     let valid = match ca {
                         PVal::Var => p_classes == level[i].n_classes,
                         PVal::Const(_) => p_rows == level[i].n_rows,
@@ -176,6 +196,7 @@ impl Ctane {
                     // variable CFDs (implied by their constant counterpart)
                     let emit = !(ca == PVal::Var && parent_pat.is_all_const());
                     if emit {
+                        stats.emitted += 1;
                         out.push(Cfd::new(parent_pat.clone(), a, ca));
                     }
                     // Step 2.c: prune C⁺ of same-attribute-set elements with
@@ -195,7 +216,9 @@ impl Ctane {
             }
 
             // Step 3: prune empty-C⁺ elements
+            let before = level.len();
             level.retain(|e| !e.cplus.is_empty());
+            stats.pruned += (before - level.len()) as u64;
 
             if ell >= arity || self.max_lhs.is_some_and(|m| ell > m) {
                 break;
@@ -279,7 +302,9 @@ impl Ctane {
                             .as_ref()
                             .expect("current level keeps partitions")
                             .refine_with(rel, &col_index, extra_attr, extra_val);
+                        stats.partitions += 1;
                         if part.n_rows() < self.k {
+                            stats.pruned += 1;
                             continue;
                         }
                         next.push(Element {
@@ -306,7 +331,7 @@ impl Ctane {
             ell += 1;
         }
 
-        CanonicalCover::from_cfds(out)
+        Ok(CanonicalCover::from_cfds(out))
     }
 }
 

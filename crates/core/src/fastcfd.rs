@@ -27,6 +27,7 @@ use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
 use cfd_model::fxhash::FxHashMap;
 use cfd_model::pattern::{PVal, Pattern};
+use cfd_model::progress::{Cancelled, Control, SearchStats};
 use cfd_model::relation::Relation;
 use cfd_model::schema::AttrId;
 use cfd_partition::agree::agree_sets_of_rows;
@@ -164,12 +165,12 @@ fn covers(y: AttrSet, dm: &[AttrSet]) -> bool {
 /// default configuration; [`FastCfd::naive`] is NaiveFast.
 #[derive(Clone, Copy, Debug)]
 pub struct FastCfd {
-    k: usize,
-    mode: DiffSetMode,
-    dynamic_reorder: bool,
-    constants_via_cfdminer: bool,
-    free_set_pruning: bool,
-    threads: usize,
+    pub(crate) k: usize,
+    pub(crate) mode: DiffSetMode,
+    pub(crate) dynamic_reorder: bool,
+    pub(crate) constants_via_cfdminer: bool,
+    pub(crate) free_set_pruning: bool,
+    pub(crate) threads: usize,
 }
 
 impl FastCfd {
@@ -249,6 +250,24 @@ impl FastCfd {
 
     /// Discovers the canonical cover of minimal k-frequent CFDs.
     pub fn discover(&self, rel: &Relation) -> CanonicalCover {
+        self.run(rel, &Control::default(), &mut SearchStats::default())
+            .expect("default Control is never cancelled")
+    }
+
+    /// [`FastCfd::discover`] with run control and instrumentation:
+    /// polls `ctrl` per free pattern inside `FindCover` (also from
+    /// worker threads), reports `rhs` progress, times the `mine` /
+    /// `index` / `findcover` phases, and counts mined free/closed sets,
+    /// difference-set families (`diff_set_families`), cover candidates
+    /// tested (`candidates`) and covers failing the left-reduction
+    /// checks (`pruned`).
+    pub fn run(
+        &self,
+        rel: &Relation,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, Cancelled> {
+        let t0 = std::time::Instant::now();
         let mined = mine_free_closed(
             rel,
             self.k,
@@ -257,55 +276,97 @@ impl FastCfd {
                 ..MineOptions::default()
             },
         );
-        self.discover_from_mined(rel, &mined)
+        stats.phase("mine", t0.elapsed());
+        ctrl.check()?;
+        self.run_mined(rel, &mined, ctrl, stats)
     }
 
     /// Discovery over a pre-mined free-set collection (must have been
     /// mined with the same `k` and with tidsets retained).
     pub fn discover_from_mined(&self, rel: &Relation, mined: &Mined) -> CanonicalCover {
+        self.run_mined(rel, mined, &Control::default(), &mut SearchStats::default())
+            .expect("default Control is never cancelled")
+    }
+
+    /// [`FastCfd::discover_from_mined`] with run control and
+    /// instrumentation (see [`FastCfd::run`]).
+    pub fn run_mined(
+        &self,
+        rel: &Relation,
+        mined: &Mined,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, Cancelled> {
         let mut out: Vec<Cfd> = Vec::new();
         if mined.free.is_empty() {
-            return CanonicalCover::from_cfds(out);
+            return Ok(CanonicalCover::from_cfds(out));
         }
+        let t0 = std::time::Instant::now();
         let index = build_closed2_index(rel, self.mode);
-        if self.constants_via_cfdminer {
-            out.extend(CfdMiner::new(self.k).discover_from_mined(mined));
+        if self.mode == DiffSetMode::ClosedSets {
+            stats.phase("index", t0.elapsed());
         }
+        if self.constants_via_cfdminer {
+            // mined_with_stats counts free/closed sets itself
+            out.extend(CfdMiner::new(self.k).mined_with_stats(mined, stats));
+        } else {
+            stats.free_sets += mined.free.len() as u64;
+            stats.closed_sets += mined.closed.len() as u64;
+        }
+        let t1 = std::time::Instant::now();
         if self.threads <= 1 {
             let mut engine = DiffSetEngine::new(rel, self.mode, index.as_ref());
             for rhs in 0..rel.arity() {
-                self.find_cover(rel, mined, &mut engine, rhs, &mut out);
+                self.find_cover(rel, mined, &mut engine, rhs, &mut out, ctrl, stats)?;
+                ctrl.report("rhs", rhs + 1, rel.arity());
             }
         } else {
             // round-robin the RHS attributes over the workers; each worker
-            // owns its pattern caches, the index and mining result are
-            // shared read-only
+            // owns its pattern caches and stats, the index and mining
+            // result are shared read-only
             let workers = self.threads.min(rel.arity());
             let results = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|w| {
                         let index = index.as_ref();
+                        let ctrl = *ctrl;
                         scope.spawn(move || {
                             let mut engine = DiffSetEngine::new(rel, self.mode, index);
                             let mut local = Vec::new();
+                            let mut local_stats = SearchStats::default();
                             for rhs in (w..rel.arity()).step_by(workers) {
-                                self.find_cover(rel, mined, &mut engine, rhs, &mut local);
+                                self.find_cover(
+                                    rel,
+                                    mined,
+                                    &mut engine,
+                                    rhs,
+                                    &mut local,
+                                    &ctrl,
+                                    &mut local_stats,
+                                )?;
+                                ctrl.report("rhs", rhs + 1, rel.arity());
                             }
-                            local
+                            Ok((local, local_stats))
                         })
                     })
                     .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("worker panicked"))
-                    .collect::<Vec<_>>()
+                    .collect::<Vec<Result<_, Cancelled>>>()
             });
-            out.extend(results.into_iter().flatten());
+            for r in results {
+                let (local, local_stats) = r?;
+                out.extend(local);
+                stats.merge(&local_stats);
+            }
         }
-        CanonicalCover::from_cfds(out)
+        stats.phase("findcover", t1.elapsed());
+        Ok(CanonicalCover::from_cfds(out))
     }
 
     /// `FindCover(A, r, k)`: all minimal k-frequent CFDs with RHS `A`.
+    #[allow(clippy::too_many_arguments)] // internal: the run-control plumbing is worth it
     fn find_cover(
         &self,
         rel: &Relation,
@@ -313,9 +374,12 @@ impl FastCfd {
         engine: &mut DiffSetEngine<'_>,
         rhs: AttrId,
         out: &mut Vec<Cfd>,
-    ) {
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(), Cancelled> {
         let full = AttrSet::full(rel.arity());
         for fi in 0..mined.free.len() {
+            ctrl.check()?;
             let pattern = mined.free[fi].pattern.clone();
             if pattern.attrs().contains(rhs) {
                 continue;
@@ -326,6 +390,7 @@ impl FastCfd {
                 if !self.constants_via_cfdminer {
                     // left-reduced iff A is not constant on any immediate
                     // sub-pattern's matching set
+                    stats.candidates += 1;
                     let minimal = pattern.attrs().iter().all(|b| {
                         let sub = pattern.without(b);
                         let si = mined
@@ -339,12 +404,16 @@ impl FastCfd {
                             .get(rhs)
                             .and_then(PVal::as_const)
                             .expect("closures are all-constant");
+                        stats.emitted += 1;
                         out.push(Cfd::new(pattern.clone(), rhs, PVal::Const(a_code)));
+                    } else {
+                        stats.pruned += 1;
                     }
                 }
                 continue;
             }
             let dm = engine.min_diff_sets(mined, fi, rhs);
+            stats.diff_set_families += 1;
             if dm.iter().any(|d| d.is_empty()) {
                 // some pair differs on A and nothing else: no CFD with RHS
                 // A can hold on r_tp (FindMin base case 1)
@@ -362,29 +431,36 @@ impl FastCfd {
                     (b, engine.min_diff_sets(mined, si, rhs))
                 })
                 .collect();
+            stats.diff_set_families += sub_dms.len() as u64;
             let candidates: Vec<AttrId> = full
                 .difference(pattern.attrs())
                 .without(rhs)
                 .iter()
                 .collect();
+            let stats = &mut *stats;
             let mut emit = |y: AttrSet| {
+                stats.candidates += 1;
                 // (b1) Y is a minimal cover of Dᵐ_A(r_tp)
                 if y.iter().any(|b| covers(y.without(b), &dm)) {
+                    stats.pruned += 1;
                     return;
                 }
                 // (b2) upgrading any LHS constant B to `_` must not yield a
                 // valid CFD: Y ∪ {B} may not cover Dᵐ_A(r_{tp[X\B]})
                 for (b, sub_dm) in &sub_dms {
                     if covers(y.with(*b), sub_dm) {
+                        stats.pruned += 1;
                         return;
                     }
                 }
+                stats.emitted += 1;
                 let lhs =
                     Pattern::from_pairs(pattern.iter().chain(y.iter().map(|b| (b, PVal::Var))));
                 out.push(Cfd::variable(lhs, rhs));
             };
             self.find_min(&dm, &candidates, AttrSet::EMPTY, &mut emit);
         }
+        Ok(())
     }
 
     /// Depth-first enumeration of the covers of `remaining`, visiting each

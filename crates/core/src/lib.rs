@@ -31,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod bruteforce;
 pub mod cfdminer;
 pub mod ctane;
 pub mod fastcfd;
 pub mod minimality;
 
+pub use api::{Algo, DiscoverError, DiscoverOptions, Discoverer, Discovery, Note, UnknownAlgo};
 pub use bruteforce::BruteForce;
 pub use cfdminer::CfdMiner;
 pub use ctane::Ctane;

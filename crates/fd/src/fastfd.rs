@@ -10,6 +10,7 @@
 use cfd_model::attrset::AttrSet;
 use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
+use cfd_model::progress::{Cancelled, Control, SearchStats};
 use cfd_model::relation::Relation;
 use cfd_model::schema::AttrId;
 use cfd_partition::agree::agree_sets;
@@ -17,7 +18,7 @@ use cfd_partition::agree::agree_sets;
 /// Depth-first minimal-FD discovery.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FastFd {
-    no_reorder: bool,
+    pub(crate) no_reorder: bool,
 }
 
 impl FastFd {
@@ -35,14 +36,31 @@ impl FastFd {
     /// Discovers all minimal FDs `X → A` with `X ≠ ∅`, as all-wildcard
     /// variable CFDs.
     pub fn discover(&self, rel: &Relation) -> CanonicalCover {
+        self.run(rel, &Control::default(), &mut SearchStats::default())
+            .expect("default Control is never cancelled")
+    }
+
+    /// [`FastFd::discover`] with run control and instrumentation: polls
+    /// `ctrl` per RHS attribute, times the `agree-sets` phase, and
+    /// counts difference-set families, candidate covers (`candidates`)
+    /// and covers failing minimality (`pruned`).
+    pub fn run(
+        &self,
+        rel: &Relation,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, Cancelled> {
         let arity = rel.arity();
         let full = AttrSet::full(arity);
         let mut out: Vec<Cfd> = Vec::new();
         if rel.n_rows() == 0 {
-            return CanonicalCover::from_cfds(out);
+            return Ok(CanonicalCover::from_cfds(out));
         }
+        let t0 = std::time::Instant::now();
         let agree = agree_sets(rel);
+        stats.phase("agree-sets", t0.elapsed());
         for rhs in 0..arity {
+            ctrl.check()?;
             // Dᵐ_A(r): minimal difference sets of pairs disagreeing on A
             let mut dm: Vec<AttrSet> = agree
                 .iter()
@@ -66,17 +84,23 @@ impl FastFd {
                 // two tuples differ on A alone: no FD with RHS A
                 continue;
             }
+            stats.diff_set_families += 1;
             let candidates: Vec<AttrId> = full.without(rhs).iter().collect();
+            let stats = &mut *stats;
             let mut emit = |y: AttrSet| {
+                stats.candidates += 1;
                 // minimal cover check
                 if y.iter().any(|b| covers(y.without(b), &dm)) {
+                    stats.pruned += 1;
                     return;
                 }
+                stats.emitted += 1;
                 out.push(Cfd::fd(y, rhs));
             };
             self.find_min(&dm, &candidates, AttrSet::EMPTY, &mut emit);
+            ctrl.report("rhs", rhs + 1, arity);
         }
-        CanonicalCover::from_cfds(out)
+        Ok(CanonicalCover::from_cfds(out))
     }
 
     fn find_min(

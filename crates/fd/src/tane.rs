@@ -11,6 +11,7 @@ use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
 use cfd_model::fxhash::FxHashMap;
 use cfd_model::pattern::PVal;
+use cfd_model::progress::{Cancelled, Control, SearchStats};
 use cfd_model::relation::Relation;
 use cfd_partition::Partition;
 
@@ -24,7 +25,7 @@ struct Node {
 /// Level-wise minimal-FD discovery.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Tane {
-    max_lhs: Option<usize>,
+    pub(crate) max_lhs: Option<usize>,
 }
 
 impl Tane {
@@ -42,11 +43,25 @@ impl Tane {
     /// Discovers all minimal FDs `X → A` with `X ≠ ∅` of `rel`, as
     /// all-wildcard variable CFDs.
     pub fn discover(&self, rel: &Relation) -> CanonicalCover {
+        self.run(rel, &Control::default(), &mut SearchStats::default())
+            .expect("default Control is never cancelled")
+    }
+
+    /// [`Tane::discover`] with run control and instrumentation: polls
+    /// `ctrl` once per lattice level, reports `level` progress, and
+    /// counts dependency tests (`candidates`), pruned lattice nodes
+    /// (`pruned`) and materialized partitions (`partitions`).
+    pub fn run(
+        &self,
+        rel: &Relation,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, Cancelled> {
         let arity = rel.arity();
         let n = rel.n_rows();
         let mut out: Vec<Cfd> = Vec::new();
         if n == 0 {
-            return CanonicalCover::from_cfds(out);
+            return Ok(CanonicalCover::from_cfds(out));
         }
 
         let full = AttrSet::full(arity);
@@ -54,6 +69,7 @@ impl Tane {
         let mut level: Vec<Node> = (0..arity)
             .map(|a| {
                 let p = Partition::by_attribute(rel, a);
+                stats.partitions += 1;
                 Node {
                     attrs: AttrSet::singleton(a),
                     n_classes: p.n_classes(),
@@ -67,6 +83,8 @@ impl Tane {
 
         let mut ell = 1usize;
         loop {
+            ctrl.check()?;
+            ctrl.report("level", ell, arity);
             // compute dependencies
             #[allow(clippy::needless_range_loop)] // cplus is mutated in place
             for i in 0..level.len() {
@@ -74,10 +92,12 @@ impl Tane {
                 for a in x.intersection(level[i].cplus).iter() {
                     let parent = x.without(a);
                     let &pc = prev_classes.get(&parent).expect("parent exists");
+                    stats.candidates += 1;
                     if pc == level[i].n_classes {
                         // X\{A} → A holds; ∅ → A (constant column) excluded
                         // per the canonical-cover convention
                         if !parent.is_empty() {
+                            stats.emitted += 1;
                             out.push(Cfd::fd(parent, a));
                         }
                         let cp = &mut level[i].cplus;
@@ -105,21 +125,25 @@ impl Tane {
                 // have been key-pruned away (their C⁺ no longer exists), so
                 // minimality is checked directly against the relation.
                 for a in node.cplus.difference(node.attrs).iter() {
+                    stats.candidates += 1;
                     let minimal = node.attrs.iter().all(|b| {
                         !cfd_model::satisfy::satisfies(rel, &Cfd::fd(node.attrs.without(b), a))
                     });
                     if minimal {
+                        stats.emitted += 1;
                         out.push(Cfd::fd(node.attrs, a));
                     }
                 }
             }
             let mut kept: Vec<Node> = Vec::with_capacity(level.len());
+            let level_size = level.len();
             for (i, node) in level.into_iter().enumerate() {
                 if !node.cplus.is_empty() && !keyed[i] {
                     kept.push(node);
                 }
             }
             let level_now = kept;
+            stats.pruned += (level_size - level_now.len()) as u64;
 
             if level_now.len() < 2 || ell >= arity || self.max_lhs.is_some_and(|m| ell > m) {
                 break;
@@ -173,6 +197,7 @@ impl Tane {
                             .as_ref()
                             .expect("current level keeps partitions")
                             .refine(rel, extra_attr, PVal::Var);
+                        stats.partitions += 1;
                         let mut cplus = full;
                         for b in z.iter() {
                             cplus = cplus.intersection(level_now[index[&z.without(b)]].cplus);
@@ -200,7 +225,7 @@ impl Tane {
             level = next;
             ell += 1;
         }
-        CanonicalCover::from_cfds(out)
+        Ok(CanonicalCover::from_cfds(out))
     }
 }
 

@@ -123,13 +123,67 @@ impl CanonicalCover {
     }
 
     /// Renders every CFD against a relation's dictionaries, one per line.
+    /// Alias of [`CanonicalCover::to_text`].
     pub fn display(&self, rel: &Relation) -> String {
+        self.to_text(rel)
+    }
+
+    /// Serializes the cover in the stable rule wire-format: one rule per
+    /// line in [`Cfd::display`] syntax (ambiguous constants quoted).
+    ///
+    /// This is the format `cfd discover` emits and `cfd check` reads.
+    /// The round trip is guaranteed:
+    /// `CanonicalCover::from_text(rel, &cover.to_text(rel))` returns a
+    /// cover equal to `cover` for any relation the cover was built over
+    /// — a tested property (see `crates/model/tests/wire_format.rs`).
+    ///
+    /// ```
+    /// use cfd_model::cover::CanonicalCover;
+    /// use cfd_model::cfd::parse_cfd;
+    /// use cfd_model::relation::relation_from_rows;
+    /// use cfd_model::schema::Schema;
+    ///
+    /// let rel = relation_from_rows(
+    ///     Schema::new(["A", "B"]).unwrap(),
+    ///     &[vec!["x", "1"], vec!["x", "1"]],
+    /// ).unwrap();
+    /// let cover = CanonicalCover::from_cfds([parse_cfd(&rel, "(A -> B, (x || 1))").unwrap()]);
+    /// let text = cover.to_text(&rel);
+    /// assert_eq!(text, "([A] -> B, (x || 1))\n");
+    /// assert_eq!(CanonicalCover::from_text(&rel, &text).unwrap(), cover);
+    /// ```
+    pub fn to_text(&self, rel: &Relation) -> String {
         let mut out = String::new();
         for c in &self.cfds {
             out.push_str(&c.display(rel));
             out.push('\n');
         }
         out
+    }
+
+    /// Parses a wire-format rule file (the inverse of
+    /// [`CanonicalCover::to_text`]): one rule per line, blank lines and
+    /// `#` comments skipped. Fails on the first unparseable line,
+    /// reporting its 1-based line number; constants must occur in `rel`
+    /// (use [`crate::cfd::parse_cfd_interning`] line by line when rules
+    /// may precede their data).
+    pub fn from_text(rel: &Relation, text: &str) -> crate::error::Result<CanonicalCover> {
+        let mut cfds = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let cfd = crate::cfd::parse_cfd(rel, line)
+                .map_err(|e| crate::error::Error::Parse(format!("line {}: {e}", no + 1)))?;
+            cfds.push(cfd);
+        }
+        Ok(CanonicalCover::from_cfds(cfds))
+    }
+
+    /// Serializes the cover as a JSON array of [`Cfd::to_json`] objects.
+    pub fn to_json(&self, rel: &Relation) -> crate::json::Json {
+        crate::json::Json::arr(self.cfds.iter().map(|c| c.to_json(rel)))
     }
 }
 

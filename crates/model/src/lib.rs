@@ -34,7 +34,9 @@ pub mod cover;
 pub mod csv;
 pub mod error;
 pub mod fxhash;
+pub mod json;
 pub mod pattern;
+pub mod progress;
 pub mod relation;
 pub mod repair;
 pub mod satisfy;
@@ -48,7 +50,9 @@ pub use cfd::{Cfd, CfdClass};
 pub use cover::{normalize_cfd, CanonicalCover};
 pub use error::{Error, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use json::Json;
 pub use pattern::{PVal, Pattern};
+pub use progress::{Cancelled, Control, PhaseTiming, Progress, SearchStats};
 pub use relation::{Relation, RelationBuilder};
 pub use repair::{apply_repairs, suggest_repairs, Repair};
 pub use satisfy::satisfies;

@@ -1,0 +1,225 @@
+//! Run control and instrumentation for long-running operations.
+//!
+//! Discovery over a large instance can run for minutes; a server or UI
+//! embedding it needs to cancel a run, observe its progress, and read
+//! search counters afterwards. This module provides the shared
+//! substrate: a [`Control`] handle (cancellation flag + progress sink)
+//! that algorithms poll at coarse checkpoints, and [`SearchStats`], the
+//! machine-readable counters every algorithm fills in best-effort.
+//!
+//! The high-level API that consumes these (the `Discoverer` trait,
+//! `DiscoverOptions`, the `Algo` registry) lives in `cfd-core`; this
+//! crate only hosts the types so that `cfd-fd`'s baselines can be
+//! instrumented without depending on `cfd-core`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// A coarse progress event reported by an algorithm mid-run.
+///
+/// `done`/`total` are in algorithm-specific units (lattice levels for
+/// the level-wise algorithms, RHS attributes for the depth-first ones);
+/// `total == 0` means the total is unknown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Progress {
+    /// The phase the algorithm is in (e.g. `"mine"`, `"level"`, `"rhs"`).
+    pub phase: &'static str,
+    /// Units of work completed within the phase.
+    pub done: usize,
+    /// Units of work expected within the phase (0 when unknown).
+    pub total: usize,
+}
+
+/// The run was cancelled through its [`Control`] handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("run cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// Cancellation and progress plumbing for a single run.
+///
+/// `Control::default()` is a no-op handle (never cancelled, progress
+/// dropped) — the right argument when no supervision is needed.
+/// Algorithms poll [`Control::check`] at coarse checkpoints (per lattice
+/// level, per RHS attribute, per free pattern), so cancellation latency
+/// is bounded by the largest single unit of work, not by the whole run.
+///
+/// The handle is `Copy` and shares the flag/sink by reference, so one
+/// flag can supervise the worker threads of a parallel run.
+///
+/// ```
+/// use cfd_model::progress::Control;
+/// use std::sync::atomic::{AtomicBool, Ordering};
+///
+/// let stop = AtomicBool::new(false);
+/// let ctrl = Control::default().cancel_with(&stop);
+/// assert!(ctrl.check().is_ok());
+/// stop.store(true, Ordering::Relaxed);
+/// assert!(ctrl.check().is_err());
+/// ```
+#[derive(Clone, Copy, Default)]
+pub struct Control<'a> {
+    cancel: Option<&'a AtomicBool>,
+    progress: Option<&'a (dyn Fn(Progress) + Sync)>,
+}
+
+impl<'a> Control<'a> {
+    /// Attaches a cancellation flag: once the flag is set (any thread,
+    /// `Ordering::Relaxed` suffices), [`Control::check`] fails.
+    pub fn cancel_with(mut self, flag: &'a AtomicBool) -> Control<'a> {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Attaches a progress sink. The callback must be `Sync`: parallel
+    /// algorithms report from worker threads.
+    pub fn progress_with(mut self, sink: &'a (dyn Fn(Progress) + Sync)) -> Control<'a> {
+        self.progress = Some(sink);
+        self
+    }
+
+    /// True iff the cancellation flag is set.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Checkpoint: `Err(Cancelled)` once the flag is set.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reports a progress event (dropped when no sink is attached).
+    pub fn report(&self, phase: &'static str, done: usize, total: usize) {
+        if let Some(sink) = self.progress {
+            sink(Progress { phase, done, total });
+        }
+    }
+}
+
+impl std::fmt::Debug for Control<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Control")
+            .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+/// One named phase of a run with its wall-clock duration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase name (e.g. `"mine"`, `"findcover"`, `"total"`).
+    pub name: &'static str,
+    /// Wall-clock time spent in the phase.
+    pub duration: Duration,
+}
+
+/// Search counters filled in (best-effort) by every discovery
+/// algorithm. Counters an algorithm has no notion of stay 0; the
+/// semantics of each counter in a given algorithm are documented on the
+/// algorithm.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SearchStats {
+    /// Candidate rules subjected to a validity / minimality test.
+    pub candidates: u64,
+    /// Candidates rejected before emission (pruned lattice elements,
+    /// covers failing left-reduction, forbidden RHS items, …).
+    pub pruned: u64,
+    /// Partitions / groupings materialized.
+    pub partitions: u64,
+    /// k-frequent free patterns mined.
+    pub free_sets: u64,
+    /// Closed patterns mined.
+    pub closed_sets: u64,
+    /// Minimal difference-set families computed.
+    pub diff_set_families: u64,
+    /// Rules emitted before canonical-cover normalization.
+    pub emitted: u64,
+    /// Per-phase wall-clock timings recorded by the algorithm.
+    pub phases: Vec<PhaseTiming>,
+}
+
+impl SearchStats {
+    /// Accumulates `other` into `self` (counters add, phases append) —
+    /// used to merge worker-thread stats.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.candidates += other.candidates;
+        self.pruned += other.pruned;
+        self.partitions += other.partitions;
+        self.free_sets += other.free_sets;
+        self.closed_sets += other.closed_sets;
+        self.diff_set_families += other.diff_set_families;
+        self.emitted += other.emitted;
+        self.phases.extend(other.phases.iter().cloned());
+    }
+
+    /// Records a completed phase.
+    pub fn phase(&mut self, name: &'static str, duration: Duration) {
+        self.phases.push(PhaseTiming { name, duration });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn default_control_never_cancels() {
+        let c = Control::default();
+        assert!(!c.cancelled());
+        assert!(c.check().is_ok());
+        c.report("phase", 1, 2); // dropped, must not panic
+    }
+
+    #[test]
+    fn cancellation_flag_trips_check() {
+        let flag = AtomicBool::new(false);
+        let c = Control::default().cancel_with(&flag);
+        assert!(c.check().is_ok());
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(c.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn progress_events_reach_the_sink() {
+        use std::sync::Mutex;
+        let events: Mutex<Vec<Progress>> = Mutex::new(Vec::new());
+        let sink = |p: Progress| events.lock().unwrap().push(p);
+        let c = Control::default().progress_with(&sink);
+        c.report("level", 1, 7);
+        c.report("level", 2, 7);
+        let seen = events.into_inner().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].phase, "level");
+        assert_eq!(seen[1].done, 2);
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = SearchStats {
+            candidates: 2,
+            pruned: 1,
+            ..SearchStats::default()
+        };
+        let mut b = SearchStats {
+            candidates: 3,
+            ..SearchStats::default()
+        };
+        b.phase("mine", Duration::from_millis(5));
+        a.merge(&b);
+        assert_eq!(a.candidates, 5);
+        assert_eq!(a.pruned, 1);
+        assert_eq!(a.phases.len(), 1);
+    }
+}

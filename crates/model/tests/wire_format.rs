@@ -1,0 +1,142 @@
+//! Property tests for the stable rule wire-format: randomized
+//! [`CanonicalCover`]s must survive `to_text` → `parse_cfd` → identical
+//! cover, including constants containing `,`, `=`, `_`, `|`, quotes,
+//! backslashes and leading/trailing/interior whitespace — exactly the
+//! characters the quoting rules exist for.
+
+use cfd_model::attrset::AttrSet;
+use cfd_model::cfd::{parse_cfd, Cfd};
+use cfd_model::cover::CanonicalCover;
+use cfd_model::pattern::{PVal, Pattern};
+use cfd_model::relation::{relation_from_rows, Relation};
+use cfd_model::schema::Schema;
+use proptest::prelude::*;
+
+/// The adversarial value alphabet: every class of character the wire
+/// format must escape, plus plain values that must stay bare.
+const VALUES: &[&str] = &[
+    "plain",
+    "01",
+    "908",
+    "_",
+    "__",
+    "a_b",
+    "",
+    " ",
+    "a,b",
+    ",",
+    "k = v",
+    "=",
+    " lead",
+    "trail ",
+    "mid dle",
+    "pipe|pipe",
+    "||",
+    "par(en",
+    "the)sis",
+    "()",
+    "qu\"ote",
+    "\"\"",
+    "back\\slash",
+    "\\n",
+    "line\nbreak",
+    "cr\rhere",
+    "tab\there",
+    "ünïcode ✓",
+    "-> arrow",
+    "[brackets]",
+];
+
+/// A 4-attribute relation whose dictionaries contain the whole alphabet
+/// (every value occurs in every column, so any `(attr, value)` pair is a
+/// legal pattern constant).
+fn nasty_relation() -> Relation {
+    let schema = Schema::new(["A", "B", "C", "D"]).unwrap();
+    let rows: Vec<Vec<&str>> = (0..VALUES.len())
+        .map(|i| (0..4).map(|j| VALUES[(i + j * 7) % VALUES.len()]).collect())
+        .chain((0..VALUES.len()).map(|i| (0..4).map(|_| VALUES[i]).collect()))
+        .collect();
+    relation_from_rows(schema, &rows).unwrap()
+}
+
+/// Strategy: one random CFD over `rel` — random LHS subset (possibly
+/// empty), each LHS slot a wildcard or a random constant, RHS a
+/// wildcard or constant.
+fn arb_cfd() -> impl Strategy<Value = Cfd> {
+    let n_vals = VALUES.len() as u32;
+    (
+        0u32..16,                                         // LHS attribute-subset mask over {A,B,C,D}
+        proptest::collection::vec(0u32..(n_vals + 1), 4), // per-slot value (n_vals = wildcard)
+        0u32..4,                                          // RHS attribute
+        0u32..(n_vals + 1),                               // RHS value (n_vals = wildcard)
+    )
+        .prop_map(|(mask, slot_vals, rhs_pick, rhs_val)| {
+            let rel = nasty_relation();
+            // keep the CFD non-trivial: drop the RHS attribute from the LHS
+            let rhs = rhs_pick as usize;
+            let lhs_attrs: Vec<usize> = (0..4)
+                .filter(|a| mask & (1 << a) != 0 && *a != rhs)
+                .collect();
+            let code_of = |a: usize, pick: u32| -> PVal {
+                if pick as usize == VALUES.len() {
+                    PVal::Var
+                } else {
+                    PVal::Const(
+                        rel.column(a)
+                            .dict()
+                            .code(VALUES[pick as usize])
+                            .expect("alphabet value occurs in every column"),
+                    )
+                }
+            };
+            let lhs = Pattern::from_pairs(lhs_attrs.iter().map(|&a| (a, code_of(a, slot_vals[a]))));
+            Cfd::new(lhs, rhs, code_of(rhs, rhs_val))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// `cover == from_text(to_text(cover))` for randomized covers over
+    /// the adversarial alphabet.
+    #[test]
+    fn cover_round_trips_through_wire_format(
+        cfds in proptest::collection::vec(arb_cfd(), 1..12)
+    ) {
+        let rel = nasty_relation();
+        let cover = CanonicalCover::from_cfds(cfds);
+        let text = cover.to_text(&rel);
+        let back = CanonicalCover::from_text(&rel, &text)
+            .expect("wire-format output must parse");
+        prop_assert_eq!(&back, &cover, "wire text:\n{}", text);
+    }
+
+    /// Each individual rule's display parses back to the identical rule
+    /// (a sharper statement than the cover-level property: no rescue by
+    /// normalization or dedup).
+    #[test]
+    fn single_rule_round_trips_exactly(cfd in arb_cfd()) {
+        let rel = nasty_relation();
+        let text = cfd.display(&rel);
+        let back = parse_cfd(&rel, &text).expect("display output must parse");
+        prop_assert_eq!(back, cfd, "wire text: {}", text);
+    }
+}
+
+#[test]
+fn from_text_reports_offending_line() {
+    let rel = nasty_relation();
+    let err = CanonicalCover::from_text(&rel, "# comment\n\n([A] -> B, (plain || 01))\nnonsense\n")
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 4"), "{msg}");
+}
+
+#[test]
+fn empty_lhs_round_trips() {
+    let rel = nasty_relation();
+    let cfd = Cfd::new(Pattern::from_pairs([]), 2, PVal::Var);
+    assert_eq!(cfd.lhs_attrs(), AttrSet::EMPTY);
+    let text = cfd.display(&rel);
+    assert_eq!(parse_cfd(&rel, &text).unwrap(), cfd);
+}

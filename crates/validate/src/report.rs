@@ -1,7 +1,7 @@
 //! Validation results: per-rule counters plus a bounded violation
 //! sample, for a whole cover at once.
 
-use cfd_model::Violation;
+use cfd_model::{Json, Violation};
 
 /// The outcome of validating one rule of a cover.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,6 +28,32 @@ impl RuleReport {
     /// True iff the instance satisfies the rule (`r ⊨ φ`).
     pub fn satisfied(&self) -> bool {
         self.violations == 0
+    }
+
+    /// Serializes the per-rule outcome. Violations appear as
+    /// `{"tuples": [t]}` (single-tuple) or `{"tuples": [t1, t2]}`
+    /// (pair) with 0-based tuple ids; callers typically add the rule's
+    /// wire text alongside (`cfd check --format json` does).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("rule", Json::from(self.rule)),
+            ("satisfied", Json::from(self.satisfied())),
+            ("support", Json::from(self.support)),
+            ("violations", Json::from(self.violations)),
+            ("confidence", Json::from(self.confidence)),
+            (
+                "sample",
+                Json::arr(self.sample.iter().map(|v| {
+                    let tuples = match v {
+                        Violation::Single(t) => Json::arr([Json::from(*t as u64)]),
+                        Violation::Pair(t1, t2) => {
+                            Json::arr([Json::from(*t1 as u64), Json::from(*t2 as u64)])
+                        }
+                    };
+                    Json::obj([("tuples", tuples)])
+                })),
+            ),
+        ])
     }
 }
 
@@ -60,5 +86,20 @@ impl ValidationReport {
             out.extend(r.sample.iter().map(|&v| (r.rule, v)));
         }
         out
+    }
+
+    /// Serializes the whole report (summary plus per-rule
+    /// [`RuleReport::to_json`] objects) — the document behind
+    /// `cfd check --format json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("satisfied", Json::from(self.satisfied())),
+            ("n_rows", Json::from(self.n_rows)),
+            ("total_violations", Json::from(self.total_violations())),
+            (
+                "rules",
+                Json::arr(self.rules.iter().map(RuleReport::to_json)),
+            ),
+        ])
     }
 }

@@ -1,24 +1,18 @@
 //! Algorithm comparison on one workload — a miniature of the paper's
 //! Section 6 evaluation, runnable in seconds.
 //!
-//! Runs CFDMiner, CTANE, NaiveFast and FastCFD on the same synthetic tax
-//! relation, reports wall-clock times and cover sizes, and verifies that
-//! every general algorithm returns the identical canonical cover.
+//! Iterates the whole [`Algo`] registry (minus the brute-force oracle,
+//! which refuses non-toy instances) over the same synthetic tax
+//! relation through the unified `Discoverer` API, reports wall-clock
+//! times, search counters and cover sizes, and verifies that every
+//! general algorithm returns the identical canonical cover.
 //!
 //! ```sh
 //! cargo run --release --example algorithm_comparison
 //! ```
 
 use cfd_suite::datagen::tax::TaxGenerator;
-use cfd_suite::fd::{FastFd, Tane};
 use cfd_suite::prelude::*;
-use std::time::Instant;
-
-fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let t0 = Instant::now();
-    let out = f();
-    (out, t0.elapsed().as_secs_f64())
-}
 
 fn main() {
     let dbsize = 3_000;
@@ -30,36 +24,54 @@ fn main() {
         rel.arity()
     );
 
-    let (constants, t_miner) = timed(|| CfdMiner::new(k).discover(&rel));
-    let (ctane, t_ctane) = timed(|| Ctane::new(k).discover(&rel));
-    let (naive, t_naive) = timed(|| FastCfd::naive(k).discover(&rel));
-    let (fast, t_fast) = timed(|| FastCfd::new(k).discover(&rel));
-    let (tane, t_tane) = timed(|| Tane::new().discover(&rel));
-    let (fastfd, t_fastfd) = timed(|| FastFd::new().discover(&rel));
-
+    let opts = DiscoverOptions::new(k);
+    let ctrl = Control::default();
     println!(
-        "{:<12} {:>10} {:>8} {:>8}",
-        "algorithm", "time (s)", "const", "var"
+        "{:<12} {:>10} {:>8} {:>8} {:>12} {:>10}",
+        "algorithm", "time (s)", "const", "var", "candidates", "pruned"
     );
-    let row = |name: &str, t: f64, cover: &CanonicalCover| {
-        let (c, v) = cover.counts();
-        println!("{name:<12} {t:>10.3} {c:>8} {v:>8}");
-    };
-    row("CFDMiner", t_miner, &constants);
-    row("CTANE", t_ctane, &ctane);
-    row("NaiveFast", t_naive, &naive);
-    row("FastCFD", t_fast, &fast);
-    row("TANE (FDs)", t_tane, &tane);
-    row("FastFD (FDs)", t_fastfd, &fastfd);
+    let mut results: Vec<Discovery> = Vec::new();
+    for algo in Algo::all() {
+        if algo == Algo::BruteForce {
+            continue; // the oracle is for toy instances only
+        }
+        let d = algo.discover_with(&rel, &opts, &ctrl).unwrap();
+        let (c, v) = d.cover.counts();
+        println!(
+            "{:<12} {:>10.3} {c:>8} {v:>8} {:>12} {:>10}",
+            algo.name(),
+            d.total_time().as_secs_f64(),
+            d.stats.candidates,
+            d.stats.pruned,
+        );
+        for note in &d.notes {
+            println!("  note: {note}");
+        }
+        results.push(d);
+    }
 
+    let by = |algo: Algo| -> &Discovery {
+        results
+            .iter()
+            .find(|d| d.algo == algo)
+            .expect("algo in matrix")
+    };
     // all general algorithms agree…
-    assert_eq!(ctane.cfds(), fast.cfds(), "CTANE == FastCFD");
-    assert_eq!(naive.cfds(), fast.cfds(), "NaiveFast == FastCFD");
+    let fast = by(Algo::FastCfd);
+    assert_eq!(by(Algo::Ctane).cover.cfds(), fast.cover.cfds());
+    assert_eq!(by(Algo::Naive).cover.cfds(), fast.cover.cfds());
     // …CFDMiner is the constant fragment…
-    assert_eq!(constants.cfds(), fast.constant_cover().cfds());
+    assert_eq!(
+        by(Algo::CfdMiner).cover.cfds(),
+        fast.cover.constant_cover().cfds()
+    );
     // …and the FD baselines match the all-wildcard fragment at k ≤ |r|
-    let fd_fragment = FastCfd::new(1).discover(&rel).plain_fd_cover();
-    assert_eq!(tane.cfds(), fastfd.cfds(), "TANE == FastFD");
-    assert_eq!(tane.cfds(), fd_fragment.cfds(), "baselines == FD fragment");
+    let fd_fragment = Algo::FastCfd
+        .discover_with(&rel, &DiscoverOptions::new(1), &ctrl)
+        .unwrap()
+        .cover
+        .plain_fd_cover();
+    assert_eq!(by(Algo::Tane).cover.cfds(), by(Algo::FastFd).cover.cfds());
+    assert_eq!(by(Algo::Tane).cover.cfds(), fd_fragment.cfds());
     println!("\nall algorithms agree on the canonical cover ✓");
 }

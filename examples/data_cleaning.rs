@@ -21,11 +21,15 @@ fn main() {
 
     // discover cleaning rules at a support threshold that filters noise
     let k = 20;
-    let rules = FastCfd::new(k).discover(&clean);
+    let discovery = Algo::FastCfd
+        .discover_with(&clean, &DiscoverOptions::new(k), &Control::default())
+        .unwrap();
+    let rules = discovery.cover.clone();
     let (n_const, n_var) = rules.counts();
     println!(
-        "discovered {} rules ({n_const} constant, {n_var} variable) at k = {k}",
-        rules.len()
+        "discovered {} rules ({n_const} constant, {n_var} variable) at k = {k} in {:.2?}",
+        rules.len(),
+        discovery.total_time(),
     );
     for cfd in rules.iter().take(8) {
         println!("  {}", cfd.display(&clean));

@@ -14,7 +14,6 @@
 
 use cfd_suite::datagen::tax::TaxGenerator;
 use cfd_suite::prelude::*;
-use std::time::Instant;
 
 fn main() {
     let rel = TaxGenerator::new(5_000).seed(3).generate();
@@ -25,13 +24,17 @@ fn main() {
     );
 
     let k = 25;
-    let t0 = Instant::now();
-    let constants = CfdMiner::new(k).discover(&rel);
-    let t_miner = t0.elapsed();
+    let ctrl = Control::default();
+    let mined = Algo::CfdMiner
+        .discover_with(&rel, &DiscoverOptions::new(k), &ctrl)
+        .unwrap();
+    let constants = &mined.cover;
+    let t_miner = mined.total_time();
     println!(
-        "\nCFDMiner: {} constant CFDs at k = {k} in {:.2?}",
+        "\nCFDMiner: {} constant CFDs at k = {k} in {:.2?} ({} free sets mined)",
         constants.len(),
-        t_miner
+        t_miner,
+        mined.stats.free_sets,
     );
     for cfd in constants.iter().take(10) {
         println!("  {}", cfd.display(&rel));
@@ -41,14 +44,15 @@ fn main() {
     }
 
     // the same constant rules via full general discovery, for comparison
-    let t1 = Instant::now();
-    let full = FastCfd::new(k).discover(&rel);
-    let t_full = t1.elapsed();
-    assert_eq!(constants.cfds(), full.constant_cover().cfds());
+    let full = Algo::FastCfd
+        .discover_with(&rel, &DiscoverOptions::new(k), &ctrl)
+        .unwrap();
+    let t_full = full.total_time();
+    assert_eq!(constants.cfds(), full.cover.constant_cover().cfds());
     println!(
         "\nFastCFD finds the same constant fragment (plus {} variable \
          CFDs) in {:.2?} — {:.1}× the CFDMiner time",
-        full.counts().1,
+        full.cover.counts().1,
         t_full,
         t_full.as_secs_f64() / t_miner.as_secs_f64().max(1e-9)
     );

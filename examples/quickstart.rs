@@ -1,7 +1,8 @@
 //! Quickstart: discover the CFDs of the paper's running example.
 //!
-//! Builds the `cust` relation of Fig. 1, runs all three discovery
-//! algorithms, and prints the canonical cover in the paper's syntax.
+//! Builds the `cust` relation of Fig. 1, runs discovery through the
+//! unified `Discoverer` API, and prints the canonical cover in the
+//! stable wire-format.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -15,30 +16,52 @@ fn main() {
     println!("The cust relation of Fig. 1 ({} tuples):", rel.n_rows());
     println!("{rel:?}");
 
-    let k = 2; // support threshold: patterns must match ≥ 2 tuples
+    let opts = DiscoverOptions::new(2); // patterns must match ≥ 2 tuples
+    let ctrl = Control::default();
 
     // CFDMiner: constant CFDs only (object-identification rules)
-    let constants = CfdMiner::new(k).discover(&rel);
+    let constants = Algo::CfdMiner.discover_with(&rel, &opts, &ctrl).unwrap();
     println!(
-        "CFDMiner — {} minimal {k}-frequent constant CFDs:",
-        constants.len()
+        "CFDMiner — {} minimal {}-frequent constant CFDs in {:.2?}:",
+        constants.cover.len(),
+        opts.k,
+        constants.total_time(),
     );
-    print!("{}", constants.display(&rel));
+    print!("{}", constants.cover.to_text(&rel));
 
     // FastCFD: the full canonical cover (constant + variable CFDs)
-    let cover = FastCfd::new(k).discover(&rel);
-    let (n_const, n_var) = cover.counts();
+    let fast = Algo::FastCfd.discover_with(&rel, &opts, &ctrl).unwrap();
+    let (n_const, n_var) = fast.cover.counts();
     println!("\nFastCFD — canonical cover ({n_const} constant + {n_var} variable):");
-    print!("{}", cover.display(&rel));
+    print!("{}", fast.cover.to_text(&rel));
 
-    // CTANE produces the same cover by a level-wise search
-    let ctane = Ctane::new(k).discover(&rel);
-    assert_eq!(ctane.cfds(), cover.cfds(), "CTANE and FastCFD agree");
-    println!("\nCTANE agrees with FastCFD on all {} rules.", cover.len());
+    // CTANE produces the same cover by a level-wise search — and the
+    // structured outcome says how hard each algorithm worked
+    let ctane = Algo::Ctane.discover_with(&rel, &opts, &ctrl).unwrap();
+    assert_eq!(
+        ctane.cover.cfds(),
+        fast.cover.cfds(),
+        "CTANE and FastCFD agree"
+    );
+    println!(
+        "\nCTANE agrees on all {} rules ({} candidate tests, {} partitions; \
+         FastCFD tested {} covers over {} difference-set families).",
+        fast.cover.len(),
+        ctane.stats.candidates,
+        ctane.stats.partitions,
+        fast.stats.candidates,
+        fast.stats.diff_set_families,
+    );
 
     // every discovered rule really holds
-    assert!(cover.iter().all(|c| satisfies(&rel, c)));
-    // and CFDMiner is exactly the constant fragment
-    assert_eq!(constants.cfds(), cover.constant_cover().cfds());
-    println!("All rules verified against the instance.");
+    assert!(fast.cover.iter().all(|c| satisfies(&rel, c)));
+    // CFDMiner is exactly the constant fragment
+    assert_eq!(constants.cover.cfds(), fast.cover.constant_cover().cfds());
+    // and the wire-format round-trips: what discover prints, check parses
+    let text = fast.cover.to_text(&rel);
+    assert_eq!(
+        CanonicalCover::from_text(&rel, &text).unwrap().cfds(),
+        fast.cover.cfds()
+    );
+    println!("All rules verified against the instance; wire-format round-trips.");
 }

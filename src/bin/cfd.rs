@@ -1,26 +1,35 @@
 //! `cfd` — command-line CFD discovery and data validation.
 //!
 //! ```text
-//! cfd discover <data.csv> [--k N] [--algo fastcfd|ctane|naive|cfdminer|tane|fastfd]
-//!              [--max-lhs N] [--threads N] [--constants-only] [--tableau]
-//! cfd check    <data.csv> <rules.txt> [--limit N] [--threads N]
-//! cfd repair   <data.csv> <rules.txt> <out.csv>
+//! cfd discover <data.csv> [--k N] [--algo NAME] [--max-lhs N] [--threads N]
+//!              [--constants-only] [--project A,B,...] [--tableau] [--format text|json]
+//! cfd check    <data.csv> <rules.txt> [--limit N] [--threads N] [--lenient]
+//!              [--format text|json]
+//! cfd repair   <data.csv> <rules.txt> <out.csv> [--lenient]
 //! cfd stats    <data.csv>
-//! cfd watch    <initial.csv> <rules.txt> [--shards N]
+//! cfd watch    <initial.csv> <rules.txt> [--shards N] [--lenient]
+//! cfd algos
 //! ```
 //!
-//! `--threads N` parallelizes `discover` for `--algo fastcfd` (FindCover
-//! is embarrassingly parallel across RHS attributes; the other
-//! algorithms are single-threaded and say so) and `check` (rules are
-//! sharded across workers by the validation kernel).
+//! Every algorithm runs through the unified `Discoverer` API
+//! (`cfd_core::api`): `--algo` names resolve via the `Algo` registry
+//! (`cfd algos` lists them), options an algorithm ignores surface as
+//! structured notes (stderr warnings in text mode, a `notes` array in
+//! JSON), and `--format json` emits the full machine-readable
+//! `Discovery` / `ValidationReport` documents.
 //!
-//! `discover` prints one rule per line in the paper's syntax — the same
-//! syntax `check` parses back, so the two commands compose:
+//! `discover` prints one rule per line in the stable wire-format — the
+//! same syntax `check` parses back, so the two commands compose:
 //!
 //! ```sh
 //! cfd discover clean.csv --k 20 > rules.txt
 //! cfd check dirty.csv rules.txt
 //! ```
+//!
+//! Rule files are strict by default: an unparseable line aborts the
+//! command (a truncated rule set silently turning `check` green is
+//! worse than an error). Pass `--lenient` to skip bad lines with a
+//! warning instead.
 //!
 //! `watch` keeps checking as the data changes: it warms the incremental
 //! engine on the initial CSV, then reads a stream of operations from
@@ -34,8 +43,6 @@
 //! tail -f updates.log | cfd watch clean.csv rules.txt --shards 4
 //! ```
 
-use cfd_suite::core::{CfdMiner, Ctane, FastCfd};
-use cfd_suite::fd::{FastFd, Tane};
 use cfd_suite::model::csv::relation_from_csv_path;
 use cfd_suite::model::tableau::group_into_tableaux;
 use cfd_suite::prelude::*;
@@ -43,116 +50,188 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cfd discover <data.csv> [--k N] [--algo fastcfd|ctane|naive|cfdminer|tane|fastfd]\n\
-         \x20              [--max-lhs N] [--threads N] [--constants-only] [--tableau]\n  \
-         cfd check <data.csv> <rules.txt> [--limit N] [--threads N]\n  \
-         cfd repair <data.csv> <rules.txt> <out.csv>\n  \
+        "usage:\n  \
+         cfd discover <data.csv> [--k N] [--algo NAME] [--max-lhs N] [--threads N]\n\
+         \x20              [--constants-only] [--project A,B,...] [--tableau] [--format text|json]\n  \
+         cfd check <data.csv> <rules.txt> [--limit N] [--threads N] [--lenient] [--format text|json]\n  \
+         cfd repair <data.csv> <rules.txt> <out.csv> [--lenient]\n  \
          cfd stats <data.csv>\n  \
-         cfd watch <initial.csv> <rules.txt> [--shards N]\n\
-         (--threads parallelizes discovery for --algo fastcfd only, and check)"
+         cfd watch <initial.csv> <rules.txt> [--shards N] [--lenient]\n  \
+         cfd algos\n\
+         \n\
+         algorithms (cfd algos): {}\n\
+         (--threads parallelizes discovery for fastcfd/naive, and check;\n\
+         \x20 rule files are strict — --lenient skips unparseable lines instead)",
+        Algo::all().map(|a| a.name()).join("|")
     );
     ExitCode::from(2)
+}
+
+/// A bad invocation: the offending flag/value, reported verbatim.
+fn arg_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("(run `cfd` without arguments for usage)");
+    ExitCode::from(2)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
 }
 
 struct Args {
     positional: Vec<String>,
     k: usize,
-    algo: String,
+    algo: Algo,
     max_lhs: Option<usize>,
     threads: usize,
     constants_only: bool,
+    project: Option<String>,
     tableau: bool,
     limit: usize,
     shards: usize,
+    lenient: bool,
+    format: Format,
 }
 
-fn parse_args(argv: &[String]) -> Option<Args> {
+/// Parses flags, reporting the offending flag/value on failure (the
+/// caller exits 2 with the message).
+fn parse_args(argv: &[String]) -> std::result::Result<Args, String> {
     let mut a = Args {
         positional: Vec::new(),
         k: 2,
-        algo: "fastcfd".into(),
+        algo: Algo::FastCfd,
         max_lhs: None,
         threads: 1,
         constants_only: false,
+        project: None,
         tableau: false,
         limit: 20,
         shards: 1,
+        lenient: false,
+        format: Format::Text,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        let number = |flag: &str, v: &str| {
+            v.parse::<usize>().map_err(|_| {
+                format!("invalid value {v:?} for {flag}: expected a non-negative integer")
+            })
+        };
         match arg.as_str() {
-            "--k" => a.k = it.next()?.parse().ok()?,
-            "--algo" => a.algo = it.next()?.clone(),
-            "--max-lhs" => a.max_lhs = Some(it.next()?.parse().ok()?),
-            "--threads" => a.threads = it.next()?.parse().ok()?,
-            "--limit" => a.limit = it.next()?.parse().ok()?,
-            "--shards" => a.shards = it.next()?.parse().ok()?,
+            "--k" => a.k = number("--k", value("--k")?)?,
+            "--algo" => {
+                let v = value("--algo")?;
+                a.algo = Algo::parse(v).map_err(|e| e.to_string())?;
+            }
+            "--max-lhs" => a.max_lhs = Some(number("--max-lhs", value("--max-lhs")?)?),
+            "--threads" => a.threads = number("--threads", value("--threads")?)?,
+            "--limit" => a.limit = number("--limit", value("--limit")?)?,
+            "--shards" => a.shards = number("--shards", value("--shards")?)?,
+            "--project" => a.project = Some(value("--project")?.clone()),
+            "--format" => {
+                a.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "invalid value {other:?} for --format: expected \"text\" or \"json\""
+                        ))
+                    }
+                }
+            }
             "--constants-only" => a.constants_only = true,
             "--tableau" => a.tableau = true,
+            "--lenient" => a.lenient = true,
             other if !other.starts_with('-') => a.positional.push(other.to_string()),
-            _ => return None,
+            other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Some(a)
+    Ok(a)
 }
 
 fn discover(a: &Args) -> Result<ExitCode> {
+    // flag-conflict check before the (possibly huge) CSV is parsed
+    if a.tableau && a.format == Format::Json {
+        return Ok(arg_error("--tableau conflicts with --format json"));
+    }
     let rel = relation_from_csv_path(&a.positional[0])?;
+    let mut opts = DiscoverOptions::new(a.k);
+    opts.max_lhs = a.max_lhs;
+    opts.threads = a.threads;
+    opts.constants_only = a.constants_only;
+    if let Some(names) = &a.project {
+        let parts: Vec<&str> = names.split(',').map(str::trim).collect();
+        match rel.schema().attr_set(&parts) {
+            Ok(set) => opts.project = Some(set),
+            // a bad attribute name is a usage error (exit 2), like
+            // every other bad flag value
+            Err(e) => {
+                return Ok(arg_error(&format!(
+                    "invalid value {names:?} for --project: {e}"
+                )))
+            }
+        }
+    }
     eprintln!(
-        "# {}: {} tuples x {} attributes, k = {}",
+        "# {}: {} tuples x {} attributes, k = {}, algo = {}",
         a.positional[0],
         rel.n_rows(),
         rel.arity(),
-        a.k
+        a.k,
+        a.algo,
     );
-    let t0 = std::time::Instant::now();
-    if a.threads > 1 && a.algo != "fastcfd" {
-        eprintln!(
-            "# warning: --threads {} is ignored by --algo {} — only fastcfd \
-             parallelizes discovery (FindCover shards across RHS attributes); \
-             running single-threaded",
-            a.threads, a.algo
-        );
-    }
-    let cover = match a.algo.as_str() {
-        "fastcfd" => FastCfd::new(a.k).threads(a.threads).discover(&rel),
-        "naive" => FastCfd::naive(a.k).discover(&rel),
-        "ctane" => match a.max_lhs {
-            Some(m) => Ctane::new(a.k).max_lhs(m).discover(&rel),
-            None => Ctane::new(a.k).discover(&rel),
-        },
-        "cfdminer" => CfdMiner::new(a.k).discover(&rel),
-        "tane" => Tane::new().discover(&rel),
-        "fastfd" => FastFd::new().discover(&rel),
-        other => {
-            eprintln!("unknown algorithm {other:?}");
+    let discovery = match a.algo.discover_with(&rel, &opts, &Control::default()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
             return Ok(ExitCode::from(2));
         }
     };
-    let cover = if a.constants_only {
-        cover.constant_cover()
-    } else {
-        cover
-    };
-    let (nc, nv) = cover.counts();
+    // ignored options surface as structured notes; in text mode they
+    // render as warnings, in JSON they ride along in the document
+    for note in &discovery.notes {
+        eprintln!("# warning: {note}");
+    }
+    let out_rel = discovery.relation(&rel);
+    let (nc, nv) = discovery.cover.counts();
     eprintln!(
         "# {} rules ({nc} constant, {nv} variable) in {:.2?}",
-        cover.len(),
-        t0.elapsed()
+        discovery.cover.len(),
+        discovery.total_time(),
     );
-    if a.tableau {
-        for t in group_into_tableaux(&cover) {
-            print!("{}", t.display(&rel));
+    match a.format {
+        Format::Json => {
+            let mut doc = discovery.to_json(&rel);
+            if let Json::Obj(pairs) = &mut doc {
+                pairs.insert(0, ("command".into(), Json::from("discover")));
+                pairs.insert(1, ("dataset".into(), Json::from(a.positional[0].as_str())));
+            }
+            println!("{doc}");
         }
-    } else {
-        print!("{}", cover.display(&rel));
+        Format::Text if a.tableau => {
+            for t in group_into_tableaux(&discovery.cover) {
+                print!("{}", t.display(out_rel));
+            }
+        }
+        Format::Text => print!("{}", discovery.cover.to_text(out_rel)),
     }
     Ok(ExitCode::SUCCESS)
 }
 
-/// Parses a rules file against `rel`'s dictionaries, warning about (and
-/// skipping) lines whose constants do not occur in `rel`.
-fn load_rules(rel: &Relation, path: &str) -> Result<Vec<(String, Cfd)>> {
+/// The one strict/lenient rule-file loop (blank/`#` lines skipped),
+/// parameterized over the parser so `check`/`repair` (dictionary
+/// lookups) and `watch` (interning) share the policy and its wording.
+/// Strict by default: the first unparseable line aborts with its line
+/// number. With `lenient`, bad lines are skipped with a warning — the
+/// pre-strictness behavior.
+fn load_rules_with(
+    path: &str,
+    lenient: bool,
+    mut parse: impl FnMut(&str) -> Result<Cfd>,
+) -> Result<Vec<(String, Cfd)>> {
     let rules_text = std::fs::read_to_string(path)?;
     let mut rules: Vec<(String, Cfd)> = Vec::new();
     for (no, line) in rules_text.lines().enumerate() {
@@ -160,17 +239,28 @@ fn load_rules(rel: &Relation, path: &str) -> Result<Vec<(String, Cfd)>> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        match parse_cfd(rel, line) {
+        match parse(line) {
             Ok(cfd) => rules.push((line.to_string(), cfd)),
-            Err(e) => eprintln!("# skipping line {}: {e}", no + 1),
+            Err(e) if lenient => eprintln!("# skipping line {}: {e}", no + 1),
+            Err(e) => {
+                return Err(Error::Parse(format!(
+                    "{path}:{}: unparseable rule: {e} (pass --lenient to skip bad lines)",
+                    no + 1
+                )))
+            }
         }
     }
     Ok(rules)
 }
 
+/// Rule loading for `check`/`repair`: constants must occur in `rel`.
+fn load_rules(rel: &Relation, path: &str, lenient: bool) -> Result<Vec<(String, Cfd)>> {
+    load_rules_with(path, lenient, |line| parse_cfd(rel, line))
+}
+
 fn check(a: &Args) -> Result<ExitCode> {
     let rel = relation_from_csv_path(&a.positional[0])?;
-    let rules = load_rules(&rel, &a.positional[1])?;
+    let rules = load_rules(&rel, &a.positional[1], a.lenient)?;
     eprintln!(
         "# checking {} rules against {} ({} threads)",
         rules.len(),
@@ -188,6 +278,40 @@ fn check(a: &Args) -> Result<ExitCode> {
             limit: a.limit,
         },
     );
+    if a.format == Format::Json {
+        let mut doc = report.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.insert(0, ("command".into(), Json::from("check")));
+            pairs.insert(1, ("dataset".into(), Json::from(a.positional[0].as_str())));
+            pairs.insert(
+                2,
+                ("rules_file".into(), Json::from(a.positional[1].as_str())),
+            );
+            // attach each rule's wire text to its report object
+            if let Some(Json::Arr(rule_docs)) =
+                pairs.iter_mut().find(|(k, _)| k == "rules").map(|(_, v)| v)
+            {
+                for rd in rule_docs.iter_mut() {
+                    if let Json::Obj(fields) = rd {
+                        let idx = fields
+                            .iter()
+                            .find(|(k, _)| k == "rule")
+                            .and_then(|(_, v)| v.as_f64())
+                            .map(|n| n as usize);
+                        if let Some(i) = idx {
+                            fields.insert(1, ("text".into(), Json::from(rules[i].0.as_str())));
+                        }
+                    }
+                }
+            }
+        }
+        println!("{doc}");
+        return Ok(if report.satisfied() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
     for r in &report.rules {
         if r.satisfied() {
             continue;
@@ -225,7 +349,7 @@ fn check(a: &Args) -> Result<ExitCode> {
 
 fn repair(a: &Args) -> Result<ExitCode> {
     let rel = relation_from_csv_path(&a.positional[0])?;
-    let rules: Vec<Cfd> = load_rules(&rel, &a.positional[1])?
+    let rules: Vec<Cfd> = load_rules(&rel, &a.positional[1], a.lenient)?
         .into_iter()
         .map(|(_, cfd)| cfd)
         .collect();
@@ -272,31 +396,21 @@ fn repair(a: &Args) -> Result<ExitCode> {
 ///
 /// Unlike `check`, rule constants need not occur in the initial CSV:
 /// they are interned into the dictionaries up front, so a monitoring
-/// rule can precede the first tuple it matches. EOF applies any staged
-/// batch and prints final statistics. Exit code 0 when the final live
-/// instance satisfies every rule, 1 otherwise.
+/// rule can precede the first tuple it matches. Rule files follow the
+/// same strictness policy as `check`: unparseable lines abort unless
+/// `--lenient`. EOF applies any staged batch and prints final
+/// statistics. Exit code 0 when the final live instance satisfies
+/// every rule, 1 otherwise.
 fn watch(a: &Args) -> Result<ExitCode> {
     use cfd_suite::model::cfd::parse_cfd_interning;
     use cfd_suite::prelude::StreamEngine;
     use std::io::BufRead;
 
     let mut rel = relation_from_csv_path(&a.positional[0])?;
-    let rules_text = std::fs::read_to_string(&a.positional[1])?;
-    let mut texts: Vec<String> = Vec::new();
-    let mut cfds: Vec<Cfd> = Vec::new();
-    for (no, line) in rules_text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        match parse_cfd_interning(&mut rel, line) {
-            Ok(cfd) => {
-                texts.push(line.to_string());
-                cfds.push(cfd);
-            }
-            Err(e) => eprintln!("# skipping line {}: {e}", no + 1),
-        }
-    }
+    let loaded = load_rules_with(&a.positional[1], a.lenient, |line| {
+        parse_cfd_interning(&mut rel, line)
+    })?;
+    let (texts, cfds): (Vec<String>, Vec<Cfd>) = loaded.into_iter().unzip();
     let (mut engine, warm) = StreamEngine::warm(&rel, cfds, a.shards);
     eprintln!(
         "# watching {} rules over {} ({} tuples, {} shards)",
@@ -437,23 +551,38 @@ fn stats(a: &Args) -> Result<ExitCode> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Lists the registered algorithm names, one per line — `Algo::all()`
+/// drives this, the `--algo` table, and the CI algorithm matrix, so
+/// the three can never drift apart.
+fn algos() -> ExitCode {
+    for a in Algo::all() {
+        println!("{}", a.name());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
         return usage();
     }
     let cmd = argv[0].clone();
-    let Some(args) = parse_args(&argv[1..]) else {
-        return usage();
+    let args = match parse_args(&argv[1..]) {
+        Ok(a) => a,
+        Err(msg) => return arg_error(&msg),
     };
     let need = match cmd.as_str() {
         "discover" | "stats" => 1,
         "check" | "watch" => 2,
         "repair" => 3,
+        "algos" => 0,
         _ => return usage(),
     };
     if args.positional.len() != need {
-        return usage();
+        return arg_error(&format!(
+            "`cfd {cmd}` takes {need} positional argument(s), got {}",
+            args.positional.len()
+        ));
     }
     let run = match cmd.as_str() {
         "discover" => discover(&args),
@@ -461,6 +590,7 @@ fn main() -> ExitCode {
         "repair" => repair(&args),
         "stats" => stats(&args),
         "watch" => watch(&args),
+        "algos" => return algos(),
         _ => unreachable!(),
     };
     match run {

@@ -8,7 +8,10 @@
 //! * [`model`] — relations, pattern tuples, CFDs, satisfaction/support/violations;
 //! * [`partition`] — partitions w.r.t. attribute-set/pattern pairs (Section 4.4);
 //! * [`itemset`] — free and closed item-set mining (Section 3.1);
-//! * [`core`] — the discovery algorithms: CFDMiner, CTANE, FastCFD/NaiveFast;
+//! * [`core`] — the discovery algorithms (CFDMiner, CTANE,
+//!   FastCFD/NaiveFast) and the unified [`core::api`] they all
+//!   implement: the `Discoverer` trait, `DiscoverOptions`, structured
+//!   `Discovery` outcomes, and the `Algo` registry;
 //! * [`fd`] — the classical FD baselines TANE and FastFD;
 //! * [`datagen`] — synthetic datasets used by the paper's evaluation;
 //! * [`validate`] — the shared validation kernel: compile a cover once,
@@ -31,6 +34,13 @@
 //! // constant CFDs only, orders of magnitude faster
 //! let constants = CfdMiner::new(2).discover(&rel);
 //! assert_eq!(constants.cfds(), cover.constant_cover().cfds());
+//! // every algorithm also runs through the unified Discoverer API,
+//! // returning a structured outcome (timings, counters, notes):
+//! let d = Algo::Ctane
+//!     .discover_with(&rel, &DiscoverOptions::new(2), &Control::default())
+//!     .unwrap();
+//! assert_eq!(d.cover.cfds(), cover.cfds());
+//! assert!(d.stats.candidates > 0);
 //! ```
 
 pub use cfd_core as core;
@@ -44,13 +54,18 @@ pub use cfd_validate as validate;
 
 /// The items most programs need.
 pub mod prelude {
+    pub use cfd_core::api::{
+        Algo, Cancelled, Control, DiscoverError, DiscoverOptions, Discoverer, Discovery, Note,
+        Progress, SearchStats, UnknownAlgo,
+    };
     pub use cfd_core::{BruteForce, CfdMiner, Ctane, DiffSetMode, FastCfd};
+    pub use cfd_fd::{FastFd, Tane};
     pub use cfd_model::cfd::parse_cfd;
     pub use cfd_model::csv::{relation_from_csv_path, relation_from_csv_str};
     pub use cfd_model::violation::Violation;
     pub use cfd_model::{
         normalize_cfd, satisfies, support, violations, AttrSet, CanonicalCover, Cfd, CfdClass,
-        Error, PVal, Pattern, Relation, RelationBuilder, Result, Schema,
+        Error, Json, PVal, Pattern, Relation, RelationBuilder, Result, Schema,
     };
     pub use cfd_stream::{BatchDelta, RuleStats, StreamEngine};
     pub use cfd_validate::{

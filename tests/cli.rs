@@ -1,6 +1,10 @@
 //! End-to-end tests of the `cfd` command-line tool: discover on clean
-//! data, pipe the rules into check, and validate dirty data fails.
+//! data, pipe the rules into check, and validate dirty data fails —
+//! plus the unified-API surface: the `Algo::all()` algorithm matrix,
+//! `--format json` validity, argument-error reporting, and the strict
+//! rule-file policy.
 
+use cfd_suite::prelude::{Algo, Json};
 use std::io::Write;
 use std::process::Command;
 
@@ -187,6 +191,267 @@ fn discover_algorithms_and_flags() {
     assert_eq!(bad.status.code(), Some(2));
     let bad2 = bin().args(["discover"]).output().unwrap();
     assert_eq!(bad2.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn algorithm_matrix_runs_every_registered_algo() {
+    let dir = std::env::temp_dir().join(format!("cfd-cli6-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("data.csv");
+    write_csv(&csv, false);
+    let path = csv.to_str().unwrap();
+
+    // `cfd algos` is the registry: the matrix below covers exactly it
+    let listed = bin().args(["algos"]).output().unwrap();
+    assert!(listed.status.success());
+    let names: Vec<String> = String::from_utf8(listed.stdout)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    let registry: Vec<String> = Algo::all().iter().map(|a| a.name().to_string()).collect();
+    assert_eq!(names, registry, "`cfd algos` must mirror Algo::all()");
+
+    let mut general: Vec<Vec<String>> = Vec::new();
+    for algo in Algo::all() {
+        let out = bin()
+            .args(["discover", path, "--k", "2", "--algo", algo.name()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--algo {algo} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let mut lines: Vec<String> = String::from_utf8(out.stdout)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        lines.sort();
+        assert!(!lines.is_empty(), "--algo {algo} found no rules");
+        if matches!(
+            algo,
+            Algo::Ctane | Algo::FastCfd | Algo::Naive | Algo::BruteForce
+        ) {
+            general.push(lines);
+        }
+    }
+    // all general-cover algorithms print the identical rule set
+    for w in general.windows(2) {
+        assert_eq!(w[0], w[1]);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn argument_errors_name_the_offending_flag() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["discover", "x.csv", "--k", "abc"],
+            "invalid value \"abc\" for --k",
+        ),
+        (&["discover", "x.csv", "--k"], "missing value for --k"),
+        (&["discover", "x.csv", "--frob"], "unknown flag \"--frob\""),
+        (
+            &["discover", "x.csv", "--algo", "levelwise"],
+            "unknown algorithm \"levelwise\"",
+        ),
+        (
+            &["discover", "x.csv", "--format", "xml"],
+            "invalid value \"xml\" for --format",
+        ),
+        (&["check", "x.csv"], "takes 2 positional argument(s), got 1"),
+    ];
+    for (args, want) in cases {
+        let out = bin().args(*args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(stderr.contains(want), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn check_is_strict_about_rule_files_unless_lenient() {
+    let dir = std::env::temp_dir().join(format!("cfd-cli7-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("data.csv");
+    let rules = dir.join("rules.txt");
+    write_csv(&csv, false);
+    let path = csv.to_str().unwrap();
+
+    let out = bin().args(["discover", path, "--k", "2"]).output().unwrap();
+    let mut text = String::from_utf8(out.stdout).unwrap();
+    text.push_str("this is not a rule\n");
+    std::fs::write(&rules, &text).unwrap();
+    let rules_path = rules.to_str().unwrap();
+
+    // strict default: the bad line aborts the check (no truncated-rule-set OK)
+    let strict = bin().args(["check", path, rules_path]).output().unwrap();
+    assert!(!strict.status.success());
+    let stderr = String::from_utf8_lossy(&strict.stderr).to_string();
+    assert!(
+        stderr.contains("unparseable rule") && stderr.contains("--lenient"),
+        "{stderr}"
+    );
+    assert!(
+        !String::from_utf8_lossy(&strict.stdout).contains("OK"),
+        "strict check must not report OK"
+    );
+
+    // --lenient restores skip-with-warning
+    let lenient = bin()
+        .args(["check", path, rules_path, "--lenient"])
+        .output()
+        .unwrap();
+    assert!(lenient.status.success());
+    assert!(String::from_utf8_lossy(&lenient.stdout).contains("OK"));
+    assert!(String::from_utf8_lossy(&lenient.stderr).contains("skipping line"));
+
+    // watch applies the same policy
+    let watch = bin().args(["watch", path, rules_path]).output().unwrap();
+    assert!(!watch.status.success());
+    assert!(
+        String::from_utf8_lossy(&watch.stderr).contains("unparseable rule"),
+        "watch must be strict too"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_output_is_parseable_and_structured() {
+    let dir = std::env::temp_dir().join(format!("cfd-cli8-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let clean = dir.join("clean.csv");
+    let dirty = dir.join("dirty.csv");
+    let rules = dir.join("rules.txt");
+    write_csv(&clean, false);
+    write_csv(&dirty, true);
+
+    // discover --format json: parseable, with rules/stats/notes
+    let out = bin()
+        .args([
+            "discover",
+            clean.to_str().unwrap(),
+            "--k",
+            "2",
+            "--algo",
+            "ctane",
+            "--threads",
+            "4",
+            "--format",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let doc = Json::parse(&String::from_utf8(out.stdout).unwrap()).expect("valid JSON");
+    assert_eq!(doc.get("command").and_then(Json::as_str), Some("discover"));
+    assert_eq!(doc.get("algorithm").and_then(Json::as_str), Some("ctane"));
+    let rule_docs = doc.get("rules").unwrap().as_array().unwrap();
+    assert!(!rule_docs.is_empty());
+    let texts: Vec<&str> = rule_docs
+        .iter()
+        .map(|r| r.get("text").unwrap().as_str().unwrap())
+        .collect();
+    assert!(texts.contains(&"([AC] -> CT, (908 || MH))"), "{texts:?}");
+    // the counters counted real work, and the ignored --threads is a note
+    assert!(
+        doc.get("stats")
+            .unwrap()
+            .get("candidates")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+    let notes = doc.get("notes").unwrap().as_array().unwrap();
+    assert_eq!(
+        notes[0].get("option").and_then(Json::as_str),
+        Some("threads")
+    );
+    std::fs::write(&rules, texts.join("\n")).unwrap();
+
+    // check --format json on dirty data: unsatisfied, violations listed
+    let out = bin()
+        .args([
+            "check",
+            dirty.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "--format",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let doc = Json::parse(&String::from_utf8(out.stdout).unwrap()).expect("valid JSON");
+    assert_eq!(doc.get("command").and_then(Json::as_str), Some("check"));
+    assert_eq!(doc.get("satisfied").and_then(Json::as_bool), Some(false));
+    assert!(doc.get("total_violations").unwrap().as_f64().unwrap() > 0.0);
+    let violated: Vec<&Json> = doc
+        .get("rules")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|r| r.get("satisfied").and_then(Json::as_bool) == Some(false))
+        .collect();
+    assert!(!violated.is_empty());
+    // every violated rule carries its wire text and a non-empty sample
+    for r in &violated {
+        assert!(r.get("text").unwrap().as_str().is_some());
+        assert!(!r.get("sample").unwrap().as_array().unwrap().is_empty());
+    }
+    // and the clean file satisfies the same rules
+    let out = bin()
+        .args([
+            "check",
+            clean.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "--format",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let doc = Json::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(doc.get("satisfied").and_then(Json::as_bool), Some(true));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn discover_project_restricts_the_schema() {
+    let dir = std::env::temp_dir().join(format!("cfd-cli9-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("data.csv");
+    write_csv(&csv, false);
+    let path = csv.to_str().unwrap();
+
+    let out = bin()
+        .args(["discover", path, "--k", "2", "--project", "CC,AC,CT"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("([AC] -> CT, (908 || MH))"), "{stdout}");
+    for dropped in ["PN", "NM", "STR", "ZIP"] {
+        assert!(
+            !stdout.contains(dropped),
+            "{dropped} should be projected away"
+        );
+    }
+    // unknown attribute names are usage errors: exit 2, named verbatim
+    let bad = bin()
+        .args(["discover", path, "--k", "2", "--project", "CC,NOPE"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("NOPE"));
 
     std::fs::remove_dir_all(&dir).ok();
 }
