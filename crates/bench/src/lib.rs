@@ -14,6 +14,18 @@
 //!
 //! Run `cargo run --release -p cfd-bench --bin experiments -- all` and
 //! see `EXPERIMENTS.md` for the recorded paper-vs-measured comparison.
+//!
+//! ```
+//! use cfd_bench::{Cell, Table, EXPERIMENT_IDS};
+//!
+//! // every experiment of the harness is addressable by id
+//! assert!(EXPERIMENT_IDS.contains(&"fig5"));
+//! // the report tables render fixed-width text and export CSV
+//! let mut t = Table::new("Fig 5. Scalability", "DBSIZE", &["ctane"]);
+//! t.push_row(1000usize, vec![Cell::Secs(1.37)]);
+//! assert!(t.render().contains("DBSIZE"));
+//! assert!(t.to_csv().contains("1.370000"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -42,6 +42,7 @@ use cfd_fd::{FastFd, Tane};
 use cfd_model::attrset::AttrSet;
 use cfd_model::cover::CanonicalCover;
 use cfd_model::json::Json;
+pub use cfd_model::measure::RuleMeasure;
 pub use cfd_model::progress::{Cancelled, Control, PhaseTiming, Progress, SearchStats};
 use cfd_model::relation::Relation;
 
@@ -158,6 +159,14 @@ impl Algo {
         matches!(self, Algo::Tane | Algo::FastFd)
     }
 
+    /// True iff the algorithm honors
+    /// [`DiscoverOptions::min_confidence`] — i.e. mines approximate
+    /// (θ-thresholded) covers. The depth-first algorithms and the
+    /// oracle are exact-only and note the ignored option instead.
+    pub const fn approximates(self) -> bool {
+        matches!(self, Algo::Ctane | Algo::Tane | Algo::CfdMiner)
+    }
+
     /// A default-configured instance of the algorithm (shared knobs
     /// come from [`DiscoverOptions`] at `discover_with` time;
     /// algorithm-specific ablation knobs keep their paper defaults).
@@ -238,6 +247,16 @@ pub struct DiscoverOptions {
     /// the resulting cover speaks the projected schema (see
     /// [`Discovery::relation`]).
     pub project: Option<AttrSet>,
+    /// Confidence threshold `θ ∈ (0, 1]` for approximate discovery
+    /// (g1-style partition error — see `cfd_model::measure`). At the
+    /// default `1.0` every algorithm runs its exact path; below it,
+    /// CTANE/TANE/CFDMiner emit rules whose measured confidence
+    /// reaches `θ` (exact-only algorithms note the ignored option).
+    pub min_confidence: f64,
+    /// Keep only the `k` best rules, ranked by confidence, then
+    /// support, then canonical rule order. Applied after measurement,
+    /// so it works with every algorithm.
+    pub top_k: Option<usize>,
 }
 
 impl Default for DiscoverOptions {
@@ -257,7 +276,21 @@ impl DiscoverOptions {
             threads: 1,
             constants_only: false,
             project: None,
+            min_confidence: 1.0,
+            top_k: None,
         }
+    }
+
+    /// Sets the confidence threshold `θ` for approximate discovery.
+    pub fn min_confidence(mut self, theta: f64) -> DiscoverOptions {
+        self.min_confidence = theta;
+        self
+    }
+
+    /// Keeps only the `k` best rules (by confidence, then support).
+    pub fn top_k(mut self, k: usize) -> DiscoverOptions {
+        self.top_k = Some(k);
+        self
     }
 
     /// Sets the LHS size bound.
@@ -294,6 +327,15 @@ impl DiscoverOptions {
         if self.threads < 1 {
             return fail("threads must be at least 1".into());
         }
+        if !(self.min_confidence > 0.0 && self.min_confidence <= 1.0) {
+            return fail(format!(
+                "min_confidence must be within (0, 1], got {}",
+                self.min_confidence
+            ));
+        }
+        if self.top_k == Some(0) {
+            return fail("top_k must be at least 1".into());
+        }
         if let Some(p) = self.project {
             if p.is_empty() {
                 return fail("projection must keep at least one attribute".into());
@@ -316,6 +358,14 @@ impl DiscoverOptions {
             ("max_lhs", Json::from(self.max_lhs)),
             ("threads", Json::from(self.threads)),
             ("constants_only", Json::from(self.constants_only)),
+            ("min_confidence", Json::from(self.min_confidence)),
+            (
+                "top_k",
+                match self.top_k {
+                    None => Json::Null,
+                    Some(k) => Json::from(k),
+                },
+            ),
             (
                 "project",
                 match self.project {
@@ -400,8 +450,14 @@ impl From<Cancelled> for DiscoverError {
 pub struct Discovery {
     /// Which algorithm ran.
     pub algo: Algo,
-    /// The canonical cover (after `constants_only` filtering).
+    /// The canonical cover (after `constants_only` filtering and
+    /// `top_k` truncation).
     pub cover: CanonicalCover,
+    /// Kernel-measured support/confidence of every rule, aligned with
+    /// [`CanonicalCover::cfds`] order — the scores `top_k` ranked by
+    /// and the numbers the `[support=N conf=F]` wire annotations and
+    /// the JSON document carry.
+    pub measures: Vec<RuleMeasure>,
     /// Search counters (candidates tested/pruned, partitions computed,
     /// …) with the algorithm's per-phase timings in
     /// [`SearchStats::phases`]; a final `total` phase covers the whole
@@ -424,6 +480,16 @@ impl Discovery {
         self.projected.as_ref().unwrap_or(input)
     }
 
+    /// Serializes the cover in the *annotated* wire format: one rule
+    /// per line with its measured `[support=N conf=F]` suffix — what
+    /// `cfd discover --min-confidence/--top-k` prints, and what
+    /// `CanonicalCover::from_annotated_text` (and plain `from_text`)
+    /// parse back.
+    pub fn to_annotated_text(&self, input: &Relation) -> String {
+        self.cover
+            .to_annotated_text(self.relation(input), &self.measures)
+    }
+
     /// Total wall-clock duration (the `total` phase).
     pub fn total_time(&self) -> std::time::Duration {
         self.stats
@@ -441,10 +507,27 @@ impl Discovery {
     pub fn to_json(&self, input: &Relation) -> Json {
         let rel = self.relation(input);
         let (nc, nv) = self.cover.counts();
+        // each rule object carries its measured support/confidence
+        // alongside the wire text and structure; the removal count uses
+        // the same key as `cfd check`'s per-rule report ("violations"
+        // there means violation *records*, a different number)
+        let rules = if self.measures.len() == self.cover.len() {
+            Json::arr(self.cover.iter().zip(&self.measures).map(|(c, m)| {
+                let mut doc = c.to_json(rel);
+                if let Json::Obj(fields) = &mut doc {
+                    fields.push(("support".into(), Json::from(m.support)));
+                    fields.push(("removals".into(), Json::from(m.violations)));
+                    fields.push(("confidence".into(), Json::from(m.confidence())));
+                }
+                doc
+            }))
+        } else {
+            self.cover.to_json(rel)
+        };
         Json::obj([
             ("algorithm", Json::from(self.algo.name())),
             ("options", self.options.to_json(input)),
-            ("rules", self.cover.to_json(rel)),
+            ("rules", rules),
             (
                 "counts",
                 Json::obj([
@@ -567,6 +650,15 @@ pub trait Discoverer {
                 reason: "FD baselines produce no constant rules; the result is empty",
             });
         }
+        if opts.min_confidence < 1.0 && !algo.approximates() {
+            notes.push(Note {
+                algo,
+                option: "min-confidence",
+                value: opts.min_confidence.to_string(),
+                reason: "only ctane/tane/cfdminer mine approximate (confidence-thresholded) \
+                         covers; the exact cover is produced",
+            });
+        }
         let t0 = std::time::Instant::now();
         let projected = match opts.project {
             Some(attrs) => Some(
@@ -583,15 +675,77 @@ pub trait Discoverer {
         } else {
             cover
         };
+        // annotate every rule with its kernel-measured support and
+        // confidence: one CoverPlan pass over the whole cover (sharded
+        // like `cfd check`), aligned with the cover's canonical order
+        let t_measure = std::time::Instant::now();
+        let mut measures: Vec<RuleMeasure> = if cover.is_empty() {
+            Vec::new()
+        } else {
+            cfd_validate::validate(
+                work,
+                cover.iter(),
+                &cfd_validate::ValidateOptions {
+                    threads: opts.threads,
+                    limit: 0,
+                },
+            )
+            .rules
+            .into_iter()
+            .map(|r| r.measure)
+            .collect()
+        };
+        stats.phase("measure", t_measure.elapsed());
+        // top-k: rank by confidence, then support, then canonical rule
+        // order, and truncate — the surviving rules keep cover order
+        let cover = match opts.top_k {
+            Some(top) if cover.len() > top => {
+                let mut order: Vec<usize> = (0..cover.len()).collect();
+                order.sort_unstable_by(|&i, &j| {
+                    measures[j]
+                        .confidence()
+                        .partial_cmp(&measures[i].confidence())
+                        .expect("confidence is finite")
+                        .then(measures[j].support.cmp(&measures[i].support))
+                        .then(i.cmp(&j))
+                });
+                order.truncate(top);
+                order.sort_unstable();
+                let kept_cfds: Vec<_> = order.iter().map(|&i| cover.cfds()[i].clone()).collect();
+                measures = order.iter().map(|&i| measures[i]).collect();
+                CanonicalCover::from_cfds(kept_cfds)
+            }
+            _ => cover,
+        };
         stats.phase("total", t0.elapsed());
         Ok(Discovery {
             algo,
             cover,
+            measures,
             stats,
             notes,
             options: opts.clone(),
             projected,
         })
+    }
+
+    /// One-call discovery with the paper's default options (`k = 2`,
+    /// exact, serial) — the shortest path from a relation to a
+    /// structured [`Discovery`]:
+    ///
+    /// ```
+    /// use cfd_core::api::{Algo, Discoverer};
+    ///
+    /// let rel = cfd_datagen::cust::cust_relation();
+    /// let d = Algo::Ctane.discover(&rel).unwrap();
+    /// assert!(!d.cover.is_empty());
+    /// // every rule comes back measured: exact discovery means every
+    /// // measure is violation-free
+    /// assert_eq!(d.measures.len(), d.cover.len());
+    /// assert!(d.measures.iter().all(|m| m.violations == 0));
+    /// ```
+    fn discover(&self, rel: &Relation) -> Result<Discovery, DiscoverError> {
+        self.discover_with(rel, &DiscoverOptions::default(), &Control::default())
     }
 }
 
@@ -607,7 +761,9 @@ impl Discoverer for CfdMiner {
         ctrl: &Control<'_>,
         stats: &mut SearchStats,
     ) -> Result<CanonicalCover, DiscoverError> {
-        Ok(CfdMiner::new(opts.k).run(rel, ctrl, stats)?)
+        Ok(CfdMiner::new(opts.k)
+            .min_confidence(opts.min_confidence)
+            .run(rel, ctrl, stats)?)
     }
 }
 
@@ -626,6 +782,7 @@ impl Discoverer for Ctane {
         let alg = Ctane {
             k: opts.k,
             max_lhs: opts.max_lhs,
+            min_confidence: opts.min_confidence,
         };
         Ok(alg.run(rel, ctrl, stats)?)
     }
@@ -674,7 +831,9 @@ impl Discoverer for Tane {
             Some(m) => Tane::new().max_lhs(m),
             None => Tane::new(),
         };
-        Ok(alg.run(rel, ctrl, stats)?)
+        Ok(alg
+            .min_confidence(opts.min_confidence)
+            .run(rel, ctrl, stats)?)
     }
 }
 
@@ -985,6 +1144,161 @@ mod tests {
         assert_eq!(
             notes[0].get("option").and_then(Json::as_str),
             Some("threads")
+        );
+    }
+
+    #[test]
+    fn every_discovery_is_measured() {
+        let rel = cust_relation();
+        for algo in Algo::all() {
+            let d = algo
+                .discover_with(&rel, &DiscoverOptions::new(2), &Control::default())
+                .unwrap();
+            assert_eq!(d.measures.len(), d.cover.len(), "{algo}");
+            // exact discovery: every rule holds, so every measure is clean
+            for (cfd, m) in d.cover.iter().zip(&d.measures) {
+                assert_eq!(*m, cfd_model::measure::measure(&rel, cfd), "{algo}");
+                assert_eq!(m.violations, 0, "{algo}: {}", cfd.display(&rel));
+                assert!(m.support >= 2, "{algo}: k-frequency");
+            }
+            assert!(
+                d.stats.phases.iter().any(|p| p.name == "measure"),
+                "{algo} must time the measuring pass"
+            );
+        }
+    }
+
+    #[test]
+    fn min_confidence_thresholds_and_notes() {
+        use cfd_model::cfd::parse_cfd;
+        let rel = cust_relation();
+        let opts = DiscoverOptions::new(2).min_confidence(0.6);
+        // ctane honors θ: the noisy rule appears, measured below 1.0
+        let d = Algo::Ctane
+            .discover_with(&rel, &opts, &Control::default())
+            .unwrap();
+        assert!(d.notes.is_empty());
+        let noisy = parse_cfd(&rel, "(AC -> CT, (131 || EDI))").unwrap();
+        assert!(d.cover.contains(&noisy));
+        for (cfd, m) in d.cover.iter().zip(&d.measures) {
+            assert!(
+                m.confidence() + 1e-9 >= 0.6,
+                "{} at {}",
+                cfd.display(&rel),
+                m.confidence()
+            );
+        }
+        // fastcfd is exact-only: same options produce the exact cover
+        // plus a machine-readable note
+        let exact = Algo::FastCfd
+            .discover_with(&rel, &DiscoverOptions::new(2), &Control::default())
+            .unwrap();
+        let d = Algo::FastCfd
+            .discover_with(&rel, &opts, &Control::default())
+            .unwrap();
+        assert_eq!(d.cover.cfds(), exact.cover.cfds());
+        assert_eq!(d.notes.len(), 1);
+        assert_eq!(d.notes[0].option, "min-confidence");
+        // out-of-range thresholds are rejected up front
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let opts = DiscoverOptions::new(2).min_confidence(bad);
+            assert!(
+                matches!(opts.validate(&rel), Err(DiscoverError::Options(_))),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_ranks_by_confidence_then_support() {
+        let rel = cust_relation();
+        let full = Algo::Ctane
+            .discover_with(
+                &rel,
+                &DiscoverOptions::new(2).min_confidence(0.6),
+                &Control::default(),
+            )
+            .unwrap();
+        assert!(full.cover.len() > 5, "premise: enough rules to truncate");
+        let top = Algo::Ctane
+            .discover_with(
+                &rel,
+                &DiscoverOptions::new(2).min_confidence(0.6).top_k(5),
+                &Control::default(),
+            )
+            .unwrap();
+        assert_eq!(top.cover.len(), 5);
+        assert_eq!(top.measures.len(), 5);
+        // the kept rules are a subset of the full run, measured alike
+        for (cfd, m) in top.cover.iter().zip(&top.measures) {
+            let i = full
+                .cover
+                .cfds()
+                .iter()
+                .position(|c| c == cfd)
+                .expect("top-k rules come from the full cover");
+            assert_eq!(*m, full.measures[i]);
+        }
+        // nothing kept scores below anything dropped
+        let score = |m: &RuleMeasure| (m.confidence(), m.support);
+        let worst_kept =
+            top.measures
+                .iter()
+                .map(&score)
+                .fold(
+                    (f64::INFINITY, usize::MAX),
+                    |a, b| {
+                        if b < a {
+                            b
+                        } else {
+                            a
+                        }
+                    },
+                );
+        for (cfd, m) in full.cover.iter().zip(&full.measures) {
+            if !top.cover.contains(cfd) {
+                assert!(
+                    score(m) <= worst_kept,
+                    "dropped {} outranks a kept rule",
+                    cfd.display(&rel)
+                );
+            }
+        }
+        // top_k larger than the cover is a no-op; 0 is rejected
+        let all = Algo::Ctane
+            .discover_with(
+                &rel,
+                &DiscoverOptions::new(2).top_k(10_000),
+                &Control::default(),
+            )
+            .unwrap();
+        let plain = Algo::Ctane
+            .discover_with(&rel, &DiscoverOptions::new(2), &Control::default())
+            .unwrap();
+        assert_eq!(all.cover.cfds(), plain.cover.cfds());
+        assert!(DiscoverOptions::new(2).top_k(0).validate(&rel).is_err());
+    }
+
+    #[test]
+    fn annotated_text_round_trips() {
+        let rel = cust_relation();
+        let d = Algo::Ctane
+            .discover_with(
+                &rel,
+                &DiscoverOptions::new(2).min_confidence(0.6),
+                &Control::default(),
+            )
+            .unwrap();
+        let text = d.to_annotated_text(&rel);
+        assert!(text.contains(" [support="), "{text}");
+        let (cover, measures) = CanonicalCover::from_annotated_text(&rel, &text).unwrap();
+        assert_eq!(cover.cfds(), d.cover.cfds());
+        let back: Vec<_> = measures.into_iter().map(Option::unwrap).collect();
+        assert_eq!(back, d.measures);
+        // the plain parser accepts annotated text too, dropping measures
+        assert_eq!(
+            CanonicalCover::from_text(&rel, &text).unwrap().cfds(),
+            d.cover.cfds()
         );
     }
 

@@ -20,6 +20,8 @@
 use cfd_itemset::mine::{mine_free_closed, MineOptions, Mined};
 use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
+use cfd_model::fxhash::FxHashMap;
+use cfd_model::measure::keep_meets;
 use cfd_model::pattern::PVal;
 use cfd_model::progress::{Cancelled, Control, SearchStats};
 use cfd_model::relation::Relation;
@@ -28,13 +30,31 @@ use cfd_model::relation::Relation;
 #[derive(Clone, Copy, Debug)]
 pub struct CfdMiner {
     k: usize,
+    min_confidence: f64,
 }
 
 impl CfdMiner {
     /// Creates a miner with support threshold `k ≥ 1`.
     pub fn new(k: usize) -> CfdMiner {
         assert!(k >= 1, "support threshold must be at least 1");
-        CfdMiner { k }
+        CfdMiner {
+            k,
+            min_confidence: 1.0,
+        }
+    }
+
+    /// Relaxes validity to confidence `θ ∈ (0, 1]`: a constant CFD
+    /// `(X → A, (tp ‖ a))` is emitted when at least a `θ`-fraction of
+    /// the tuples matching `tp` carry `a` (and at least `k` of them
+    /// do — the k-frequency of the full pattern). `1.0` (the default)
+    /// is the exact free/closed-set path of Section 3.
+    pub fn min_confidence(mut self, theta: f64) -> CfdMiner {
+        assert!(
+            theta > 0.0 && theta <= 1.0,
+            "min_confidence must be within (0, 1]"
+        );
+        self.min_confidence = theta;
+        self
     }
 
     /// The configured support threshold.
@@ -60,11 +80,14 @@ impl CfdMiner {
         stats: &mut SearchStats,
     ) -> Result<CanonicalCover, Cancelled> {
         let t0 = std::time::Instant::now();
+        // the approximate pass needs each free set's supporting tuples
+        // to take per-attribute majorities; the exact pass does not
+        let approx = self.min_confidence < 1.0;
         let mined = mine_free_closed(
             rel,
             self.k,
             MineOptions {
-                keep_tids: false,
+                keep_tids: approx,
                 ..MineOptions::default()
             },
         );
@@ -72,7 +95,11 @@ impl CfdMiner {
         ctrl.check()?;
         ctrl.report("mine", 1, 1);
         let t1 = std::time::Instant::now();
-        let cover = self.mined_with_stats(&mined, stats);
+        let cover = if approx {
+            self.approx_with_stats(rel, &mined, stats)
+        } else {
+            self.mined_with_stats(&mined, stats)
+        };
         stats.phase("rhs-items", t1.elapsed());
         Ok(cover)
     }
@@ -124,6 +151,91 @@ impl CfdMiner {
                     out.push(Cfd::new(free.pattern.clone(), a, PVal::Const(code)));
                 } else {
                     stats.pruned += 1;
+                }
+            }
+        }
+        CanonicalCover::from_cfds(out)
+    }
+
+    /// The θ-tolerant RHS pass: for every k-frequent free pattern
+    /// `(X, tp)` and attribute `A ∉ X`, emit `(X → A, (tp ‖ a))` for
+    /// each value `a` carried by a `θ`-fraction (and at least `k`) of
+    /// the supporting tuples, unless some strictly more general
+    /// sub-pattern already reaches `θ` for the same `(A, a)`.
+    ///
+    /// Free sets still suffice as generators: a non-free pattern shares
+    /// its support set — hence every per-attribute frequency — with a
+    /// strictly more general free pattern, so any rule it could emit is
+    /// suppressed as non-minimal. Unlike the exact case, confidence is
+    /// *not* monotone along the generalization order (the denominator
+    /// changes with the pattern), so minimality checks **all**
+    /// sub-patterns of `tp`, not just immediate ones — the analogue of
+    /// CTANE's transitive `C⁺` suppression.
+    fn approx_with_stats(
+        &self,
+        rel: &Relation,
+        mined: &Mined,
+        stats: &mut SearchStats,
+    ) -> CanonicalCover {
+        let theta = self.min_confidence;
+        stats.free_sets += mined.free.len() as u64;
+        stats.closed_sets += mined.closed.len() as u64;
+        let mut out: Vec<Cfd> = Vec::new();
+        // (free-set index, attr) → per-code frequency over the free
+        // set's supporting tuples, memoized: every candidate probes all
+        // generalizations (the empty pattern — all n rows — included),
+        // so recounting per candidate would be quadratic-ish in n
+        let mut freq_cache: FxHashMap<(usize, usize), FxHashMap<u32, u32>> = FxHashMap::default();
+        fn freqs<'c>(
+            cache: &'c mut FxHashMap<(usize, usize), FxHashMap<u32, u32>>,
+            mined: &Mined,
+            rel: &Relation,
+            fi: usize,
+            a: usize,
+        ) -> &'c FxHashMap<u32, u32> {
+            cache.entry((fi, a)).or_insert_with(|| {
+                let col = rel.column(a);
+                let mut freq = FxHashMap::default();
+                for &t in mined.free[fi].tids() {
+                    *freq.entry(col.code(t)).or_insert(0) += 1;
+                }
+                freq
+            })
+        }
+        for (fi, free) in mined.free.iter().enumerate() {
+            let supp = free.tids().len();
+            let attrs = free.pattern.attrs();
+            for a in (0..rel.arity()).filter(|&a| !attrs.contains(a)) {
+                let candidates: Vec<(u32, usize)> = freqs(&mut freq_cache, mined, rel, fi, a)
+                    .iter()
+                    .map(|(&code, &cnt)| (code, cnt as usize))
+                    .collect();
+                for (code, cnt) in candidates {
+                    if cnt < self.k || !keep_meets(cnt, supp, theta) {
+                        continue;
+                    }
+                    stats.candidates += 1;
+                    // redundant iff a strictly more general sub-pattern
+                    // reaches θ for the same (A, code); sub-patterns of
+                    // a free set are free and mined (downward closure)
+                    let redundant = attrs.subsets().filter(|&s| s != attrs).any(|s| {
+                        let sub = free.pattern.project(s);
+                        let si = mined
+                            .free_index(&sub)
+                            .expect("sub-pattern of a mined free set is mined");
+                        let sub_supp = mined.free[si].support as usize;
+                        let sub_cnt = freqs(&mut freq_cache, mined, rel, si, a)
+                            .get(&code)
+                            .copied()
+                            .unwrap_or(0) as usize;
+                        keep_meets(sub_cnt, sub_supp, theta)
+                    });
+                    if redundant {
+                        stats.pruned += 1;
+                    } else {
+                        stats.emitted += 1;
+                        out.push(Cfd::new(free.pattern.clone(), a, PVal::Const(code)));
+                    }
                 }
             }
         }
@@ -195,6 +307,62 @@ mod tests {
             assert!(cfd.is_constant());
             assert!(is_minimal(&r, cfd, 2), "{}", cfd.display(&r));
         }
+    }
+
+    #[test]
+    fn approximate_discovery_admits_noisy_constant_rules() {
+        use cfd_model::measure::measure;
+        let r = cust_relation();
+        // (AC → CT, (131 ‖ EDI)): 2 of the 3 AC=131 tuples agree (t8 is
+        // the dissenter) — invisible exactly, found at θ = 0.6
+        let noisy = parse_cfd(&r, "(AC -> CT, (131 || EDI))").unwrap();
+        assert!(!CfdMiner::new(2).discover(&r).contains(&noisy));
+        let approx = CfdMiner::new(2).min_confidence(0.6).discover(&r);
+        assert!(
+            approx.contains(&noisy),
+            "θ=0.6 cover:\n{}",
+            approx.display(&r)
+        );
+        // soundness + minimality of everything emitted
+        for cfd in approx.iter() {
+            assert!(cfd.is_constant());
+            let m = measure(&r, cfd);
+            assert!(m.meets(0.6), "{}", cfd.display(&r));
+            assert!(m.support.saturating_sub(m.violations) >= 2, "k-frequency");
+        }
+        // θ = 1.0 goes through the exact free/closed path unchanged
+        assert_eq!(
+            CfdMiner::new(2).min_confidence(1.0).discover(&r).cfds(),
+            CfdMiner::new(2).discover(&r).cfds()
+        );
+    }
+
+    #[test]
+    fn approximate_minimality_suppresses_specializations() {
+        use cfd_model::measure::measure;
+        // B=1 predicts C=p at 3/4; the specialization (A=x, B=1) → C=p
+        // also reaches 3/4 on its own rows but is implied by the more
+        // general rule and must not be emitted
+        use cfd_model::relation::relation_from_rows;
+        use cfd_model::schema::Schema;
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        let r = relation_from_rows(
+            schema,
+            &[
+                vec!["x", "1", "p"],
+                vec!["x", "1", "p"],
+                vec!["x", "1", "p"],
+                vec!["x", "1", "q"],
+                vec!["y", "2", "q"],
+            ],
+        )
+        .unwrap();
+        let cover = CfdMiner::new(2).min_confidence(0.7).discover(&r);
+        let general = parse_cfd(&r, "(B -> C, (1 || p))").unwrap();
+        assert!(cover.contains(&general), "cover:\n{}", cover.display(&r));
+        let special = parse_cfd(&r, "([A, B] -> C, (x, 1 || p))").unwrap();
+        assert!(measure(&r, &special).meets(0.7), "premise of the test");
+        assert!(!cover.contains(&special), "cover:\n{}", cover.display(&r));
     }
 
     #[test]

@@ -18,6 +18,15 @@
 //! compare **row** counts instead — the paper's class-count test misses
 //! single-tuple violations of constant RHS patterns (see DESIGN.md §2).
 //!
+//! With [`Ctane::min_confidence`] below `1.0` the validity test relaxes
+//! to the g1-style partition error of DESIGN.md §8: a wildcard-RHS
+//! candidate is valid when the parent partition's per-class
+//! max-frequency sum ([`Partition::keep_count`]) reaches `θ · rows`, a
+//! constant-RHS candidate when the child's row count does. At `θ = 1.0`
+//! the integer short-circuit in [`cfd_model::measure::keep_meets`]
+//! makes both tests *exactly* the classical ones, so the approximate
+//! path is a superset — not a fork — of the exact engine.
+//!
 //! Canonical-cover convention: a variable CFD whose LHS pattern is
 //! all-constant holds iff the RHS attribute is constant on the matching
 //! tuples, i.e. iff the corresponding *constant* CFD holds — it is
@@ -28,6 +37,7 @@ use cfd_model::attrset::AttrSet;
 use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
 use cfd_model::fxhash::FxHashMap;
+use cfd_model::measure::keep_meets;
 use cfd_model::pattern::{PVal, Pattern};
 use cfd_model::progress::{Cancelled, Control, SearchStats};
 use cfd_model::relation::Relation;
@@ -49,19 +59,36 @@ struct Element {
 pub struct Ctane {
     pub(crate) k: usize,
     pub(crate) max_lhs: Option<usize>,
+    pub(crate) min_confidence: f64,
 }
 
 impl Ctane {
     /// Creates the algorithm with support threshold `k ≥ 1`.
     pub fn new(k: usize) -> Ctane {
         assert!(k >= 1, "support threshold must be at least 1");
-        Ctane { k, max_lhs: None }
+        Ctane {
+            k,
+            max_lhs: None,
+            min_confidence: 1.0,
+        }
     }
 
     /// Caps the LHS size of discovered CFDs (a practical guard: CTANE is
     /// exponential in the arity — Fig. 7 of the paper).
     pub fn max_lhs(mut self, max_lhs: usize) -> Ctane {
         self.max_lhs = Some(max_lhs);
+        self
+    }
+
+    /// Relaxes validity to confidence `θ ∈ (0, 1]` (g1-style partition
+    /// error — see the module docs); `1.0` (the default) is exact
+    /// discovery.
+    pub fn min_confidence(mut self, theta: f64) -> Ctane {
+        assert!(
+            theta > 0.0 && theta <= 1.0,
+            "min_confidence must be within (0, 1]"
+        );
+        self.min_confidence = theta;
         self
     }
 
@@ -88,6 +115,10 @@ impl Ctane {
     ) -> Result<CanonicalCover, Cancelled> {
         let n = rel.n_rows();
         let arity = rel.arity();
+        let theta = self.min_confidence;
+        // approximate mode retains the previous level's partitions, so
+        // wildcard-RHS candidates can be error-counted per class
+        let approx = theta < 1.0;
         let mut out: Vec<Cfd> = Vec::new();
         if n == 0 || n < self.k {
             return Ok(CanonicalCover::from_cfds(out));
@@ -147,6 +178,10 @@ impl Ctane {
         // counts of the level below (the ∅ element at level 0)
         let mut prev_counts: FxHashMap<Pattern, (usize, usize)> = FxHashMap::default();
         prev_counts.insert(Pattern::empty(), (1, n));
+        let mut prev_parts: FxHashMap<Pattern, Partition> = FxHashMap::default();
+        if approx {
+            prev_parts.insert(Pattern::empty(), Partition::full(n));
+        }
 
         let mut ell = 1usize;
         loop {
@@ -185,9 +220,23 @@ impl Ctane {
                         .get(&parent_pat)
                         .expect("parent element must exist (generation invariant)");
                     stats.candidates += 1;
+                    // the exact count tests, or — below θ = 1.0 — the
+                    // g1-style relaxation keep ≥ θ·rows (keep_meets
+                    // short-circuits exactness with integer arithmetic)
                     let valid = match ca {
-                        PVal::Var => p_classes == level[i].n_classes,
-                        PVal::Const(_) => p_rows == level[i].n_rows,
+                        PVal::Var => {
+                            p_classes == level[i].n_classes
+                                || (approx && {
+                                    let parent = prev_parts
+                                        .get(&parent_pat)
+                                        .expect("approx mode retains parent partitions");
+                                    keep_meets(parent.keep_count(rel, a), p_rows, theta)
+                                })
+                        }
+                        PVal::Const(_) => {
+                            p_rows == level[i].n_rows
+                                || (approx && keep_meets(level[i].n_rows, p_rows, theta))
+                        }
                     };
                     if !valid {
                         continue;
@@ -322,11 +371,27 @@ impl Ctane {
             if next.is_empty() {
                 break;
             }
-            // retire this level: parents only need their counts
-            prev_counts = level
-                .into_iter()
-                .map(|e| (e.pattern, (e.n_classes, e.n_rows)))
-                .collect();
+            // retire this level: parents only need their counts —
+            // except in approximate mode, where the error count of a
+            // wildcard-RHS candidate walks the parent's classes
+            if approx {
+                prev_counts = level
+                    .iter()
+                    .map(|e| (e.pattern.clone(), (e.n_classes, e.n_rows)))
+                    .collect();
+                prev_parts = level
+                    .into_iter()
+                    .map(|e| {
+                        let part = e.partition.expect("current level keeps partitions");
+                        (e.pattern, part)
+                    })
+                    .collect();
+            } else {
+                prev_counts = level
+                    .into_iter()
+                    .map(|e| (e.pattern, (e.n_classes, e.n_rows)))
+                    .collect();
+            }
             level = next;
             ell += 1;
         }
@@ -460,6 +525,56 @@ mod tests {
         assert!(capped.iter().all(|c| c.lhs_attrs().len() <= 1));
         let full = Ctane::new(1).discover(&r);
         assert!(full.iter().any(|c| c.lhs_attrs().len() >= 2));
+    }
+
+    #[test]
+    fn approximate_discovery_admits_noisy_rules() {
+        use cfd_model::measure::measure;
+        let r = cust_relation();
+        // (AC → CT, (131 ‖ EDI)) is violated by t8 (AC=131, CT=UN):
+        // confidence 2/3 — invisible to exact discovery, found at θ=0.6
+        let noisy = parse_cfd(&r, "(AC -> CT, (131 || EDI))").unwrap();
+        let exact = Ctane::new(2).discover(&r);
+        assert!(!exact.contains(&noisy));
+        let approx = Ctane::new(2).min_confidence(0.6).discover(&r);
+        assert!(
+            approx.contains(&noisy),
+            "θ=0.6 cover:\n{}",
+            approx.display(&r)
+        );
+        // every emitted rule's measured confidence clears the threshold
+        for cfd in approx.iter() {
+            let m = measure(&r, cfd);
+            assert!(
+                m.confidence() + 1e-9 >= 0.6,
+                "{} has confidence {}",
+                cfd.display(&r),
+                m.confidence()
+            );
+        }
+        // wildcard-RHS relaxation: AC → CT has one dissenter in the
+        // 131-class (confidence 7/8 = 0.875)
+        let fd = parse_cfd(&r, "(AC -> CT, (_ || _))").unwrap();
+        assert!(!exact.contains(&fd));
+        let approx = Ctane::new(1).min_confidence(0.875).discover(&r);
+        assert!(
+            approx.contains(&fd),
+            "θ=0.875 cover:\n{}",
+            approx.display(&r)
+        );
+        assert!(!Ctane::new(1).min_confidence(0.9).discover(&r).contains(&fd));
+    }
+
+    #[test]
+    fn theta_one_reproduces_the_exact_cover() {
+        for seed in 0..6 {
+            let r = RandomRelation::small(seed).generate();
+            for k in [1, 2] {
+                let exact = Ctane::new(k).discover(&r);
+                let via_theta = Ctane::new(k).min_confidence(1.0).discover(&r);
+                assert_eq!(exact.cfds(), via_theta.cfds(), "seed {seed} k {k}");
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,19 @@
 //! offline, so `wbc`/`chess` generate *simulations* that preserve the
 //! properties CFD discovery is sensitive to (arity, domain sizes,
 //! co-occurrence structure, functional structure); see DESIGN.md §5.
+//!
+//! ```
+//! use cfd_datagen::cust::cust_relation;
+//! use cfd_datagen::tax::TaxGenerator;
+//!
+//! // Fig. 1's running example: 8 tuples over (CC, AC, PN, NM, STR, CT, ZIP)
+//! let cust = cust_relation();
+//! assert_eq!((cust.n_rows(), cust.arity()), (8, 7));
+//! // deterministic synthetic tax data at any DBSIZE
+//! let tax = TaxGenerator::new(500).generate();
+//! assert_eq!(tax.n_rows(), 500);
+//! assert_eq!(tax.n_rows(), TaxGenerator::new(500).generate().n_rows());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

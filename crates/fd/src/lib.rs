@@ -12,7 +12,22 @@
 //! cover (`CanonicalCover::plain_fd_cover`). Like that fragment, and
 //! unlike some classical presentations, `∅ → A` dependencies (constant
 //! columns) are *excluded* — in the CFD world they are represented by the
-//! constant CFD `(∅ → A, (‖ a))`.
+//! constant CFD `(∅ → A, (‖ a))`. TANE additionally supports the classic
+//! approximate variant: [`Tane::min_confidence`] emits `X → A` when the
+//! g1-style partition error stays within `1 − θ` (DESIGN.md §8).
+//!
+//! ```
+//! use cfd_fd::Tane;
+//! use cfd_model::csv::relation_from_csv_str;
+//!
+//! // AC → CT holds on 3 of 4 tuples (131 maps to both EDI and UN)
+//! let rel = relation_from_csv_str("AC,CT\n908,MH\n908,MH\n131,EDI\n131,UN\n").unwrap();
+//! let fd = cfd_model::cfd::parse_cfd(&rel, "(AC -> CT, (_ || _))").unwrap();
+//! assert!(!Tane::new().discover(&rel).contains(&fd));
+//! let approx = Tane::new().min_confidence(0.75).discover(&rel);
+//! assert!(approx.contains(&fd));
+//! assert!(approx.iter().all(|c| c.is_plain_fd()));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -5,11 +5,21 @@
 //! sets with their partitions; `C⁺(X) = {A | ∀B ∈ X : X\{A,B} ↛ B}`
 //! prunes candidate RHS attributes; (super)key sets are retired early
 //! after emitting their remaining dependencies.
+//!
+//! With [`Tane::min_confidence`] below `1.0` the dependency test
+//! relaxes to TANE's classic approximate variant under the g1-style
+//! partition error (DESIGN.md §8): `X\{A} → A` is emitted when the
+//! per-class max-frequency sum of `A` over `π_{X\{A}}`
+//! ([`Partition::keep_count`]) reaches `θ · |r|`. For plain FDs this
+//! error is monotone under refinement, so the minimality story is
+//! unchanged; at `θ = 1.0` the integer short-circuit reproduces the
+//! exact test bit for bit.
 
 use cfd_model::attrset::AttrSet;
 use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
 use cfd_model::fxhash::FxHashMap;
+use cfd_model::measure::keep_meets;
 use cfd_model::pattern::PVal;
 use cfd_model::progress::{Cancelled, Control, SearchStats};
 use cfd_model::relation::Relation;
@@ -23,20 +33,42 @@ struct Node {
 }
 
 /// Level-wise minimal-FD discovery.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct Tane {
     pub(crate) max_lhs: Option<usize>,
+    pub(crate) min_confidence: f64,
+}
+
+impl Default for Tane {
+    fn default() -> Tane {
+        Tane::new()
+    }
 }
 
 impl Tane {
     /// Creates the algorithm.
     pub fn new() -> Tane {
-        Tane { max_lhs: None }
+        Tane {
+            max_lhs: None,
+            min_confidence: 1.0,
+        }
     }
 
     /// Caps the LHS size of discovered FDs.
     pub fn max_lhs(mut self, m: usize) -> Tane {
         self.max_lhs = Some(m);
+        self
+    }
+
+    /// Relaxes the dependency test to confidence `θ ∈ (0, 1]`
+    /// (g1-style partition error — see the module docs); `1.0` (the
+    /// default) is exact discovery.
+    pub fn min_confidence(mut self, theta: f64) -> Tane {
+        assert!(
+            theta > 0.0 && theta <= 1.0,
+            "min_confidence must be within (0, 1]"
+        );
+        self.min_confidence = theta;
         self
     }
 
@@ -59,6 +91,10 @@ impl Tane {
     ) -> Result<CanonicalCover, Cancelled> {
         let arity = rel.arity();
         let n = rel.n_rows();
+        let theta = self.min_confidence;
+        // approximate mode retains the previous level's partitions, so
+        // candidates can be error-counted per class
+        let approx = theta < 1.0;
         let mut out: Vec<Cfd> = Vec::new();
         if n == 0 {
             return Ok(CanonicalCover::from_cfds(out));
@@ -80,6 +116,10 @@ impl Tane {
             .collect();
         let mut prev_classes: FxHashMap<AttrSet, usize> = FxHashMap::default();
         prev_classes.insert(AttrSet::EMPTY, 1);
+        let mut prev_parts: FxHashMap<AttrSet, Partition> = FxHashMap::default();
+        if approx {
+            prev_parts.insert(AttrSet::EMPTY, Partition::full(n));
+        }
 
         let mut ell = 1usize;
         loop {
@@ -93,7 +133,17 @@ impl Tane {
                     let parent = x.without(a);
                     let &pc = prev_classes.get(&parent).expect("parent exists");
                     stats.candidates += 1;
-                    if pc == level[i].n_classes {
+                    // exact class-count test, or — below θ = 1.0 — the
+                    // g1 relaxation keep ≥ θ·n (keep_meets short-circuits
+                    // exactness with integer arithmetic)
+                    let holds = pc == level[i].n_classes
+                        || (approx && {
+                            let part = prev_parts
+                                .get(&parent)
+                                .expect("approx mode retains parent partitions");
+                            keep_meets(part.keep_count(rel, a), n, theta)
+                        });
+                    if holds {
                         // X\{A} → A holds; ∅ → A (constant column) excluded
                         // per the canonical-cover convention
                         if !parent.is_empty() {
@@ -126,8 +176,16 @@ impl Tane {
                 // minimality is checked directly against the relation.
                 for a in node.cplus.difference(node.attrs).iter() {
                     stats.candidates += 1;
+                    // under θ < 1.0 minimality means no immediate subset
+                    // reaches the threshold (the error is monotone, so
+                    // immediate subsets suffice — module docs)
                     let minimal = node.attrs.iter().all(|b| {
-                        !cfd_model::satisfy::satisfies(rel, &Cfd::fd(node.attrs.without(b), a))
+                        let sub = Cfd::fd(node.attrs.without(b), a);
+                        if approx {
+                            !cfd_model::measure::measure(rel, &sub).meets(theta)
+                        } else {
+                            !cfd_model::satisfy::satisfies(rel, &sub)
+                        }
                     });
                     if minimal {
                         stats.emitted += 1;
@@ -142,7 +200,7 @@ impl Tane {
                     kept.push(node);
                 }
             }
-            let level_now = kept;
+            let mut level_now = kept;
             stats.pruned += (level_size - level_now.len()) as u64;
 
             if level_now.len() < 2 || ell >= arity || self.max_lhs.is_some_and(|m| ell > m) {
@@ -217,6 +275,12 @@ impl Tane {
             }
             if next.is_empty() {
                 break;
+            }
+            if approx {
+                prev_parts = level_now
+                    .iter_mut()
+                    .filter_map(|nd| nd.partition.take().map(|p| (nd.attrs, p)))
+                    .collect();
             }
             prev_classes = level_now
                 .into_iter()
@@ -300,5 +364,41 @@ mod tests {
         let r = cust_relation();
         let capped = Tane::new().max_lhs(1).discover(&r);
         assert!(capped.iter().all(|c| c.lhs_attrs().len() <= 1));
+    }
+
+    #[test]
+    fn approximate_discovery_admits_noisy_fds() {
+        use cfd_model::measure::measure;
+        let r = cust_relation();
+        // AC → CT is spoiled only by the 131 → {EDI, EDI, UN} class:
+        // keep 7 of 8 tuples, confidence 0.875
+        let fd = parse_cfd(&r, "(AC -> CT, (_ || _))").unwrap();
+        let exact = Tane::new().discover(&r);
+        assert!(!exact.contains(&fd));
+        let approx = Tane::new().min_confidence(0.875).discover(&r);
+        assert!(approx.contains(&fd), "cover:\n{}", approx.display(&r));
+        assert!(!Tane::new().min_confidence(0.9).discover(&r).contains(&fd));
+        // soundness: every emitted FD clears the threshold, and is
+        // minimal — no immediate subset clears it too
+        for theta in [0.8, 0.875, 0.95] {
+            let cover = Tane::new().min_confidence(theta).discover(&r);
+            for c in cover.iter() {
+                let m = measure(&r, c);
+                assert!(m.meets(theta), "{} at θ={theta}", c.display(&r));
+                for b in c.lhs_attrs().iter() {
+                    let sub = Cfd::fd(c.lhs_attrs().without(b), c.rhs_attr());
+                    assert!(
+                        !measure(&r, &sub).meets(theta),
+                        "{} is reducible at θ={theta}",
+                        c.display(&r)
+                    );
+                }
+            }
+        }
+        // θ = 1.0 is bit-for-bit the exact cover
+        assert_eq!(
+            Tane::new().min_confidence(1.0).discover(&r).cfds(),
+            exact.cfds()
+        );
     }
 }

@@ -20,6 +20,19 @@
 //! (free, closed, C2F) triple — is identical to GCGrowth's, which is all
 //! the discovery algorithms observe (see DESIGN.md §2 for the
 //! substitution note).
+//!
+//! ```
+//! use cfd_itemset::{mine_free_closed, MineOptions};
+//! use cfd_model::csv::relation_from_csv_str;
+//!
+//! let rel = relation_from_csv_str("AC,CT\n908,MH\n908,MH\n131,EDI\n131,EDI\n").unwrap();
+//! let mined = mine_free_closed(&rel, 2, MineOptions::default());
+//! // (AC=908) is free with support 2; its closure picks up CT=MH
+//! let i = mined.free.iter().position(|f| f.support == 2).unwrap();
+//! let clo = mined.closure_of(i);
+//! assert!(clo.pattern.len() >= mined.free[i].pattern.len());
+//! assert_eq!(clo.support, 2);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

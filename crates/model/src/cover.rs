@@ -8,6 +8,7 @@
 //! (Figures 6, 9, 14–16 report constant/variable counts separately).
 
 use crate::cfd::{Cfd, CfdClass};
+use crate::measure::{split_annotation, RuleMeasure};
 use crate::pattern::PVal;
 use crate::relation::Relation;
 
@@ -163,22 +164,64 @@ impl CanonicalCover {
 
     /// Parses a wire-format rule file (the inverse of
     /// [`CanonicalCover::to_text`]): one rule per line, blank lines and
-    /// `#` comments skipped. Fails on the first unparseable line,
-    /// reporting its 1-based line number; constants must occur in `rel`
-    /// (use [`crate::cfd::parse_cfd_interning`] line by line when rules
-    /// may precede their data).
+    /// `#` comments skipped, trailing `[support=N conf=F]` annotations
+    /// accepted and discarded (so approximate `cfd discover` output
+    /// feeds straight back into `check`). Fails on the first
+    /// unparseable line, reporting its 1-based line number; constants
+    /// must occur in `rel` (use [`crate::cfd::parse_cfd_interning`]
+    /// line by line when rules may precede their data).
     pub fn from_text(rel: &Relation, text: &str) -> crate::error::Result<CanonicalCover> {
-        let mut cfds = Vec::new();
+        Ok(CanonicalCover::from_annotated_text(rel, text)?.0)
+    }
+
+    /// Serializes the cover with per-rule measures in the annotated
+    /// wire format: each line is [`Cfd::display`] followed by the
+    /// measure's `[support=N conf=F]` suffix
+    /// ([`crate::measure::display_annotated`]). `measures` must run
+    /// parallel to [`CanonicalCover::cfds`] — the layout `Discovery`
+    /// maintains. Round-trips through
+    /// [`CanonicalCover::from_annotated_text`].
+    pub fn to_annotated_text(&self, rel: &Relation, measures: &[RuleMeasure]) -> String {
+        assert_eq!(
+            self.cfds.len(),
+            measures.len(),
+            "one measure per cover rule"
+        );
+        let mut out = String::new();
+        for (c, m) in self.cfds.iter().zip(measures) {
+            out.push_str(&crate::measure::display_annotated(rel, c, m));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a rule file in which lines *may* carry
+    /// `[support=N conf=F]` annotations, returning the canonical cover
+    /// plus each rule's measure (`None` for unannotated lines) aligned
+    /// with [`CanonicalCover::cfds`] order. When normalization merges
+    /// duplicate rules, the first line's annotation wins.
+    #[allow(clippy::type_complexity)]
+    pub fn from_annotated_text(
+        rel: &Relation,
+        text: &str,
+    ) -> crate::error::Result<(CanonicalCover, Vec<Option<RuleMeasure>>)> {
+        let mut pairs: Vec<(Cfd, Option<RuleMeasure>)> = Vec::new();
         for (no, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let cfd = crate::cfd::parse_cfd(rel, line)
-                .map_err(|e| crate::error::Error::Parse(format!("line {}: {e}", no + 1)))?;
-            cfds.push(cfd);
+            let at_line = |e: crate::error::Error| {
+                crate::error::Error::Parse(format!("line {}: {e}", no + 1))
+            };
+            let (rule, m) = split_annotation(line).map_err(at_line)?;
+            let cfd = crate::cfd::parse_cfd(rel, rule).map_err(at_line)?;
+            pairs.push((normalize_cfd(&cfd), m));
         }
-        Ok(CanonicalCover::from_cfds(cfds))
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        pairs.dedup_by(|a, b| a.0 == b.0);
+        let (cfds, measures) = pairs.into_iter().unzip();
+        Ok((CanonicalCover { cfds }, measures))
     }
 
     /// Serializes the cover as a JSON array of [`Cfd::to_json`] objects.

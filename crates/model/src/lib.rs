@@ -17,6 +17,10 @@
 //!   detection ([`violations`]) primitives — the per-rule reference
 //!   implementations; cover-level validation lives in the shared
 //!   kernel crate `cfd-validate`,
+//! * [`mod@measure`] — the shared per-rule support/confidence stats type
+//!   ([`RuleMeasure`]) behind approximate discovery, validation reports
+//!   and streaming counters, plus the `[support=N conf=F]` annotation
+//!   wire format,
 //! * [`cover`] — canonical-cover bookkeeping and the constant/variable
 //!   normal form of Lemma 1,
 //! * a small CSV reader/writer ([`csv`]) so relations can be loaded from
@@ -35,6 +39,7 @@ pub mod csv;
 pub mod error;
 pub mod fxhash;
 pub mod json;
+pub mod measure;
 pub mod pattern;
 pub mod progress;
 pub mod relation;
@@ -51,6 +56,7 @@ pub use cover::{normalize_cfd, CanonicalCover};
 pub use error::{Error, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use json::Json;
+pub use measure::{measure, RuleMeasure};
 pub use pattern::{PVal, Pattern};
 pub use progress::{Cancelled, Control, PhaseTiming, Progress, SearchStats};
 pub use relation::{Relation, RelationBuilder};

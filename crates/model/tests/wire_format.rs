@@ -7,6 +7,7 @@
 use cfd_model::attrset::AttrSet;
 use cfd_model::cfd::{parse_cfd, Cfd};
 use cfd_model::cover::CanonicalCover;
+use cfd_model::measure::{display_annotated, split_annotation, RuleMeasure};
 use cfd_model::pattern::{PVal, Pattern};
 use cfd_model::relation::{relation_from_rows, Relation};
 use cfd_model::schema::Schema;
@@ -120,6 +121,51 @@ proptest! {
         let text = cfd.display(&rel);
         let back = parse_cfd(&rel, &text).expect("display output must parse");
         prop_assert_eq!(back, cfd, "wire text: {}", text);
+    }
+
+    /// Rules carrying support/confidence annotations round-trip over the
+    /// same adversarial alphabet: the quote-aware splitter recovers the
+    /// exact rule and the exact measure, including constants that *look*
+    /// like annotations.
+    #[test]
+    fn annotated_rule_round_trips_exactly(
+        cfd in arb_cfd(),
+        support in 0usize..5000,
+        bad in 0usize..5000,
+    ) {
+        let rel = nasty_relation();
+        let m = RuleMeasure { support, violations: bad.min(support) };
+        let line = display_annotated(&rel, &cfd, &m);
+        let (rule_text, parsed) = split_annotation(&line).expect("annotated output must split");
+        prop_assert_eq!(parsed, Some(m), "line: {}", &line);
+        let back = parse_cfd(&rel, rule_text).expect("rule half must parse");
+        prop_assert_eq!(back, cfd, "line: {}", &line);
+    }
+
+    /// Whole annotated covers round-trip: cover, per-rule measures, and
+    /// the plain parser's view all agree.
+    #[test]
+    fn annotated_cover_round_trips(
+        cfds in proptest::collection::vec(arb_cfd(), 1..10),
+        seeds in proptest::collection::vec((0usize..5000, 0usize..5000), 10),
+    ) {
+        let rel = nasty_relation();
+        let cover = CanonicalCover::from_cfds(cfds);
+        let measures: Vec<RuleMeasure> = cover
+            .iter()
+            .zip(&seeds)
+            .map(|(_, &(s, v))| RuleMeasure { support: s, violations: v.min(s) })
+            .collect();
+        let text = cover.to_annotated_text(&rel, &measures);
+        let (back, back_measures) = CanonicalCover::from_annotated_text(&rel, &text)
+            .expect("annotated wire-format output must parse");
+        prop_assert_eq!(&back, &cover, "wire text:\n{}", &text);
+        let back_measures: Vec<RuleMeasure> =
+            back_measures.into_iter().map(Option::unwrap).collect();
+        prop_assert_eq!(&back_measures, &measures, "wire text:\n{}", &text);
+        // the measure-blind parser reads the same cover
+        let plain = CanonicalCover::from_text(&rel, &text).expect("plain parse");
+        prop_assert_eq!(&plain, &cover);
     }
 }
 

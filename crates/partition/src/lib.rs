@@ -17,6 +17,21 @@
 //! streaming engine are built on: per-column counting-sort value
 //! regions ([`ValueIndex`], cached per relation by [`RelationIndex`])
 //! and dense multi-column group ids ([`GroupIds`]).
+//!
+//! ```
+//! use cfd_model::csv::relation_from_csv_str;
+//! use cfd_model::pattern::PVal;
+//! use cfd_partition::Partition;
+//!
+//! let rel = relation_from_csv_str("AC,CT\n908,MH\n908,MH\n131,EDI\n131,UN\n").unwrap();
+//! // π(AC): {908 → rows 0,1} and {131 → rows 2,3}
+//! let by_ac = Partition::by_attribute(&rel, 0);
+//! assert_eq!(by_ac.n_classes(), 2);
+//! // refining by CT splits the dirty 131 class: AC ↛ CT exactly …
+//! assert_eq!(by_ac.refine(&rel, 1, PVal::Var).n_classes(), 3);
+//! // … and the g1-style keep count says 3 of 4 tuples survive a repair
+//! assert_eq!(by_ac.keep_count(&rel, 1), 3);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -215,6 +215,37 @@ impl Partition {
         Partition { tuples, offsets }
     }
 
+    /// The g1-style *keep count* w.r.t. a candidate RHS attribute: the
+    /// sum over classes of the highest frequency of any single `a`-code
+    /// inside the class — i.e. the maximum number of member tuples that
+    /// can be kept such that every class agrees on `a`.
+    ///
+    /// `keep_count == n_rows` iff the partition refines `a` exactly
+    /// (the classical validity test); the gap `n_rows − keep_count` is
+    /// the partition error `e(X → A)` approximate CTANE/TANE threshold
+    /// against `θ` (see DESIGN.md §8), and equals the minimal-removal
+    /// violation count `cfd_model::measure` reports for the rule.
+    pub fn keep_count(&self, rel: &Relation, a: AttrId) -> usize {
+        let col = rel.column(a);
+        let mut freq: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut keep = 0usize;
+        for class in self.classes() {
+            if class.len() == 1 {
+                keep += 1;
+                continue;
+            }
+            freq.clear();
+            let mut best = 0u32;
+            for &t in class {
+                let count = freq.entry(col.code(t)).or_insert(0);
+                *count += 1;
+                best = best.max(*count);
+            }
+            keep += best as usize;
+        }
+        keep
+    }
+
     /// The stripped version: singleton classes removed (TANE/FastFD's
     /// representation; agree-set computation only looks at classes of
     /// size ≥ 2).
@@ -340,6 +371,23 @@ mod tests {
         assert_eq!(sorted_classes(&p1), sorted_classes(&p2));
         assert_eq!(p1.n_classes(), 5); // all rows distinct on (A,B,C)
         assert!(p1.is_unique());
+    }
+
+    #[test]
+    fn keep_count_sums_per_class_majorities() {
+        let r = rel();
+        // π(A): class {t0,t1,t3} (A=x) has C-codes p,p,q → keep 2;
+        // class {t2,t4} (A=y) has q,p → keep 1
+        let p = Partition::by_attribute(&r, 0);
+        assert_eq!(p.keep_count(&r, 2), 3);
+        // exact refinement ⇔ keep_count == n_rows: grouping by C itself
+        let by_c = Partition::by_attribute(&r, 2);
+        assert_eq!(by_c.keep_count(&r, 2), by_c.n_rows());
+        // singleton classes always keep their one tuple
+        let fine = Partition::by_attribute(&r, 0)
+            .refine(&r, 1, PVal::Var)
+            .refine(&r, 2, PVal::Var);
+        assert_eq!(fine.keep_count(&r, 1), fine.n_rows());
     }
 
     #[test]

@@ -99,11 +99,11 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.len(), 3);
         assert!(stats.iter().all(|s| s.violations == 0));
-        assert!(stats.iter().all(|s| (s.confidence - 1.0).abs() < 1e-12));
+        assert!(stats.iter().all(|s| (s.confidence() - 1.0).abs() < 1e-12));
         // rule 0 is a plain-pattern FD: every tuple matches its LHS
-        assert_eq!(stats[0].matched, 5);
+        assert_eq!(stats[0].matched(), 5);
         // rule 1 matches only the AC=131 tuple
-        assert_eq!(stats[1].matched, 1);
+        assert_eq!(stats[1].matched(), 1);
     }
 
     #[test]
@@ -122,7 +122,7 @@ mod tests {
         assert_eq!(delta.raised, vec![(0, Violation::Pair(0, t))]);
         let stats = engine.stats();
         assert_eq!(stats[0].violations, 1);
-        assert!(stats[0].confidence < 1.0);
+        assert!(stats[0].confidence() < 1.0);
         // deleting the dissenter restores a clean state
         let delta = engine.delete_batch(&[t]).unwrap();
         assert_eq!(delta.cleared, vec![(0, Violation::Pair(0, t))]);

@@ -22,7 +22,7 @@ use crate::delta::{Event, RuleId};
 use crate::RowId;
 use cfd_model::pattern::PVal;
 use cfd_model::schema::AttrId;
-use cfd_model::{Cfd, FxHashMap, FxHashSet, Violation};
+use cfd_model::{Cfd, FxHashMap, FxHashSet, RuleMeasure, Violation};
 use std::collections::BTreeMap;
 
 /// A compiled rule plus its incremental index.
@@ -60,15 +60,32 @@ enum Index {
 pub struct RuleStats {
     /// Index of the rule in the engine's rule list.
     pub rule: RuleId,
-    /// Live tuples matching the rule's LHS constants (its *support* on
-    /// the live instance; for a plain FD this is every live tuple).
-    pub matched: usize,
-    /// Current number of live violations of the rule.
+    /// Current number of live violation records of the rule (witness
+    /// anchored pairs for variable rules, dissenting singles for
+    /// constant rules — the records [`crate::StreamEngine`] raises and
+    /// clears).
     pub violations: usize,
-    /// `1 - violations / matched` (1.0 when nothing matches): the
-    /// fraction of matching tuples not currently implicated in a
-    /// violation — the monitoring confidence the AFD literature tracks.
-    pub confidence: f64,
+    /// The shared rule-level measure ([`cfd_model::RuleMeasure`]):
+    /// live tuples matching the rule's LHS constants (its *support* on
+    /// the live instance) plus the g1-style minimal-removal count
+    /// behind [`RuleStats::confidence`] — the same numbers
+    /// `cfd-validate` reports and approximate discovery thresholds
+    /// against.
+    pub measure: RuleMeasure,
+}
+
+impl RuleStats {
+    /// Live tuples matching the rule's LHS constants.
+    pub fn matched(&self) -> usize {
+        self.measure.support
+    }
+
+    /// The rule's g1-style confidence on the live instance (`1.0` when
+    /// nothing matches) — the monitoring confidence the AFD literature
+    /// tracks.
+    pub fn confidence(&self) -> f64 {
+        self.measure.confidence()
+    }
 }
 
 impl RuleState {
@@ -285,20 +302,42 @@ impl RuleState {
         }
     }
 
-    /// Current counters.
+    /// Current counters. The violation-record count is maintained
+    /// incrementally; the g1 minimal-removal count behind the
+    /// confidence is folded from the live group maps on demand (a
+    /// dissenting witness counts one removal, not one per pair it
+    /// anchors).
     pub(crate) fn stats(&self) -> RuleStats {
-        let violations = match &self.index {
-            Index::ConstRhs { dissenters, .. } => dissenters.len(),
-            Index::VarRhs { violating, .. } => *violating,
+        let (violations, removals) = match &self.index {
+            // every dissenter must go: the two counts coincide
+            Index::ConstRhs { dissenters, .. } => (dissenters.len(), dissenters.len()),
+            Index::VarRhs {
+                groups, violating, ..
+            } => {
+                let mut removals = 0usize;
+                let mut freq: FxHashMap<u32, u32> = FxHashMap::default();
+                for group in groups.values() {
+                    if group.len() == 1 {
+                        continue;
+                    }
+                    freq.clear();
+                    let mut best = 0u32;
+                    for &code in group.values() {
+                        let count = freq.entry(code).or_insert(0);
+                        *count += 1;
+                        best = best.max(*count);
+                    }
+                    removals += group.len() - best as usize;
+                }
+                (*violating, removals)
+            }
         };
         RuleStats {
             rule: self.rule,
-            matched: self.matched,
             violations,
-            confidence: if self.matched == 0 {
-                1.0
-            } else {
-                1.0 - violations as f64 / self.matched as f64
+            measure: RuleMeasure {
+                support: self.matched,
+                violations: removals,
             },
         }
     }

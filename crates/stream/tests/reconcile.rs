@@ -108,8 +108,13 @@ proptest! {
                     .filter(|(r, _)| *r == s.rule)
                     .count();
                 prop_assert_eq!(s.violations, per_rule);
-                prop_assert!((0.0..=1.0).contains(&s.confidence));
-                prop_assert!(s.matched <= engine.n_live());
+                prop_assert!((0.0..=1.0).contains(&s.confidence()));
+                prop_assert!(s.matched() <= engine.n_live());
+                // the live measure equals the reference measure on the
+                // materialized instance — the cross-crate contract of
+                // cfd_model::RuleMeasure
+                let want = cfd_model::measure::measure(&mat, &engine.rules()[s.rule]);
+                prop_assert_eq!(s.measure, want, "op {} rule {}", i, s.rule);
             }
         }
     }

@@ -38,7 +38,8 @@
 //! let report = validate(&rel, &rules, &ValidateOptions::default());
 //! assert!(report.rules[0].satisfied());
 //! assert_eq!(report.rules[1].violations, 1); // 131 maps to EDI and UN
-//! assert_eq!(report.rules[1].support, 4);
+//! assert_eq!(report.rules[1].support(), 4);
+//! assert_eq!(report.rules[1].confidence(), 0.75); // drop one of the two
 //! ```
 
 #![forbid(unsafe_code)]
@@ -204,9 +205,40 @@ mod tests {
         let psi2 = parse_cfd(&r, "(AC -> CT, (131 || EDI))").unwrap();
         let report = validate(&r, [&psi2], &ValidateOptions::default());
         // three tuples carry AC = 131; one of them dissents
-        assert_eq!(report.rules[0].support, 3);
+        assert_eq!(report.rules[0].support(), 3);
         assert_eq!(report.rules[0].violations, 1);
-        assert!((report.rules[0].confidence - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+        assert!((report.rules[0].confidence() - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measures_match_the_model_reference() {
+        let r = cust();
+        let rules = rules(&r);
+        let report = validate(&r, &rules, &ValidateOptions::default());
+        for (i, cfd) in rules.iter().enumerate() {
+            assert_eq!(
+                report.rules[i].measure,
+                cfd_model::measure::measure(&r, cfd),
+                "rule {i}"
+            );
+        }
+        // the minimal-removal count can undercut the record count: with
+        // a minority-valued witness, 2 pairs are reported but removing
+        // the witness alone repairs the group
+        use cfd_model::relation::relation_from_rows;
+        let r = relation_from_rows(
+            Schema::new(["X", "Y"]).unwrap(),
+            &[vec!["g", "b"], vec!["g", "a"], vec!["g", "a"]],
+        )
+        .unwrap();
+        let fd = parse_cfd(&r, "(X -> Y, (_ || _))").unwrap();
+        let report = validate(&r, [&fd], &ValidateOptions::default());
+        assert_eq!(report.rules[0].violations, 2);
+        assert_eq!(report.rules[0].measure.violations, 1);
+        assert_eq!(
+            report.rules[0].measure,
+            cfd_model::measure::measure(&r, &fd)
+        );
     }
 
     #[test]
@@ -253,7 +285,7 @@ mod tests {
         let rules = vec![cfd_model::Cfd::fd(cfd_model::AttrSet::singleton(0), 1)];
         let report = validate(&empty, &rules, &ValidateOptions::default());
         assert!(report.satisfied());
-        assert_eq!(report.rules[0].support, 0);
-        assert_eq!(report.rules[0].confidence, 1.0);
+        assert_eq!(report.rules[0].support(), 0);
+        assert_eq!(report.rules[0].confidence(), 1.0);
     }
 }

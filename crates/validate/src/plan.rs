@@ -26,7 +26,7 @@ use cfd_model::fxhash::FxHashMap;
 use cfd_model::pattern::PVal;
 use cfd_model::relation::{Relation, TupleId};
 use cfd_model::schema::AttrId;
-use cfd_model::{Cfd, Violation};
+use cfd_model::{Cfd, RuleMeasure, Violation};
 use cfd_partition::{GroupIds, RelationIndex};
 
 /// Options of one validation run.
@@ -229,9 +229,9 @@ impl CoverPlan {
                 };
                 if rule.consts.is_empty() {
                     let wit = witness.get_or_insert_with(|| self.families[f].gids.witnesses());
-                    scan_plain_var_rule(rel, rule, &self.families[f].gids, wit, &mut abort);
+                    scan_plain_var_rule(rel, rule, &self.families[f].gids, wit, &mut abort, None);
                 } else {
-                    scan_var_rule(rel, &index, rule, &self.families[f].gids, &mut abort);
+                    scan_var_rule(rel, &index, rule, &self.families[f].gids, &mut abort, None);
                 }
                 if dirty {
                     return false;
@@ -253,6 +253,7 @@ impl CoverPlan {
         limit: usize,
     ) -> Vec<RuleReport> {
         let mut witness: Option<Vec<u32>> = None;
+        let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
         self.family_rules[f]
             .iter()
             .map(|&r| {
@@ -260,6 +261,7 @@ impl CoverPlan {
                 let mut violations = 0usize;
                 let mut sample = Vec::new();
                 let support;
+                counts.clear();
                 {
                     let mut count = |w, t| {
                         violations += 1;
@@ -270,17 +272,33 @@ impl CoverPlan {
                     };
                     support = if rule.consts.is_empty() {
                         let wit = witness.get_or_insert_with(|| self.families[f].gids.witnesses());
-                        scan_plain_var_rule(rel, rule, &self.families[f].gids, wit, &mut count)
+                        scan_plain_var_rule(
+                            rel,
+                            rule,
+                            &self.families[f].gids,
+                            wit,
+                            &mut count,
+                            Some(&mut counts),
+                        )
                     } else {
-                        scan_var_rule(rel, index, rule, &self.families[f].gids, &mut count)
+                        scan_var_rule(
+                            rel,
+                            index,
+                            rule,
+                            &self.families[f].gids,
+                            &mut count,
+                            Some(&mut counts),
+                        )
                     };
                 }
                 RuleReport {
                     rule: r,
-                    support,
                     violations,
                     sample,
-                    confidence: confidence(violations, support),
+                    measure: RuleMeasure {
+                        support,
+                        violations: removal_count(&counts),
+                    },
                 }
             })
             .collect()
@@ -446,16 +464,25 @@ fn pick_driver<'a>(
     }
 }
 
-/// `1 - violations / support`, 1.0 when nothing matches.
-fn confidence(violations: usize, support: usize) -> f64 {
-    if support == 0 {
-        1.0
-    } else {
-        1.0 - violations as f64 / support as f64
+/// Folds the per-`(group, RHS code)` frequencies a variable-rule scan
+/// collected into the g1-style minimal-removal count: per group,
+/// everything except the highest-frequency code must go.
+fn removal_count(counts: &FxHashMap<u64, u32>) -> usize {
+    let mut per_gid: FxHashMap<u32, (u32, u32)> = FxHashMap::default();
+    for (&key, &c) in counts {
+        let slot = per_gid.entry((key >> 32) as u32).or_insert((0, 0));
+        slot.0 += c;
+        slot.1 = slot.1.max(c);
     }
+    per_gid
+        .values()
+        .map(|&(total, max)| (total - max) as usize)
+        .sum()
 }
 
-/// Evaluates one constant-RHS rule in a single driven scan.
+/// Evaluates one constant-RHS rule in a single driven scan. Here the
+/// violation-record count *is* the minimal-removal count (each
+/// dissenting tuple must go), so the measure needs no extra state.
 fn eval_const_rule(
     rel: &Relation,
     index: &RelationIndex,
@@ -473,10 +500,12 @@ fn eval_const_rule(
     });
     RuleReport {
         rule: rule.rule,
-        support,
         violations,
         sample,
-        confidence: confidence(violations, support),
+        measure: RuleMeasure {
+            support,
+            violations,
+        },
     }
 }
 
@@ -520,13 +549,16 @@ fn scan_const_rule(
 /// tracked per rule (the rule's witness is the first tuple matching
 /// *its* constants, not the family's global first). Feeds
 /// `(witness, dissenter)` pairs to `sink`; returns the support counted
-/// up to the stop point.
+/// up to the stop point. When `counts` is given, the per-`(group, RHS
+/// code)` frequencies behind the g1 confidence are collected alongside
+/// (counting mode only — the early-exit path passes `None`).
 fn scan_var_rule(
     rel: &Relation,
     index: &RelationIndex,
     rule: &CompiledRule,
     gids: &GroupIds,
     sink: Sink,
+    counts: Option<&mut FxHashMap<u64, u32>>,
 ) -> usize {
     let (driver, residual) = pick_driver(rel, index, &rule.consts);
     let filters: Vec<(&[u32], u32)> = residual
@@ -544,6 +576,7 @@ fn scan_var_rule(
     } else {
         Slots::Sparse(FxHashMap::default())
     };
+    let mut counts = counts;
     driver.all(|t| {
         if !filters.iter().all(|&(codes, c)| codes[t as usize] == c) {
             return true;
@@ -551,6 +584,9 @@ fn scan_var_rule(
         support += 1;
         let gid = gids[t as usize];
         let rhs = rhs_codes[t as usize];
+        if let Some(counts) = counts.as_deref_mut() {
+            *counts.entry(((gid as u64) << 32) | rhs as u64).or_insert(0) += 1;
+        }
         let slot = slots.get(gid);
         if slot == EMPTY {
             debug_assert_ne!(((t as u64) << 32) | rhs as u64, EMPTY);
@@ -568,17 +604,24 @@ fn scan_var_rule(
 /// Scans one variable rule with **no** LHS constants: its group
 /// witnesses are the family's, so the scan is two array loads and a
 /// compare per row. Feeds `(witness, dissenter)` pairs to `sink`;
-/// returns the rule's support (every tuple matches).
+/// returns the rule's support (every tuple matches). `counts` as in
+/// [`scan_var_rule`].
 fn scan_plain_var_rule(
     rel: &Relation,
     rule: &CompiledRule,
     gids: &GroupIds,
     witness: &[u32],
     sink: Sink,
+    mut counts: Option<&mut FxHashMap<u64, u32>>,
 ) -> usize {
     debug_assert!(rule.consts.is_empty());
     let rhs_codes = rel.column(rule.rhs_attr).codes();
     for (t, &g) in gids.gids().iter().enumerate() {
+        if let Some(counts) = counts.as_deref_mut() {
+            *counts
+                .entry(((g as u64) << 32) | rhs_codes[t] as u64)
+                .or_insert(0) += 1;
+        }
         let w = witness[g as usize];
         if rhs_codes[t] != rhs_codes[w as usize] && !sink(w as TupleId, t as TupleId) {
             break;

@@ -1,33 +1,57 @@
 //! Validation results: per-rule counters plus a bounded violation
 //! sample, for a whole cover at once.
 
-use cfd_model::{Json, Violation};
+use cfd_model::{Json, RuleMeasure, Violation};
 
 /// The outcome of validating one rule of a cover.
+///
+/// Two violation counts coexist, on purpose:
+///
+/// * [`RuleReport::violations`] counts violation *records* — what
+///   [`cfd_model::violation::violations`] would return the length of
+///   (pairs anchored at the scan witness, singles for constant-RHS
+///   dissenters). This drives [`RuleReport::sample`] and
+///   [`crate::ValidationReport::detect`].
+/// * [`RuleReport::measure`] carries the rule's
+///   [`RuleMeasure`]: the support plus the
+///   *minimal-removal* count behind the g1-style confidence — the same
+///   number approximate discovery thresholds against and the streaming
+///   engine reports. For constant-RHS rules the two counts coincide;
+///   for variable rules the removal count can undercut the record
+///   count (a witness carrying a minority value dissents from the
+///   majority it would be cheaper to keep).
 #[derive(Clone, Debug, PartialEq)]
 pub struct RuleReport {
     /// Index of the rule in the validated cover.
     pub rule: usize,
-    /// Tuples matching the rule's LHS pattern constants (its support on
-    /// the instance; for a plain FD this is every tuple).
-    pub support: usize,
-    /// Exact number of violations — what
-    /// [`cfd_model::violation::violations`] would return the length of.
+    /// Exact number of violation records (see the type docs).
     pub violations: usize,
     /// The first violations in scan order, capped at the run's
     /// [`limit`](crate::ValidateOptions::limit). With an uncapped limit
     /// this is exactly [`cfd_model::violation::violations`] on the rule.
     pub sample: Vec<Violation>,
-    /// `1 - violations / support` (1.0 when nothing matches): the
-    /// fraction of matching tuples not implicated in a violation — the
-    /// same confidence the streaming engine tracks per rule.
-    pub confidence: f64,
+    /// Support and minimal-removal count — the shared rule-level stats
+    /// type behind [`RuleReport::confidence`].
+    pub measure: RuleMeasure,
 }
 
 impl RuleReport {
     /// True iff the instance satisfies the rule (`r ⊨ φ`).
     pub fn satisfied(&self) -> bool {
         self.violations == 0
+    }
+
+    /// Tuples matching the rule's LHS pattern constants (its support on
+    /// the instance; for a plain FD this is every tuple).
+    pub fn support(&self) -> usize {
+        self.measure.support
+    }
+
+    /// The rule's g1-style confidence: the fraction of matching tuples
+    /// kept by the minimal repair (`1.0` when nothing matches) — see
+    /// [`mod@cfd_model::measure`].
+    pub fn confidence(&self) -> f64 {
+        self.measure.confidence()
     }
 
     /// Serializes the per-rule outcome. Violations appear as
@@ -38,9 +62,10 @@ impl RuleReport {
         Json::obj([
             ("rule", Json::from(self.rule)),
             ("satisfied", Json::from(self.satisfied())),
-            ("support", Json::from(self.support)),
+            ("support", Json::from(self.support())),
             ("violations", Json::from(self.violations)),
-            ("confidence", Json::from(self.confidence)),
+            ("removals", Json::from(self.measure.violations)),
+            ("confidence", Json::from(self.confidence())),
             (
                 "sample",
                 Json::arr(self.sample.iter().map(|v| {

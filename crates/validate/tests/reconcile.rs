@@ -63,7 +63,13 @@ fn check_against_reference(rel: &Relation, rules: &[Cfd], report: &ValidationRep
             "rule {i} sample"
         );
         assert_eq!(got.satisfied(), satisfies(rel, cfd), "rule {i} satisfied");
-        assert!((0.0..=1.0).contains(&got.confidence));
+        assert!((0.0..=1.0).contains(&got.confidence()));
+        // the kernel's measure equals the per-rule reference measure
+        assert_eq!(
+            got.measure,
+            cfd_model::measure::measure(rel, cfd),
+            "rule {i} measure"
+        );
     }
 }
 
@@ -107,7 +113,7 @@ proptest! {
             // relation for plain patterns
             for (got, cfd) in capped.rules.iter().zip(&rules) {
                 if cfd.lhs().is_all_wildcard() {
-                    prop_assert_eq!(got.support, rel.n_rows());
+                    prop_assert_eq!(got.support(), rel.n_rows());
                 }
             }
         }

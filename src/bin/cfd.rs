@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cfd discover <data.csv> [--k N] [--algo NAME] [--max-lhs N] [--threads N]
-//!              [--constants-only] [--project A,B,...] [--tableau] [--format text|json]
+//!              [--min-confidence F] [--top-k N] [--constants-only]
+//!              [--project A,B,...] [--tableau] [--format text|json]
 //! cfd check    <data.csv> <rules.txt> [--limit N] [--threads N] [--lenient]
 //!              [--format text|json]
 //! cfd repair   <data.csv> <rules.txt> <out.csv> [--lenient]
@@ -25,6 +26,14 @@
 //! cfd discover clean.csv --k 20 > rules.txt
 //! cfd check dirty.csv rules.txt
 //! ```
+//!
+//! `--min-confidence θ` switches ctane/tane/cfdminer to *approximate*
+//! discovery: rules are emitted when their g1-style confidence reaches
+//! θ rather than only at exactness, and `--top-k N` keeps the N best
+//! rules by (confidence, support) with any algorithm. Approximate and
+//! top-k runs print each rule with its measured `[support=N conf=F]`
+//! suffix; `check`, `repair` and `watch` accept (and ignore) the
+//! annotations, so the pipeline above still composes.
 //!
 //! Rule files are strict by default: an unparseable line aborts the
 //! command (a truncated rule set silently turning `check` green is
@@ -52,7 +61,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          cfd discover <data.csv> [--k N] [--algo NAME] [--max-lhs N] [--threads N]\n\
-         \x20              [--constants-only] [--project A,B,...] [--tableau] [--format text|json]\n  \
+         \x20              [--min-confidence F] [--top-k N] [--constants-only]\n\
+         \x20              [--project A,B,...] [--tableau] [--format text|json]\n  \
          cfd check <data.csv> <rules.txt> [--limit N] [--threads N] [--lenient] [--format text|json]\n  \
          cfd repair <data.csv> <rules.txt> <out.csv> [--lenient]\n  \
          cfd stats <data.csv>\n  \
@@ -61,6 +71,7 @@ fn usage() -> ExitCode {
          \n\
          algorithms (cfd algos): {}\n\
          (--threads parallelizes discovery for fastcfd/naive, and check;\n\
+         \x20 --min-confidence mines approximate covers with ctane/tane/cfdminer;\n\
          \x20 rule files are strict — --lenient skips unparseable lines instead)",
         Algo::all().map(|a| a.name()).join("|")
     );
@@ -93,6 +104,8 @@ struct Args {
     shards: usize,
     lenient: bool,
     format: Format,
+    min_confidence: f64,
+    top_k: Option<usize>,
 }
 
 /// Parses flags, reporting the offending flag/value on failure (the
@@ -111,6 +124,8 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, String> {
         shards: 1,
         lenient: false,
         format: Format::Text,
+        min_confidence: 1.0,
+        top_k: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -128,6 +143,13 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, String> {
             }
             "--max-lhs" => a.max_lhs = Some(number("--max-lhs", value("--max-lhs")?)?),
             "--threads" => a.threads = number("--threads", value("--threads")?)?,
+            "--min-confidence" => {
+                let v = value("--min-confidence")?;
+                a.min_confidence = v.parse::<f64>().map_err(|_| {
+                    format!("invalid value {v:?} for --min-confidence: expected a number in (0, 1]")
+                })?;
+            }
+            "--top-k" => a.top_k = Some(number("--top-k", value("--top-k")?)?),
             "--limit" => a.limit = number("--limit", value("--limit")?)?,
             "--shards" => a.shards = number("--shards", value("--shards")?)?,
             "--project" => a.project = Some(value("--project")?.clone()),
@@ -162,6 +184,8 @@ fn discover(a: &Args) -> Result<ExitCode> {
     opts.max_lhs = a.max_lhs;
     opts.threads = a.threads;
     opts.constants_only = a.constants_only;
+    opts.min_confidence = a.min_confidence;
+    opts.top_k = a.top_k;
     if let Some(names) = &a.project {
         let parts: Vec<&str> = names.split(',').map(str::trim).collect();
         match rel.schema().attr_set(&parts) {
@@ -216,22 +240,30 @@ fn discover(a: &Args) -> Result<ExitCode> {
                 print!("{}", t.display(out_rel));
             }
         }
+        // approximate and top-k runs print each rule with its measured
+        // [support=N conf=F] suffix (check/repair/watch parse past it);
+        // exact full covers keep the bare wire format
+        Format::Text if a.min_confidence < 1.0 || a.top_k.is_some() => {
+            print!("{}", discovery.to_annotated_text(&rel))
+        }
         Format::Text => print!("{}", discovery.cover.to_text(out_rel)),
     }
     Ok(ExitCode::SUCCESS)
 }
 
-/// The one strict/lenient rule-file loop (blank/`#` lines skipped),
-/// parameterized over the parser so `check`/`repair` (dictionary
-/// lookups) and `watch` (interning) share the policy and its wording.
-/// Strict by default: the first unparseable line aborts with its line
-/// number. With `lenient`, bad lines are skipped with a warning — the
-/// pre-strictness behavior.
+/// The one strict/lenient rule-file loop (blank/`#` lines skipped,
+/// `[support=N conf=F]` annotations stripped — approximate `discover`
+/// output loads unchanged), parameterized over the parser so
+/// `check`/`repair` (dictionary lookups) and `watch` (interning) share
+/// the policy and its wording. Strict by default: the first
+/// unparseable line aborts with its line number. With `lenient`, bad
+/// lines are skipped with a warning — the pre-strictness behavior.
 fn load_rules_with(
     path: &str,
     lenient: bool,
     mut parse: impl FnMut(&str) -> Result<Cfd>,
 ) -> Result<Vec<(String, Cfd)>> {
+    use cfd_suite::model::measure::split_annotation;
     let rules_text = std::fs::read_to_string(path)?;
     let mut rules: Vec<(String, Cfd)> = Vec::new();
     for (no, line) in rules_text.lines().enumerate() {
@@ -239,8 +271,9 @@ fn load_rules_with(
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        match parse(line) {
-            Ok(cfd) => rules.push((line.to_string(), cfd)),
+        let parsed = split_annotation(line).and_then(|(rule, _)| Ok((rule, parse(rule)?)));
+        match parsed {
+            Ok((rule, cfd)) => rules.push((rule.to_string(), cfd)),
             Err(e) if lenient => eprintln!("# skipping line {}: {e}", no + 1),
             Err(e) => {
                 return Err(Error::Parse(format!(
@@ -446,7 +479,11 @@ fn watch(a: &Args) -> Result<ExitCode> {
         for s in engine.stats() {
             println!(
                 "STATS rule {} matched={} violations={} confidence={:.4}  {}",
-                s.rule, s.matched, s.violations, s.confidence, texts[s.rule]
+                s.rule,
+                s.matched(),
+                s.violations,
+                s.confidence(),
+                texts[s.rule]
             );
         }
         println!(

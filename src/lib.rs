@@ -64,8 +64,9 @@ pub mod prelude {
     pub use cfd_model::csv::{relation_from_csv_path, relation_from_csv_str};
     pub use cfd_model::violation::Violation;
     pub use cfd_model::{
-        normalize_cfd, satisfies, support, violations, AttrSet, CanonicalCover, Cfd, CfdClass,
-        Error, Json, PVal, Pattern, Relation, RelationBuilder, Result, Schema,
+        measure, normalize_cfd, satisfies, support, violations, AttrSet, CanonicalCover, Cfd,
+        CfdClass, Error, Json, PVal, Pattern, Relation, RelationBuilder, Result, RuleMeasure,
+        Schema,
     };
     pub use cfd_stream::{BatchDelta, RuleStats, StreamEngine};
     pub use cfd_validate::{

@@ -425,6 +425,113 @@ fn json_output_is_parseable_and_structured() {
 }
 
 #[test]
+fn discover_approximate_top_k_json_round_trip() {
+    use cfd_suite::prelude::{relation_from_csv_path, CanonicalCover, RuleMeasure};
+
+    let dir = std::env::temp_dir().join(format!("cfd-cli10-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dirty = dir.join("dirty.csv");
+    write_csv(&dirty, true); // t6's street is corrupted: real noise
+    let path = dirty.to_str().unwrap();
+
+    // approximate top-k discovery, machine-readable
+    let out = bin()
+        .args([
+            "discover",
+            path,
+            "--k",
+            "2",
+            "--algo",
+            "ctane",
+            "--min-confidence",
+            "0.9",
+            "--top-k",
+            "5",
+            "--format",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8(out.stdout).unwrap()).expect("valid JSON");
+    let opts = doc.get("options").unwrap();
+    assert_eq!(opts.get("min_confidence").and_then(Json::as_f64), Some(0.9));
+    assert_eq!(opts.get("top_k").and_then(Json::as_f64), Some(5.0));
+    let rule_docs = doc.get("rules").unwrap().as_array().unwrap();
+    assert_eq!(rule_docs.len(), 5, "top-k truncates to 5");
+    // every rule carries measured support/confidence and parses back
+    let rel = relation_from_csv_path(path).unwrap();
+    for r in rule_docs {
+        let support = r.get("support").unwrap().as_f64().unwrap();
+        let conf = r.get("confidence").unwrap().as_f64().unwrap();
+        assert!(support >= 2.0, "k-frequent support");
+        assert!((0.9..=1.0).contains(&conf), "confidence within [θ, 1]");
+        let text = r.get("text").unwrap().as_str().unwrap();
+        assert!(cfd_suite::prelude::parse_cfd(&rel, text).is_ok(), "{text}");
+    }
+
+    // text mode prints annotated rules; the annotated file round-trips
+    // through the wire format and feeds straight back into check
+    let out = bin()
+        .args([
+            "discover",
+            path,
+            "--k",
+            "2",
+            "--algo",
+            "ctane",
+            "--min-confidence",
+            "0.9",
+            "--top-k",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().count(), 5);
+    assert!(text.lines().all(|l| l.contains(" [support=")), "{text}");
+    let (cover, measures) = CanonicalCover::from_annotated_text(&rel, &text).unwrap();
+    assert_eq!(cover.len(), 5);
+    let measures: Vec<RuleMeasure> = measures.into_iter().map(Option::unwrap).collect();
+    assert_eq!(
+        cover.to_annotated_text(&rel, &measures),
+        text,
+        "annotated wire format must round-trip"
+    );
+    let rules = dir.join("rules.txt");
+    std::fs::write(&rules, &text).unwrap();
+    let chk = bin()
+        .args(["check", path, rules.to_str().unwrap(), "--format", "json"])
+        .output()
+        .unwrap();
+    let doc = Json::parse(&String::from_utf8(chk.stdout).unwrap()).expect("check JSON");
+    assert_eq!(
+        doc.get("rules").unwrap().as_array().unwrap().len(),
+        5,
+        "check loads all annotated rules"
+    );
+
+    // an out-of-range θ is a usage error naming the flag
+    let bad = bin()
+        .args(["discover", path, "--min-confidence", "1.5"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("min_confidence"),
+        "{}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn discover_project_restricts_the_schema() {
     let dir = std::env::temp_dir().join(format!("cfd-cli9-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

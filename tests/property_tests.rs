@@ -98,4 +98,108 @@ proptest! {
             prop_assert!(violations(&rel, cfd).is_empty());
         }
     }
+
+    /// The θ = 1.0 parity guarantee (DESIGN.md §8): the approximate
+    /// path of CTANE/TANE/CFDMiner with `min_confidence = 1.0`
+    /// reproduces today's exact covers bit for bit, through the unified
+    /// API and through the struct builders alike.
+    #[test]
+    fn theta_one_reproduces_exact_covers(rel in arb_relation(), k in 1usize..=2) {
+        let ctrl = Control::default();
+        for algo in [Algo::Ctane, Algo::Tane, Algo::CfdMiner] {
+            let exact = algo
+                .discover_with(&rel, &DiscoverOptions::new(k), &ctrl)
+                .unwrap();
+            let via_theta = algo
+                .discover_with(&rel, &DiscoverOptions::new(k).min_confidence(1.0), &ctrl)
+                .unwrap();
+            prop_assert_eq!(
+                exact.cover.cfds(),
+                via_theta.cover.cfds(),
+                "{} at k={}",
+                algo,
+                k
+            );
+        }
+        let pairs = [
+            (
+                Ctane::new(k).min_confidence(1.0).discover(&rel),
+                Ctane::new(k).discover(&rel),
+            ),
+            (
+                Tane::new().min_confidence(1.0).discover(&rel),
+                Tane::new().discover(&rel),
+            ),
+            (
+                CfdMiner::new(k).min_confidence(1.0).discover(&rel),
+                CfdMiner::new(k).discover(&rel),
+            ),
+        ];
+        for (via_theta, exact) in &pairs {
+            prop_assert_eq!(via_theta.cfds(), exact.cfds());
+        }
+    }
+
+    /// θ < 1.0 soundness: every rule an approximate run emits carries a
+    /// kernel-validated confidence of at least θ, the attached measures
+    /// agree with the per-rule reference measure, and the emitted
+    /// constant rules stay k-frequent.
+    #[test]
+    fn approximate_rules_meet_their_threshold(
+        rel in arb_relation(),
+        k in 1usize..=2,
+        theta_pct in 50u32..100,
+    ) {
+        let theta = theta_pct as f64 / 100.0;
+        let ctrl = Control::default();
+        for algo in [Algo::Ctane, Algo::Tane, Algo::CfdMiner] {
+            let opts = DiscoverOptions::new(k).min_confidence(theta);
+            let d = algo.discover_with(&rel, &opts, &ctrl).unwrap();
+            prop_assert_eq!(d.measures.len(), d.cover.len());
+            for (cfd, m) in d.cover.iter().zip(&d.measures) {
+                let reference = cfd_suite::model::measure::measure(&rel, cfd);
+                prop_assert_eq!(*m, reference, "{}: {}", algo, cfd.display(&rel));
+                prop_assert!(
+                    m.confidence() + 1e-9 >= theta,
+                    "{}: {} has confidence {} < θ={}",
+                    algo,
+                    cfd.display(&rel),
+                    m.confidence(),
+                    theta
+                );
+                if algo == Algo::CfdMiner {
+                    prop_assert!(
+                        m.support - m.violations >= k,
+                        "{}: full-pattern support below k",
+                        cfd.display(&rel)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Top-k truncation keeps exactly the best-scoring rules and their
+    /// measures, for any algorithm.
+    #[test]
+    fn top_k_is_a_best_scored_subset(rel in arb_relation(), top in 1usize..=4) {
+        let ctrl = Control::default();
+        let full = Algo::FastCfd
+            .discover_with(&rel, &DiscoverOptions::new(1), &ctrl)
+            .unwrap();
+        let trunc = Algo::FastCfd
+            .discover_with(&rel, &DiscoverOptions::new(1).top_k(top), &ctrl)
+            .unwrap();
+        prop_assert_eq!(trunc.cover.len(), full.cover.len().min(top));
+        prop_assert_eq!(trunc.measures.len(), trunc.cover.len());
+        let score = |m: &RuleMeasure| (m.confidence(), m.support);
+        let mut kept_scores: Vec<_> = trunc.measures.iter().map(score).collect();
+        kept_scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut all_scores: Vec<_> = full.measures.iter().map(score).collect();
+        all_scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        all_scores.truncate(top);
+        prop_assert_eq!(kept_scores, all_scores);
+        for cfd in trunc.cover.iter() {
+            prop_assert!(full.cover.contains(cfd));
+        }
+    }
 }
