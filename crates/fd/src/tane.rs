@@ -402,3 +402,34 @@ mod tests {
         );
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    use cfd_model::cfd::parse_cfd;
+    use cfd_model::relation::relation_from_rows;
+    use cfd_model::schema::Schema;
+
+    #[test]
+    fn approx_completeness_probe() {
+        // A: 9×x, 1×y (∅→A meets θ=0.9); B: x-rows 8×p 1×q, y-row q.
+        // A→B keep = 8+1 = 9 ≥ 0.9·10 → meets θ; ∅→B keep = 8 < 9 → fails.
+        // So (A -> B) is a minimal approximate FD at θ=0.9.
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let mut rows: Vec<Vec<&str>> = vec![];
+        for i in 0..9 {
+            rows.push(vec!["x", if i < 8 { "p" } else { "q" }]);
+        }
+        rows.push(vec!["y", "q"]);
+        let r = relation_from_rows(schema, &rows).unwrap();
+        let fd = parse_cfd(&r, "(A -> B, (_ || _))").unwrap();
+        let m = cfd_model::measure::measure(&r, &fd);
+        assert!(m.meets(0.9), "premise: A->B meets 0.9 ({m:?})");
+        let cover = Tane::new().min_confidence(0.9).discover(&r);
+        assert!(
+            cover.contains(&fd),
+            "A->B missing from θ=0.9 cover:\n{}",
+            cover.display(&r)
+        );
+    }
+}
