@@ -131,12 +131,6 @@ impl Algo {
             .ok_or_else(|| UnknownAlgo(name.to_string()))
     }
 
-    /// True iff the algorithm honors [`DiscoverOptions::threads`]
-    /// (FastCFD shards `FindCover` across RHS attributes).
-    pub const fn parallelizes(self) -> bool {
-        matches!(self, Algo::FastCfd | Algo::Naive)
-    }
-
     /// True iff the algorithm honors [`DiscoverOptions::max_lhs`].
     pub const fn honors_max_lhs(self) -> bool {
         matches!(self, Algo::Ctane | Algo::Tane)
@@ -226,10 +220,13 @@ impl std::error::Error for UnknownAlgo {}
 /// use cfd_core::api::{Algo, Control, DiscoverOptions, Discoverer};
 /// let rel = cfd_datagen::cust::cust_relation();
 /// let opts = DiscoverOptions::new(2).max_lhs(3).threads(4);
+/// // CTANE honors both max_lhs and threads — nothing to report:
 /// let d = Algo::Ctane.discover_with(&rel, &opts, &Control::default()).unwrap();
-/// // CTANE honors max_lhs but not threads — and says so:
+/// assert!(d.notes.is_empty());
+/// // FastCFD has no LHS bound — and says so:
+/// let d = Algo::FastCfd.discover_with(&rel, &opts, &Control::default()).unwrap();
 /// assert_eq!(d.notes.len(), 1);
-/// assert_eq!(d.notes[0].option, "threads");
+/// assert_eq!(d.notes[0].option, "max-lhs");
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct DiscoverOptions {
@@ -238,7 +235,10 @@ pub struct DiscoverOptions {
     pub k: usize,
     /// Upper bound on LHS size (honored by the level-wise algorithms).
     pub max_lhs: Option<usize>,
-    /// Worker threads (honored by FastCFD/NaiveFast; `1` = serial).
+    /// Worker threads (`1` = serial). FastCFD/NaiveFast shard
+    /// `FindCover` across RHS attributes; CTANE/TANE shard level
+    /// expansion across prefix-join runs; CFDMiner shards its item-set
+    /// mining pass. Output never depends on the thread count.
     pub threads: usize,
     /// Restrict the result to constant CFDs (applied natively by
     /// CFDMiner, as a post-filter elsewhere).
@@ -606,6 +606,23 @@ pub trait Discoverer {
         stats: &mut SearchStats,
     ) -> Result<CanonicalCover, DiscoverError>;
 
+    /// [`Discoverer::run`] with self-reported rule measures: algorithms
+    /// that already hold the groupings behind each emitted rule (the
+    /// level-wise miners' partitions, CFDMiner's free-set supports)
+    /// return `Some(measures)` aligned with the cover's canonical
+    /// order, and [`Discoverer::discover_with`] skips its kernel
+    /// measuring pass entirely. The default returns `None` — the
+    /// kernel pass measures the cover in one sharded scan.
+    fn run_measured(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Option<Vec<RuleMeasure>>), DiscoverError> {
+        Ok((self.run(rel, opts, ctrl, stats)?, None))
+    }
+
     /// Full-service discovery: validates `opts`, projects, runs,
     /// filters, and returns the structured [`Discovery`].
     fn discover_with(
@@ -617,15 +634,6 @@ pub trait Discoverer {
         opts.validate(rel)?;
         let algo = self.algo();
         let mut notes = Vec::new();
-        if opts.threads > 1 && !algo.parallelizes() {
-            notes.push(Note {
-                algo,
-                option: "threads",
-                value: opts.threads.to_string(),
-                reason: "only fastcfd/naive parallelize discovery (FindCover shards \
-                         across RHS attributes); running single-threaded",
-            });
-        }
         if opts.max_lhs.is_some() && !algo.honors_max_lhs() {
             notes.push(Note {
                 algo,
@@ -669,20 +677,37 @@ pub trait Discoverer {
         };
         let work = projected.as_ref().unwrap_or(rel);
         let mut stats = SearchStats::default();
-        let cover = self.run(work, opts, ctrl, &mut stats)?;
-        let cover = if opts.constants_only && !algo.constants_native() {
-            cover.constant_cover()
-        } else {
-            cover
-        };
-        // annotate every rule with its kernel-measured support and
-        // confidence: one CoverPlan pass over the whole cover (sharded
-        // like `cfd check`), aligned with the cover's canonical order
+        let (mut cover, mut self_measures) = self.run_measured(work, opts, ctrl, &mut stats)?;
+        if opts.constants_only && !algo.constants_native() {
+            // post-filter to the constant fragment, keeping any
+            // self-reported measures aligned (the fragment of a sorted
+            // cover is still sorted, so order survives)
+            match self_measures.take() {
+                Some(ms) => {
+                    let mut kept_cfds = Vec::new();
+                    let mut kept_ms = Vec::new();
+                    for (c, m) in cover.cfds().iter().zip(ms) {
+                        if c.is_constant() {
+                            kept_cfds.push(c.clone());
+                            kept_ms.push(m);
+                        }
+                    }
+                    cover = CanonicalCover::from_cfds(kept_cfds);
+                    self_measures = Some(kept_ms);
+                }
+                None => cover = cover.constant_cover(),
+            }
+        }
+        // annotate every rule with its measured support and confidence.
+        // The level-wise miners measure at emission from the partitions
+        // they already hold (`run_measured`); everything else gets one
+        // kernel CoverPlan pass (sharded like `cfd check`), aligned
+        // with the cover's canonical order.
         let t_measure = std::time::Instant::now();
-        let mut measures: Vec<RuleMeasure> = if cover.is_empty() {
-            Vec::new()
-        } else {
-            cfd_validate::validate(
+        let mut measures: Vec<RuleMeasure> = match self_measures {
+            Some(ms) => ms,
+            None if cover.is_empty() => Vec::new(),
+            None => cfd_validate::validate(
                 work,
                 cover.iter(),
                 &cfd_validate::ValidateOptions {
@@ -693,7 +718,7 @@ pub trait Discoverer {
             .rules
             .into_iter()
             .map(|r| r.measure)
-            .collect()
+            .collect(),
         };
         stats.phase("measure", t_measure.elapsed());
         // top-k: rank by confidence, then support, then canonical rule
@@ -749,6 +774,16 @@ pub trait Discoverer {
     }
 }
 
+impl CfdMiner {
+    /// The instance `discover_with` actually runs: shared knobs from
+    /// the options, ablation knobs from `self`.
+    fn configured(&self, opts: &DiscoverOptions) -> CfdMiner {
+        CfdMiner::new(opts.k)
+            .min_confidence(opts.min_confidence)
+            .threads(opts.threads.max(1))
+    }
+}
+
 impl Discoverer for CfdMiner {
     fn algo(&self) -> Algo {
         Algo::CfdMiner
@@ -761,9 +796,32 @@ impl Discoverer for CfdMiner {
         ctrl: &Control<'_>,
         stats: &mut SearchStats,
     ) -> Result<CanonicalCover, DiscoverError> {
-        Ok(CfdMiner::new(opts.k)
-            .min_confidence(opts.min_confidence)
-            .run(rel, ctrl, stats)?)
+        Ok(self.configured(opts).run(rel, ctrl, stats)?)
+    }
+
+    fn run_measured(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Option<Vec<RuleMeasure>>), DiscoverError> {
+        let (cover, measures) = self.configured(opts).run_measured(rel, ctrl, stats)?;
+        Ok((cover, Some(measures)))
+    }
+}
+
+impl Ctane {
+    /// The instance `discover_with` actually runs: shared knobs from
+    /// the options, ablation knobs (cache budget) from `self`.
+    fn configured(&self, opts: &DiscoverOptions) -> Ctane {
+        Ctane {
+            k: opts.k,
+            max_lhs: opts.max_lhs,
+            min_confidence: opts.min_confidence,
+            threads: opts.threads.max(1),
+            ..*self
+        }
     }
 }
 
@@ -779,12 +837,18 @@ impl Discoverer for Ctane {
         ctrl: &Control<'_>,
         stats: &mut SearchStats,
     ) -> Result<CanonicalCover, DiscoverError> {
-        let alg = Ctane {
-            k: opts.k,
-            max_lhs: opts.max_lhs,
-            min_confidence: opts.min_confidence,
-        };
-        Ok(alg.run(rel, ctrl, stats)?)
+        Ok(self.configured(opts).run(rel, ctrl, stats)?)
+    }
+
+    fn run_measured(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Option<Vec<RuleMeasure>>), DiscoverError> {
+        let (cover, measures) = self.configured(opts).run_measured(rel, ctrl, stats)?;
+        Ok((cover, Some(measures)))
     }
 }
 
@@ -815,6 +879,12 @@ impl Discoverer for FastCfd {
     }
 }
 
+/// The instance `discover_with` actually runs: shared knobs from the
+/// options, ablation knobs (cache budget) from `base`.
+fn configured_tane(base: &Tane, opts: &DiscoverOptions) -> Tane {
+    base.with_shared_knobs(opts.max_lhs, opts.min_confidence, opts.threads)
+}
+
 impl Discoverer for Tane {
     fn algo(&self) -> Algo {
         Algo::Tane
@@ -827,13 +897,18 @@ impl Discoverer for Tane {
         ctrl: &Control<'_>,
         stats: &mut SearchStats,
     ) -> Result<CanonicalCover, DiscoverError> {
-        let alg = match opts.max_lhs {
-            Some(m) => Tane::new().max_lhs(m),
-            None => Tane::new(),
-        };
-        Ok(alg
-            .min_confidence(opts.min_confidence)
-            .run(rel, ctrl, stats)?)
+        Ok(configured_tane(self, opts).run(rel, ctrl, stats)?)
+    }
+
+    fn run_measured(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Option<Vec<RuleMeasure>>), DiscoverError> {
+        let (cover, measures) = configured_tane(self, opts).run_measured(rel, ctrl, stats)?;
+        Ok((cover, Some(measures)))
     }
 }
 
@@ -888,6 +963,16 @@ impl Discoverer for Algo {
         stats: &mut SearchStats,
     ) -> Result<CanonicalCover, DiscoverError> {
         self.discoverer().run(rel, opts, ctrl, stats)
+    }
+
+    fn run_measured(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Option<Vec<RuleMeasure>>), DiscoverError> {
+        self.discoverer().run_measured(rel, opts, ctrl, stats)
     }
 }
 
@@ -989,19 +1074,36 @@ mod tests {
     #[test]
     fn ignored_options_become_notes() {
         let rel = cust_relation();
-        let d = Algo::Ctane
+        // every algorithm honors --threads now (the level-wise miners
+        // shard their level expansion, CFDMiner its mining pass), so a
+        // thread count never produces a note
+        for algo in Algo::all() {
+            let d = algo
+                .discover_with(
+                    &rel,
+                    &DiscoverOptions::new(2).threads(4),
+                    &Control::default(),
+                )
+                .unwrap();
+            assert!(
+                d.notes.iter().all(|n| n.option != "threads"),
+                "{algo} noted --threads"
+            );
+        }
+        // an unhonored option still surfaces: fastcfd has no LHS bound
+        let d = Algo::FastCfd
             .discover_with(
                 &rel,
-                &DiscoverOptions::new(2).threads(4),
+                &DiscoverOptions::new(2).max_lhs(2),
                 &Control::default(),
             )
             .unwrap();
         assert_eq!(d.notes.len(), 1);
         let n = &d.notes[0];
-        assert_eq!((n.option, n.value.as_str()), ("threads", "4"));
+        assert_eq!((n.option, n.value.as_str()), ("max-lhs", "2"));
         assert!(n
             .to_string()
-            .contains("--threads 4 is ignored by --algo ctane"));
+            .contains("--max-lhs 2 is ignored by --algo fastcfd"));
         // honored options produce no note
         let d = Algo::FastCfd
             .discover_with(
@@ -1122,16 +1224,22 @@ mod tests {
     #[test]
     fn discovery_serializes_to_parseable_json() {
         let rel = cust_relation();
-        let d = Algo::Ctane
+        // max_lhs is the one option ctane-with-threads leaves for a
+        // note — except ctane honors it too, so use fastcfd to keep a
+        // note in the document
+        let d = Algo::FastCfd
             .discover_with(
                 &rel,
-                &DiscoverOptions::new(2).threads(2),
+                &DiscoverOptions::new(2).threads(2).max_lhs(2),
                 &Control::default(),
             )
             .unwrap();
         let doc = d.to_json(&rel);
         let back = Json::parse(&doc.to_string()).unwrap();
-        assert_eq!(back.get("algorithm").and_then(Json::as_str), Some("ctane"));
+        assert_eq!(
+            back.get("algorithm").and_then(Json::as_str),
+            Some("fastcfd")
+        );
         let rules = back.get("rules").unwrap().as_array().unwrap();
         assert_eq!(rules.len(), d.cover.len());
         // every rule's wire text parses back against the relation
@@ -1143,7 +1251,7 @@ mod tests {
         assert_eq!(notes.len(), 1);
         assert_eq!(
             notes[0].get("option").and_then(Json::as_str),
-            Some("threads")
+            Some("max-lhs")
         );
     }
 

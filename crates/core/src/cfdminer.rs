@@ -21,7 +21,7 @@ use cfd_itemset::mine::{mine_free_closed, MineOptions, Mined};
 use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
 use cfd_model::fxhash::FxHashMap;
-use cfd_model::measure::keep_meets;
+use cfd_model::measure::{keep_meets, RuleMeasure};
 use cfd_model::pattern::PVal;
 use cfd_model::progress::{Cancelled, Control, SearchStats};
 use cfd_model::relation::Relation;
@@ -31,6 +31,7 @@ use cfd_model::relation::Relation;
 pub struct CfdMiner {
     k: usize,
     min_confidence: f64,
+    threads: usize,
 }
 
 impl CfdMiner {
@@ -40,7 +41,17 @@ impl CfdMiner {
         CfdMiner {
             k,
             min_confidence: 1.0,
+            threads: 1,
         }
+    }
+
+    /// Shards the item-set mining pass (per-level closures and the
+    /// deep-level prefix joins) across `threads` workers; `1` (the
+    /// default) mines serially. Output is byte-identical for every
+    /// thread count.
+    pub fn threads(mut self, threads: usize) -> CfdMiner {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Relaxes validity to confidence `θ ∈ (0, 1]`: a constant CFD
@@ -79,6 +90,19 @@ impl CfdMiner {
         ctrl: &Control<'_>,
         stats: &mut SearchStats,
     ) -> Result<CanonicalCover, Cancelled> {
+        Ok(self.run_measured(rel, ctrl, stats)?.0)
+    }
+
+    /// [`CfdMiner::run`], additionally returning each rule's
+    /// [`RuleMeasure`] (aligned with the cover's canonical order) —
+    /// free-set supports and per-value frequencies the mining pass
+    /// already computed, so no separate measuring scan is needed.
+    pub fn run_measured(
+        &self,
+        rel: &Relation,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Vec<RuleMeasure>), Cancelled> {
         let t0 = std::time::Instant::now();
         // the approximate pass needs each free set's supporting tuples
         // to take per-attribute majorities; the exact pass does not
@@ -88,6 +112,7 @@ impl CfdMiner {
             self.k,
             MineOptions {
                 keep_tids: approx,
+                threads: self.threads,
                 ..MineOptions::default()
             },
         );
@@ -95,13 +120,15 @@ impl CfdMiner {
         ctrl.check()?;
         ctrl.report("mine", 1, 1);
         let t1 = std::time::Instant::now();
-        let cover = if approx {
-            self.approx_with_stats(rel, &mined, stats)
+        let (out, meas) = if approx {
+            self.approx_rules(rel, &mined, stats)
         } else {
-            self.mined_with_stats(&mined, stats)
+            self.exact_rules(&mined, stats)
         };
         stats.phase("rhs-items", t1.elapsed());
-        Ok(cover)
+        Ok(CanonicalCover::from_measured(
+            out.into_iter().zip(meas).collect(),
+        ))
     }
 
     /// Discovery over an existing mining result (FastCFD shares the
@@ -118,9 +145,17 @@ impl CfdMiner {
         mined: &Mined,
         stats: &mut SearchStats,
     ) -> CanonicalCover {
+        CanonicalCover::from_cfds(self.exact_rules(mined, stats).0)
+    }
+
+    /// The exact free/closed RHS pass, with each emitted rule's measure
+    /// — `RuleMeasure::exact(support)` by construction: the RHS item
+    /// lies in the closure, so every supporting tuple carries it.
+    fn exact_rules(&self, mined: &Mined, stats: &mut SearchStats) -> (Vec<Cfd>, Vec<RuleMeasure>) {
         stats.free_sets += mined.free.len() as u64;
         stats.closed_sets += mined.closed.len() as u64;
         let mut out: Vec<Cfd> = Vec::new();
+        let mut meas: Vec<RuleMeasure> = Vec::new();
         for free in &mined.free {
             let clo = &mined.closed[free.closure as usize].pattern;
             // candidate RHS items: closure minus the free pattern itself
@@ -149,12 +184,13 @@ impl CfdMiner {
                     let code = v.as_const().expect("closures are all-constant");
                     stats.emitted += 1;
                     out.push(Cfd::new(free.pattern.clone(), a, PVal::Const(code)));
+                    meas.push(RuleMeasure::exact(free.support as usize));
                 } else {
                     stats.pruned += 1;
                 }
             }
         }
-        CanonicalCover::from_cfds(out)
+        (out, meas)
     }
 
     /// The θ-tolerant RHS pass: for every k-frequent free pattern
@@ -171,16 +207,17 @@ impl CfdMiner {
     /// changes with the pattern), so minimality checks **all**
     /// sub-patterns of `tp`, not just immediate ones — the analogue of
     /// CTANE's transitive `C⁺` suppression.
-    fn approx_with_stats(
+    fn approx_rules(
         &self,
         rel: &Relation,
         mined: &Mined,
         stats: &mut SearchStats,
-    ) -> CanonicalCover {
+    ) -> (Vec<Cfd>, Vec<RuleMeasure>) {
         let theta = self.min_confidence;
         stats.free_sets += mined.free.len() as u64;
         stats.closed_sets += mined.closed.len() as u64;
         let mut out: Vec<Cfd> = Vec::new();
+        let mut meas: Vec<RuleMeasure> = Vec::new();
         // (free-set index, attr) → per-code frequency over the free
         // set's supporting tuples, memoized: every candidate probes all
         // generalizations (the empty pattern — all n rows — included),
@@ -235,11 +272,17 @@ impl CfdMiner {
                     } else {
                         stats.emitted += 1;
                         out.push(Cfd::new(free.pattern.clone(), a, PVal::Const(code)));
+                        // supp tuples match the LHS; all but the cnt
+                        // carrying the RHS value must be removed
+                        meas.push(RuleMeasure {
+                            support: supp,
+                            violations: supp - cnt,
+                        });
                     }
                 }
             }
         }
-        CanonicalCover::from_cfds(out)
+        (out, meas)
     }
 }
 

@@ -18,14 +18,45 @@
 //! compare **row** counts instead — the paper's class-count test misses
 //! single-tuple violations of constant RHS patterns (see DESIGN.md §2).
 //!
+//! ## The partition engine underneath
+//!
+//! Partitions live in a [`PartitionStore`] keyed by pattern (DESIGN.md
+//! §9): the current level is pinned (it feeds the next level's
+//! refinements), the previous level is — in approximate mode — kept as
+//! evictable cache for the per-class error counts, and everything
+//! older is retired. Level expansion refines [`StrippedPartition`]s
+//! through a reusable [`RefineScratch`] into a caller-owned buffer, so
+//! candidates that fail k-frequency allocate nothing; elements of the
+//! final lattice level skip materialization entirely
+//! ([`StrippedPartition::refine_counts`] — their partitions would never
+//! be refined again, and validity needs only the class/row counts).
+//! With [`Ctane::threads`] above 1 the expansion shards its prefix-join
+//! runs across worker threads and merges in run order, so the output
+//! is byte-identical to the serial run.
+//!
+//! `C⁺` sets are bitsets over the *candidate universe* — the initial
+//! list `C⁺(∅)` of every `(A, _)` and k-frequent `(A, a)` item
+//! (the internal `Universe`). The prefix join's per-pair set intersection
+//! (`C⁺(Z) = ∩_B C⁺(Z\B)`) collapses from a merge of sorted item lists
+//! to a handful of word ANDs, and intersecting *all* `ℓ+1` parents
+//! makes condition 1 hold by construction (each attribute of `Z` is
+//! constrained by every parent that retains it), so no separate
+//! filtering pass is needed.
+//!
 //! With [`Ctane::min_confidence`] below `1.0` the validity test relaxes
 //! to the g1-style partition error of DESIGN.md §8: a wildcard-RHS
 //! candidate is valid when the parent partition's per-class
-//! max-frequency sum ([`Partition::keep_count`]) reaches `θ · rows`, a
-//! constant-RHS candidate when the child's row count does. At `θ = 1.0`
-//! the integer short-circuit in [`cfd_model::measure::keep_meets`]
-//! makes both tests *exactly* the classical ones, so the approximate
-//! path is a superset — not a fork — of the exact engine.
+//! max-frequency sum ([`StrippedPartition::keep_count`]) reaches
+//! `θ · rows`, a constant-RHS candidate when the child's row count
+//! does. At `θ = 1.0` the integer short-circuit in
+//! [`cfd_model::measure::keep_meets`] makes both tests *exactly* the
+//! classical ones, so the approximate path is a superset — not a fork —
+//! of the exact engine.
+//!
+//! Every emitted rule is measured *at emission* from the partitions in
+//! hand (`support` = parent rows, `violations` = the partition error
+//! the validity test just computed), so `discover_with` no longer
+//! re-groups the relation to annotate the cover.
 //!
 //! Canonical-cover convention: a variable CFD whose LHS pattern is
 //! all-constant holds iff the RHS attribute is constant on the matching
@@ -37,21 +68,147 @@ use cfd_model::attrset::AttrSet;
 use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
 use cfd_model::fxhash::FxHashMap;
-use cfd_model::measure::keep_meets;
+use cfd_model::measure::{keep_meets, RuleMeasure};
 use cfd_model::pattern::{PVal, Pattern};
-use cfd_model::progress::{Cancelled, Control, SearchStats};
+use cfd_model::progress::{shard_runs, Cancelled, Control, SearchStats};
 use cfd_model::relation::Relation;
 use cfd_model::schema::AttrId;
-use cfd_partition::{Partition, RelationIndex};
+use cfd_partition::{PartitionStore, RefineScratch, RelationIndex, StrippedPartition};
 
-/// One lattice element `(X, sp)`.
+/// A `C⁺` set: one bit per item of the candidate [`Universe`].
+type Bits = Vec<u64>;
+
+#[inline]
+fn bit_test(bits: &[u64], i: u32) -> bool {
+    bits[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+}
+
+#[inline]
+fn bit_clear(bits: &mut [u64], i: u32) {
+    bits[(i / 64) as usize] &= !(1u64 << (i % 64));
+}
+
+#[inline]
+fn bit_set(bits: &mut [u64], i: u32) {
+    bits[(i / 64) as usize] |= 1u64 << (i % 64);
+}
+
+#[inline]
+fn bits_and_assign(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= s;
+    }
+}
+
+#[inline]
+fn bits_is_empty(bits: &[u64]) -> bool {
+    bits.iter().all(|&w| w == 0)
+}
+
+/// The candidate universe `C⁺(∅)`: every `(A, _)` plus every
+/// k-frequent `(A, a)`, with the per-item masks the bitset `C⁺`
+/// machinery needs.
+struct Universe {
+    /// The items, sorted — bit `i` of a `C⁺` bitset stands for
+    /// `items[i]`.
+    items: Vec<(AttrId, PVal)>,
+    index: FxHashMap<(AttrId, PVal), u32>,
+    /// Per item `(a, v)`: every item allowed by condition 1 when the
+    /// element's pattern carries `(a, v)` — items on other attributes,
+    /// plus `(a, v)` itself.
+    allow: Vec<Bits>,
+    /// Per attribute: the items on that attribute.
+    on_attr: Vec<Bits>,
+    words: usize,
+}
+
+impl Universe {
+    fn new(items: Vec<(AttrId, PVal)>, arity: usize) -> Universe {
+        let words = items.len().div_ceil(64);
+        let index: FxHashMap<(AttrId, PVal), u32> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &it)| (it, i as u32))
+            .collect();
+        let mut on_attr = vec![vec![0u64; words]; arity];
+        for (i, &(a, _)) in items.iter().enumerate() {
+            bit_set(&mut on_attr[a], i as u32);
+        }
+        let allow = items
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, _))| {
+                let mut mask: Bits = on_attr[a].iter().map(|w| !w).collect();
+                if let Some(last) = mask.last_mut() {
+                    // padding bits above the universe stay clear
+                    let used = items.len() % 64;
+                    if used > 0 {
+                        *last &= (1u64 << used) - 1;
+                    }
+                }
+                bit_set(&mut mask, i as u32);
+                mask
+            })
+            .collect();
+        Universe {
+            items,
+            index,
+            allow,
+            on_attr,
+            words,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, item: (AttrId, PVal)) -> u32 {
+        self.index[&item]
+    }
+
+    /// Condition 1 applied to the full universe: the `C⁺` a level-1
+    /// element starts from.
+    fn cond1(&self, pattern: &Pattern) -> Bits {
+        let mut bits = vec![u64::MAX; self.words];
+        if let Some(last) = bits.last_mut() {
+            let used = self.items.len() % 64;
+            if used > 0 {
+                *last = (1u64 << used) - 1;
+            }
+        }
+        for (a, v) in pattern.iter() {
+            bits_and_assign(&mut bits, &self.allow[self.idx((a, v)) as usize]);
+        }
+        bits
+    }
+
+    /// The items on any attribute of `attrs` — what step 2.c keeps.
+    fn on_attrs(&self, attrs: AttrSet) -> Bits {
+        let mut bits = vec![0u64; self.words];
+        for a in attrs.iter() {
+            for (d, s) in bits.iter_mut().zip(&self.on_attr[a]) {
+                *d |= s;
+            }
+        }
+        bits
+    }
+}
+
+/// One lattice element `(X, sp)`. The partition lives in the run's
+/// [`PartitionStore`] under the pattern key; elements carry only its
+/// counts.
 struct Element {
     pattern: Pattern,
     n_classes: usize,
     n_rows: usize,
-    partition: Option<Partition>,
-    /// Sorted candidate-RHS set `C⁺(X, sp)`.
-    cplus: Vec<(AttrId, PVal)>,
+    /// The candidate-RHS set `C⁺(X, sp)` as a [`Universe`] bitset.
+    cplus: Bits,
+}
+
+/// A freshly generated element of the next level, as produced by an
+/// expansion worker: the element plus its partition (absent for the
+/// final level, whose partitions are never refined again).
+struct Generated {
+    element: Element,
+    partition: Option<StrippedPartition>,
 }
 
 /// Level-wise CFD discovery (Section 4).
@@ -60,6 +217,8 @@ pub struct Ctane {
     pub(crate) k: usize,
     pub(crate) max_lhs: Option<usize>,
     pub(crate) min_confidence: f64,
+    pub(crate) threads: usize,
+    pub(crate) cache_budget: usize,
 }
 
 impl Ctane {
@@ -70,6 +229,8 @@ impl Ctane {
             k,
             max_lhs: None,
             min_confidence: 1.0,
+            threads: 1,
+            cache_budget: usize::MAX,
         }
     }
 
@@ -92,6 +253,26 @@ impl Ctane {
         self
     }
 
+    /// Shards level expansion across `threads` workers (`1`, the
+    /// default, keeps the serial walk). The output is byte-identical
+    /// for every thread count: workers own disjoint prefix-join runs
+    /// and results merge in run order.
+    pub fn threads(mut self, threads: usize) -> Ctane {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Byte budget for the run's partition cache (retained *previous*
+    /// levels — the working set is always kept). `usize::MAX` (the
+    /// default) keeps everything a level window needs; `0` disables
+    /// caching, forcing the approximate validity test to rebuild parent
+    /// partitions from the relation. Covers are identical either way —
+    /// the budget trades memory for recomputation only.
+    pub fn cache_budget(mut self, bytes: usize) -> Ctane {
+        self.cache_budget = bytes;
+        self
+    }
+
     /// The configured support threshold.
     pub fn k(&self) -> usize {
         self.k
@@ -104,8 +285,9 @@ impl Ctane {
     }
 
     /// [`Ctane::discover`] with run control and instrumentation: polls
-    /// `ctrl` once per lattice level, reports `level` progress, and
-    /// counts validity tests (`candidates`), retired lattice elements
+    /// `ctrl` once per lattice level (and per prefix run inside the
+    /// expansion workers), reports `level` progress, and counts
+    /// validity tests (`candidates`), retired lattice elements
     /// (`pruned`) and materialized partitions (`partitions`).
     pub fn run(
         &self,
@@ -113,19 +295,35 @@ impl Ctane {
         ctrl: &Control<'_>,
         stats: &mut SearchStats,
     ) -> Result<CanonicalCover, Cancelled> {
+        Ok(self.run_measured(rel, ctrl, stats)?.0)
+    }
+
+    /// [`Ctane::run`], additionally returning each rule's
+    /// [`RuleMeasure`] (aligned with the cover's canonical order) —
+    /// computed at emission from the partitions the walk already holds,
+    /// so no separate measuring pass over the relation is needed.
+    pub fn run_measured(
+        &self,
+        rel: &Relation,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Vec<RuleMeasure>), Cancelled> {
         let n = rel.n_rows();
         let arity = rel.arity();
         let theta = self.min_confidence;
-        // approximate mode retains the previous level's partitions, so
-        // wildcard-RHS candidates can be error-counted per class
+        // approximate mode keeps the previous level's partitions as
+        // cache, so wildcard-RHS candidates can be error-counted
         let approx = theta < 1.0;
         let mut out: Vec<Cfd> = Vec::new();
+        let mut meas: Vec<RuleMeasure> = Vec::new();
         if n == 0 || n < self.k {
-            return Ok(CanonicalCover::from_cfds(out));
+            return Ok((CanonicalCover::from_cfds(out), Vec::new()));
         }
         // per-column value regions, built lazily and shared by every
         // constant refinement of the run
         let col_index = RelationIndex::new(rel);
+        let mut store: PartitionStore<Pattern> = PartitionStore::new(self.cache_budget);
+        let mut scratch = RefineScratch::for_relation(rel);
 
         // C⁺(∅) = L1: every (A, _) plus every k-frequent (A, a)
         let mut init_candidates: Vec<(AttrId, PVal)> = Vec::new();
@@ -143,44 +341,46 @@ impl Ctane {
             init_candidates.push((a, PVal::Var));
         }
         init_candidates.sort_unstable();
+        let uni = Universe::new(init_candidates, arity);
 
         // level 1 elements
         let mut level: Vec<Element> = Vec::new();
         for a in 0..arity {
-            let by_attr = Partition::by_attribute(rel, a);
-            stats.partitions += 1;
+            let vidx = col_index.column(rel, a);
             // constant elements: one per k-frequent value
-            for class in by_attr.classes() {
-                if class.len() >= self.k {
-                    let code = rel.code(class[0], a);
-                    let pattern = Pattern::from_pairs([(a, PVal::Const(code))]);
-                    let part = Partition::from_parts(class.to_vec(), vec![0, class.len() as u32]);
+            for c in 0..vidx.n_codes() as u32 {
+                let region = vidx.region(c);
+                if region.len() >= self.k {
+                    let pattern = Pattern::from_pairs([(a, PVal::Const(c))]);
+                    let part = StrippedPartition::from_single_class(region);
                     stats.partitions += 1;
                     level.push(Element {
-                        cplus: filter_cond1(&init_candidates, &pattern),
+                        cplus: uni.cond1(&pattern),
                         n_classes: part.n_classes(),
                         n_rows: part.n_rows(),
-                        partition: Some(part),
-                        pattern,
+                        pattern: pattern.clone(),
                     });
+                    store.insert_pinned(pattern, 1, part);
                 }
             }
             let pattern = Pattern::from_pairs([(a, PVal::Var)]);
+            let part = StrippedPartition::from_value_index(vidx);
+            stats.partitions += 1;
             level.push(Element {
-                cplus: filter_cond1(&init_candidates, &pattern),
-                n_classes: by_attr.n_classes(),
-                n_rows: by_attr.n_rows(),
-                partition: Some(by_attr),
-                pattern,
+                cplus: uni.cond1(&pattern),
+                n_classes: part.n_classes(),
+                n_rows: part.n_rows(),
+                pattern: pattern.clone(),
             });
+            store.insert_pinned(pattern, 1, part);
         }
 
         // counts of the level below (the ∅ element at level 0)
         let mut prev_counts: FxHashMap<Pattern, (usize, usize)> = FxHashMap::default();
         prev_counts.insert(Pattern::empty(), (1, n));
-        let mut prev_parts: FxHashMap<Pattern, Partition> = FxHashMap::default();
         if approx {
-            prev_parts.insert(Pattern::empty(), Partition::full(n));
+            store.insert_pinned(Pattern::empty(), 0, StrippedPartition::full(n));
+            store.unpin_level(0);
         }
 
         let mut ell = 1usize;
@@ -201,10 +401,15 @@ impl Ctane {
                         b.pattern.vals(),
                     ))
             });
-            // group elements by attribute set for step 2.c
-            let mut by_attrs: FxHashMap<AttrSet, Vec<usize>> = FxHashMap::default();
+            // group elements by attribute set for step 2.c, with the
+            // "entries on X only" mask step 2.c intersects with
+            let mut by_attrs: FxHashMap<AttrSet, (Vec<usize>, Bits)> = FxHashMap::default();
             for (i, e) in level.iter().enumerate() {
-                by_attrs.entry(e.pattern.attrs()).or_default().push(i);
+                by_attrs
+                    .entry(e.pattern.attrs())
+                    .or_insert_with(|| (Vec::new(), uni.on_attrs(e.pattern.attrs())))
+                    .0
+                    .push(i);
             }
 
             // Step 2: validate candidate CFDs
@@ -212,7 +417,8 @@ impl Ctane {
                 let attrs = level[i].pattern.attrs();
                 for a in attrs.iter() {
                     let ca = level[i].pattern.get(a).expect("a ∈ attrs");
-                    if level[i].cplus.binary_search(&(a, ca)).is_err() {
+                    let ci = uni.idx((a, ca));
+                    if !bit_test(&level[i].cplus, ci) {
                         continue;
                     }
                     let parent_pat = level[i].pattern.without(a);
@@ -222,20 +428,40 @@ impl Ctane {
                     stats.candidates += 1;
                     // the exact count tests, or — below θ = 1.0 — the
                     // g1-style relaxation keep ≥ θ·rows (keep_meets
-                    // short-circuits exactness with integer arithmetic)
-                    let valid = match ca {
+                    // short-circuits exactness with integer arithmetic).
+                    // `violations` is the partition error p_rows − keep,
+                    // i.e. the emitted rule's measure — computed here,
+                    // where the partitions are at hand.
+                    let (valid, violations) = match ca {
                         PVal::Var => {
-                            p_classes == level[i].n_classes
-                                || (approx && {
-                                    let parent = prev_parts
-                                        .get(&parent_pat)
-                                        .expect("approx mode retains parent partitions");
-                                    keep_meets(parent.keep_count(rel, a), p_rows, theta)
-                                })
+                            if p_classes == level[i].n_classes {
+                                (true, 0)
+                            } else if approx {
+                                let keep = parent_keep(
+                                    &mut store,
+                                    rel,
+                                    &col_index,
+                                    &parent_pat,
+                                    a,
+                                    &mut scratch,
+                                    stats,
+                                );
+                                (keep_meets(keep, p_rows, theta), p_rows - keep)
+                            } else {
+                                (false, 0)
+                            }
                         }
                         PVal::Const(_) => {
-                            p_rows == level[i].n_rows
-                                || (approx && keep_meets(level[i].n_rows, p_rows, theta))
+                            if p_rows == level[i].n_rows {
+                                (true, 0)
+                            } else if approx {
+                                (
+                                    keep_meets(level[i].n_rows, p_rows, theta),
+                                    p_rows - level[i].n_rows,
+                                )
+                            } else {
+                                (false, 0)
+                            }
                         }
                     };
                     if !valid {
@@ -247,37 +473,60 @@ impl Ctane {
                     if emit {
                         stats.emitted += 1;
                         out.push(Cfd::new(parent_pat.clone(), a, ca));
+                        meas.push(RuleMeasure {
+                            support: p_rows,
+                            violations,
+                        });
                     }
                     // Step 2.c: prune C⁺ of same-attribute-set elements with
                     // specializing patterns (including this one)
-                    for &j in &by_attrs[&attrs] {
-                        let ej = &level[j];
-                        if ej.pattern.get(a) != Some(ca) {
+                    let (members, keep_mask) = &by_attrs[&attrs];
+                    for &j in members {
+                        let ej = &level[j].pattern;
+                        if ej.get(a) != Some(ca) {
                             continue;
                         }
-                        if !ej.pattern.without(a).leq(&parent_pat) {
+                        // ej.without(a) ⪯ parent_pat, checked pointwise
+                        // without materializing the sub-pattern
+                        let specializes = ej
+                            .iter()
+                            .filter(|&(b, _)| b != a)
+                            .zip(parent_pat.iter())
+                            .all(|((_, vj), (_, vp))| vj.leq(vp));
+                        if !specializes {
                             continue;
                         }
                         let cplus = &mut level[j].cplus;
-                        cplus.retain(|&(b, cb)| !(b == a && cb == ca) && attrs.contains(b));
+                        bit_clear(cplus, ci);
+                        // dropping every item outside X (the second
+                        // half of step 2.c) relies on the parent and
+                        // child partitions coinciding — which only an
+                        // *exact* validity gives. A θ-hold with
+                        // violations left removes just its own RHS
+                        // item; anything more over-prunes and loses
+                        // minimal approximate rules
+                        if violations == 0 {
+                            bits_and_assign(cplus, keep_mask);
+                        }
                     }
                 }
             }
 
             // Step 3: prune empty-C⁺ elements
             let before = level.len();
-            level.retain(|e| !e.cplus.is_empty());
+            level.retain(|e| !bits_is_empty(&e.cplus));
             stats.pruned += (before - level.len()) as u64;
 
             if ell >= arity || self.max_lhs.is_some_and(|m| ell > m) {
                 break;
             }
 
-            // Step 4: generate level ℓ+1 by prefix join
-            let index: FxHashMap<Pattern, usize> = level
+            // Step 4: generate level ℓ+1 by prefix join, sharded across
+            // the configured workers (run order keeps it deterministic)
+            let index: FxHashMap<&Pattern, usize> = level
                 .iter()
                 .enumerate()
-                .map(|(i, e)| (e.pattern.clone(), i))
+                .map(|(i, e)| (&e.pattern, i))
                 .collect();
             // join order: lexicographic on (attr, val) item lists
             let mut order: Vec<usize> = (0..level.len()).collect();
@@ -286,8 +535,8 @@ impl Ctane {
                 let ey = &level[y].pattern;
                 ex.iter().cmp(ey.iter())
             });
-
-            let mut next: Vec<Element> = Vec::new();
+            // prefix runs: maximal stretches sharing the first ℓ−1 items
+            let mut runs: Vec<(usize, usize)> = Vec::new();
             let mut run_start = 0;
             while run_start < order.len() {
                 let prefix: Vec<(AttrId, PVal)> = level[order[run_start]]
@@ -305,132 +554,232 @@ impl Ctane {
                 {
                     run_end += 1;
                 }
-                for x in run_start..run_end {
-                    for y in x + 1..run_end {
-                        let (e1, e2) = (&level[order[x]], &level[order[y]]);
-                        let (a1, _) = e1.pattern.iter().last().expect("level ≥ 1");
-                        let (a2, v2) = e2.pattern.iter().last().expect("level ≥ 1");
-                        if a1 == a2 {
-                            continue;
-                        }
-                        let up = e1.pattern.with(a2, v2);
-                        // (iii) every ℓ-subset must be an alive element
-                        let all_present = up
-                            .attrs()
-                            .iter()
-                            .all(|b| index.contains_key(&up.without(b)));
-                        if !all_present {
-                            continue;
-                        }
-                        // C⁺(Z, up) = ∩_B C⁺(Z\B) (step 1), with condition 1
-                        let mut cplus: Option<Vec<(AttrId, PVal)>> = None;
-                        for b in up.attrs().iter() {
-                            let parent = &level[index[&up.without(b)]];
-                            cplus = Some(match cplus {
-                                None => parent.cplus.clone(),
-                                Some(cur) => intersect_sorted(&cur, &parent.cplus),
-                            });
-                            if cplus.as_ref().is_some_and(|c| c.is_empty()) {
-                                break;
-                            }
-                        }
-                        let cplus = filter_cond1(&cplus.unwrap_or_default(), &up);
-                        if cplus.is_empty() {
-                            continue;
-                        }
-                        // (ii) refine the cheaper parent's partition and
-                        // check k-frequency of the constant part
-                        let (base, extra_attr, extra_val) = if e1.n_rows <= e2.n_rows {
-                            (e1, a2, v2)
-                        } else {
-                            let (a1, v1) = e1.pattern.iter().last().expect("level ≥ 1");
-                            (e2, a1, v1)
-                        };
-                        let part = base
-                            .partition
-                            .as_ref()
-                            .expect("current level keeps partitions")
-                            .refine_with(rel, &col_index, extra_attr, extra_val);
-                        stats.partitions += 1;
-                        if part.n_rows() < self.k {
-                            stats.pruned += 1;
-                            continue;
-                        }
-                        next.push(Element {
-                            pattern: up,
-                            n_classes: part.n_classes(),
-                            n_rows: part.n_rows(),
-                            partition: Some(part),
-                            cplus,
-                        });
-                    }
-                }
+                runs.push((run_start, run_end));
                 run_start = run_end;
+            }
+            // elements of the *final* level are validated by their
+            // counts alone and never refined again — skip materializing
+            // their partitions altogether
+            let last_level = ell + 1 >= arity || self.max_lhs.is_some_and(|m| ell + 1 > m);
+
+            let expand = ExpandCtx {
+                alg: self,
+                rel,
+                col_index: &col_index,
+                uni: &uni,
+                level: &level,
+                index: &index,
+                order: &order,
+                store: &store,
+                ell,
+                last_level,
+            };
+            // worker w owns runs w, w+T, …; batches merge in run
+            // order, so the level comes out byte-identical to the
+            // serial walk (the shared shard_runs harness)
+            let produced: Vec<Generated> = shard_runs(
+                &runs,
+                self.threads,
+                ctrl,
+                stats,
+                || RefineScratch::for_relation(rel),
+                |run, scratch, local, out| expand.run_pairs(*run, scratch, local, |g| out.push(g)),
+            )?;
+            let mut next: Vec<Element> = Vec::new();
+            for g in produced {
+                commit(&mut store, &mut next, g, ell);
             }
 
             if next.is_empty() {
                 break;
             }
-            // retire this level: parents only need their counts —
-            // except in approximate mode, where the error count of a
-            // wildcard-RHS candidate walks the parent's classes
-            if approx {
-                prev_counts = level
-                    .iter()
-                    .map(|e| (e.pattern.clone(), (e.n_classes, e.n_rows)))
-                    .collect();
-                prev_parts = level
-                    .into_iter()
-                    .map(|e| {
-                        let part = e.partition.expect("current level keeps partitions");
-                        (e.pattern, part)
-                    })
-                    .collect();
-            } else {
-                prev_counts = level
-                    .into_iter()
-                    .map(|e| (e.pattern, (e.n_classes, e.n_rows)))
-                    .collect();
+            // slide the level window: the generation below ℓ−1 is out
+            // of every test's reach; in exact mode the freshly expanded
+            // level ℓ is too, in approximate mode it becomes evictable
+            // cache for the error counts of level ℓ+1's validity tests
+            if ell >= 1 {
+                store.retire_level(ell as u32 - 1);
             }
+            if approx {
+                store.unpin_level(ell as u32);
+            } else {
+                store.retire_level(ell as u32);
+            }
+            prev_counts = level
+                .into_iter()
+                .map(|e| (e.pattern, (e.n_classes, e.n_rows)))
+                .collect();
             level = next;
             ell += 1;
         }
 
-        Ok(CanonicalCover::from_cfds(out))
+        Ok(CanonicalCover::from_measured(
+            out.into_iter().zip(meas).collect(),
+        ))
     }
 }
 
-/// Condition 1 of the C⁺ definition: entries on attributes of `X` must
-/// carry the element's own pattern value.
-fn filter_cond1(cands: &[(AttrId, PVal)], pattern: &Pattern) -> Vec<(AttrId, PVal)> {
-    cands
-        .iter()
-        .copied()
-        .filter(|&(b, cb)| match pattern.get(b) {
-            Some(v) => v == cb,
-            None => true,
-        })
-        .collect()
+/// Commits a generated element: partition into the store (pinned at
+/// its level), element into the next level.
+fn commit(store: &mut PartitionStore<Pattern>, next: &mut Vec<Element>, g: Generated, ell: usize) {
+    if let Some(part) = g.partition {
+        store.insert_pinned(g.element.pattern.clone(), ell as u32 + 1, part);
+    }
+    next.push(g.element);
 }
 
-/// Intersection of two sorted candidate lists.
-fn intersect_sorted(a: &[(AttrId, PVal)], b: &[(AttrId, PVal)]) -> Vec<(AttrId, PVal)> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
+/// Everything an expansion worker needs, shared read-only.
+struct ExpandCtx<'a> {
+    alg: &'a Ctane,
+    rel: &'a Relation,
+    col_index: &'a RelationIndex,
+    uni: &'a Universe,
+    level: &'a [Element],
+    index: &'a FxHashMap<&'a Pattern, usize>,
+    order: &'a [usize],
+    store: &'a PartitionStore<Pattern>,
+    ell: usize,
+    last_level: bool,
+}
+
+impl ExpandCtx<'_> {
+    /// Expands one prefix run: every join pair `(x, y)` inside it, in
+    /// order, handing survivors to `emit`.
+    fn run_pairs(
+        &self,
+        (run_start, run_end): (usize, usize),
+        scratch: &mut RefineScratch,
+        stats: &mut SearchStats,
+        mut emit: impl FnMut(Generated),
+    ) {
+        let mut buf = StrippedPartition::default();
+        let mut cplus: Bits = vec![0; self.uni.words];
+        for x in run_start..run_end {
+            for y in x + 1..run_end {
+                let (e1, e2) = (&self.level[self.order[x]], &self.level[self.order[y]]);
+                let (a1, v1) = e1.pattern.iter().last().expect("level ≥ 1");
+                let (a2, v2) = e2.pattern.iter().last().expect("level ≥ 1");
+                if a1 == a2 {
+                    continue;
+                }
+                // C⁺(Z) = ∩_B C⁺(Z\B) (step 1); intersecting all ℓ+1
+                // parents implies condition 1 (module docs). Level 1
+                // joins skip the generic subset walk: the only parents
+                // of {i1, i2} are e1 and e2 themselves.
+                cplus.copy_from_slice(&e1.cplus);
+                bits_and_assign(&mut cplus, &e2.cplus);
+                let mut up = None;
+                if self.ell > 1 {
+                    let z = e1.pattern.with(a2, v2);
+                    // (iii) every ℓ-subset must be an alive element
+                    let mut all_present = true;
+                    for b in z.attrs().iter() {
+                        if b == a1 || b == a2 {
+                            continue; // e2 and e1, already intersected
+                        }
+                        match self.index.get(&z.without(b)) {
+                            Some(&pi) => bits_and_assign(&mut cplus, &self.level[pi].cplus),
+                            None => {
+                                all_present = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !all_present {
+                        continue;
+                    }
+                    up = Some(z);
+                }
+                if bits_is_empty(&cplus) {
+                    continue;
+                }
+                // (ii) refine the cheaper parent's partition and check
+                // k-frequency of the constant part
+                let (base, extra_attr, extra_val) = if e1.n_rows <= e2.n_rows {
+                    (e1, a2, v2)
+                } else {
+                    (e2, a1, v1)
+                };
+                let base_part = self
+                    .store
+                    .peek(&base.pattern)
+                    .expect("current level is pinned in the store");
+                if self.last_level {
+                    // counts suffice: this element's partition would
+                    // never be refined or error-counted again
+                    let (n_classes, n_rows) = base_part.refine_counts(
+                        self.rel,
+                        Some(self.col_index),
+                        extra_attr,
+                        extra_val,
+                        scratch,
+                    );
+                    if n_rows < self.alg.k {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    emit(Generated {
+                        element: Element {
+                            pattern: up.unwrap_or_else(|| e1.pattern.with(a2, v2)),
+                            n_classes,
+                            n_rows,
+                            cplus: cplus.clone(),
+                        },
+                        partition: None,
+                    });
+                } else {
+                    base_part.refine_into(
+                        self.rel,
+                        Some(self.col_index),
+                        extra_attr,
+                        extra_val,
+                        scratch,
+                        &mut buf,
+                    );
+                    stats.partitions += 1;
+                    if buf.n_rows() < self.alg.k {
+                        stats.pruned += 1;
+                        continue; // rejected: the buffer is simply reused
+                    }
+                    emit(Generated {
+                        element: Element {
+                            pattern: up.unwrap_or_else(|| e1.pattern.with(a2, v2)),
+                            n_classes: buf.n_classes(),
+                            n_rows: buf.n_rows(),
+                            cplus: cplus.clone(),
+                        },
+                        partition: Some(buf.take_compact()),
+                    });
+                }
             }
         }
     }
-    out
 }
 
+/// The keep count of `parent_pat`'s partition w.r.t. RHS attribute `a`:
+/// served from the store when the cache holds it, rebuilt from the
+/// relation (and re-offered to the cache) on a miss — the budget only
+/// ever trades recomputation, never correctness.
+fn parent_keep(
+    store: &mut PartitionStore<Pattern>,
+    rel: &Relation,
+    idx: &RelationIndex,
+    parent_pat: &Pattern,
+    a: AttrId,
+    scratch: &mut RefineScratch,
+    stats: &mut SearchStats,
+) -> usize {
+    if let Some(part) = store.get(parent_pat) {
+        return part.keep_count(rel, a, scratch);
+    }
+    let rebuilt = StrippedPartition::of_pattern(rel, idx, parent_pat.iter(), scratch);
+    stats.partitions += 1;
+    let keep = rebuilt.keep_count(rel, a, scratch);
+    let level = parent_pat.len() as u32;
+    store.insert_pinned(parent_pat.clone(), level, rebuilt);
+    store.unpin(parent_pat);
+    keep
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,5 +939,89 @@ mod tests {
         assert!(cover.contains(&ca) && cover.contains(&cb));
         // k larger than |r| ⇒ empty cover
         assert!(Ctane::new(2).discover(&one).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use cfd_datagen::cust::cust_relation;
+    use cfd_datagen::random::RandomRelation;
+
+    #[test]
+    fn threads_do_not_change_the_cover() {
+        let r = cust_relation();
+        for k in [1, 2, 3] {
+            let serial = Ctane::new(k).discover(&r);
+            for t in [2, 4, 7] {
+                let sharded = Ctane::new(k).threads(t).discover(&r);
+                assert_eq!(serial.cfds(), sharded.cfds(), "k={k} t={t}");
+            }
+        }
+        for seed in 0..4 {
+            let r = RandomRelation::small(seed).generate();
+            let serial = Ctane::new(1).min_confidence(0.8).discover(&r);
+            let sharded = Ctane::new(1).min_confidence(0.8).threads(4).discover(&r);
+            assert_eq!(serial.cfds(), sharded.cfds(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cache_budget_does_not_change_the_cover() {
+        let r = cust_relation();
+        for theta in [0.6, 0.875, 1.0] {
+            let cached = Ctane::new(1).min_confidence(theta).discover(&r);
+            let uncached = Ctane::new(1)
+                .min_confidence(theta)
+                .cache_budget(0)
+                .discover(&r);
+            assert_eq!(cached.cfds(), uncached.cfds(), "θ={theta}");
+        }
+    }
+
+    #[test]
+    fn emission_measures_match_the_reference() {
+        use cfd_model::measure::measure;
+        let r = cust_relation();
+        for theta in [0.6, 1.0] {
+            let (cover, measures) = Ctane::new(2)
+                .min_confidence(theta)
+                .run_measured(&r, &Control::default(), &mut SearchStats::default())
+                .unwrap();
+            assert_eq!(cover.len(), measures.len());
+            for (cfd, m) in cover.iter().zip(&measures) {
+                assert_eq!(*m, measure(&r, cfd), "θ={theta}: {}", cfd.display(&r));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod completeness_probe {
+    use super::*;
+    use cfd_model::cfd::parse_cfd;
+    use cfd_model::relation::relation_from_rows;
+    use cfd_model::schema::Schema;
+
+    #[test]
+    fn approx_hold_does_not_over_prune() {
+        // Same shape as TANE's review probe: ∅→A θ-holds approximately
+        // (9×x, 1×y at θ=0.9), which must not erase the minimal
+        // approximate FD A→B (keep 9/10; ∅→B keeps only 8/10)
+        let schema = Schema::new(["A", "B"]).unwrap();
+        let mut rows: Vec<Vec<&str>> = vec![];
+        for i in 0..9 {
+            rows.push(vec!["x", if i < 8 { "p" } else { "q" }]);
+        }
+        rows.push(vec!["y", "q"]);
+        let r = relation_from_rows(schema, &rows).unwrap();
+        let fd = parse_cfd(&r, "(A -> B, (_ || _))").unwrap();
+        assert!(cfd_model::measure::measure(&r, &fd).meets(0.9), "premise");
+        let cover = Ctane::new(1).min_confidence(0.9).discover(&r);
+        assert!(
+            cover.contains(&fd),
+            "A->B missing from θ=0.9 cover:\n{}",
+            cover.display(&r)
+        );
     }
 }

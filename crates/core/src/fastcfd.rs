@@ -273,6 +273,7 @@ impl FastCfd {
             self.k,
             MineOptions {
                 free_only: self.free_set_pruning,
+                threads: self.threads,
                 ..MineOptions::default()
             },
         );

@@ -6,30 +6,56 @@
 //! prunes candidate RHS attributes; (super)key sets are retired early
 //! after emitting their remaining dependencies.
 //!
+//! Like CTANE, the walk runs on the stripped-partition engine of
+//! `cfd-partition` (DESIGN.md §9): node partitions live in a
+//! [`PartitionStore`] keyed by attribute set — current level pinned,
+//! previous level kept as evictable cache in approximate mode —
+//! and level expansion refines through a reusable [`RefineScratch`]
+//! into a caller-owned buffer ([`StrippedPartition::refine_into`]),
+//! skipping materialization entirely for the final level
+//! ([`StrippedPartition::refine_counts`]). For plain FDs stripping is
+//! exactly TANE's classic representation: wildcard refinement copies
+//! the singleton side list with one `memcpy` instead of walking the
+//! collapsed classes. With [`Tane::threads`] above 1 the expansion
+//! shards its prefix-join runs across workers and merges in run order
+//! (byte-identical output for every thread count).
+//!
 //! With [`Tane::min_confidence`] below `1.0` the dependency test
 //! relaxes to TANE's classic approximate variant under the g1-style
 //! partition error (DESIGN.md §8): `X\{A} → A` is emitted when the
 //! per-class max-frequency sum of `A` over `π_{X\{A}}`
-//! ([`Partition::keep_count`]) reaches `θ · |r|`. For plain FDs this
-//! error is monotone under refinement, so the minimality story is
+//! ([`StrippedPartition::keep_count`]) reaches `θ · |r|`. For plain FDs
+//! this error is monotone under refinement, so the minimality story is
 //! unchanged; at `θ = 1.0` the integer short-circuit reproduces the
 //! exact test bit for bit.
+//!
+//! Every emitted FD is measured at emission (`support = |r|`,
+//! `violations` = the partition error the dependency test computed), so
+//! the unified API's measuring pass costs nothing extra.
 
 use cfd_model::attrset::AttrSet;
 use cfd_model::cfd::Cfd;
 use cfd_model::cover::CanonicalCover;
 use cfd_model::fxhash::FxHashMap;
-use cfd_model::measure::keep_meets;
+use cfd_model::measure::{keep_meets, RuleMeasure};
 use cfd_model::pattern::PVal;
-use cfd_model::progress::{Cancelled, Control, SearchStats};
+use cfd_model::progress::{shard_runs, Cancelled, Control, SearchStats};
 use cfd_model::relation::Relation;
-use cfd_partition::Partition;
+use cfd_partition::{PartitionStore, RefineScratch, RelationIndex, StrippedPartition};
 
+/// One lattice node; its partition lives in the run's
+/// [`PartitionStore`] under the attribute-set key.
 struct Node {
     attrs: AttrSet,
     n_classes: usize,
-    partition: Option<Partition>,
     cplus: AttrSet,
+}
+
+/// A freshly generated node of the next level (partition absent for
+/// the final level, whose partitions are never refined again).
+struct Generated {
+    node: Node,
+    partition: Option<StrippedPartition>,
 }
 
 /// Level-wise minimal-FD discovery.
@@ -37,6 +63,8 @@ struct Node {
 pub struct Tane {
     pub(crate) max_lhs: Option<usize>,
     pub(crate) min_confidence: f64,
+    pub(crate) threads: usize,
+    pub(crate) cache_budget: usize,
 }
 
 impl Default for Tane {
@@ -51,6 +79,8 @@ impl Tane {
         Tane {
             max_lhs: None,
             min_confidence: 1.0,
+            threads: 1,
+            cache_budget: usize::MAX,
         }
     }
 
@@ -72,6 +102,35 @@ impl Tane {
         self
     }
 
+    /// Shards level expansion across `threads` workers (`1`, the
+    /// default, keeps the serial walk); output is byte-identical for
+    /// every thread count.
+    pub fn threads(mut self, threads: usize) -> Tane {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Byte budget for the run's partition cache (see
+    /// `Ctane::cache_budget` in `cfd-core`; `0` disables caching and
+    /// the approximate test rebuilds parent partitions on demand).
+    pub fn cache_budget(mut self, bytes: usize) -> Tane {
+        self.cache_budget = bytes;
+        self
+    }
+
+    /// Rebuilds the instance with the shared knobs the unified
+    /// discovery API supplies (`DiscoverOptions` is the source of
+    /// truth there), keeping the ablation knobs — the cache budget —
+    /// from `self`.
+    pub fn with_shared_knobs(&self, max_lhs: Option<usize>, theta: f64, threads: usize) -> Tane {
+        Tane {
+            max_lhs,
+            min_confidence: theta,
+            threads: threads.max(1),
+            cache_budget: self.cache_budget,
+        }
+    }
+
     /// Discovers all minimal FDs `X → A` with `X ≠ ∅` of `rel`, as
     /// all-wildcard variable CFDs.
     pub fn discover(&self, rel: &Relation) -> CanonicalCover {
@@ -80,8 +139,9 @@ impl Tane {
     }
 
     /// [`Tane::discover`] with run control and instrumentation: polls
-    /// `ctrl` once per lattice level, reports `level` progress, and
-    /// counts dependency tests (`candidates`), pruned lattice nodes
+    /// `ctrl` once per lattice level (and per prefix run inside the
+    /// expansion workers), reports `level` progress, and counts
+    /// dependency tests (`candidates`), pruned lattice nodes
     /// (`pruned`) and materialized partitions (`partitions`).
     pub fn run(
         &self,
@@ -89,36 +149,54 @@ impl Tane {
         ctrl: &Control<'_>,
         stats: &mut SearchStats,
     ) -> Result<CanonicalCover, Cancelled> {
+        Ok(self.run_measured(rel, ctrl, stats)?.0)
+    }
+
+    /// [`Tane::run`], additionally returning each FD's `RuleMeasure`
+    /// (aligned with the cover's canonical order) — computed at
+    /// emission from the partitions the walk already holds.
+    pub fn run_measured(
+        &self,
+        rel: &Relation,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Vec<RuleMeasure>), Cancelled> {
         let arity = rel.arity();
         let n = rel.n_rows();
         let theta = self.min_confidence;
-        // approximate mode retains the previous level's partitions, so
-        // candidates can be error-counted per class
+        // approximate mode keeps the previous level's partitions as
+        // cache, so candidates can be error-counted per class
         let approx = theta < 1.0;
         let mut out: Vec<Cfd> = Vec::new();
+        let mut meas: Vec<RuleMeasure> = Vec::new();
         if n == 0 {
-            return Ok(CanonicalCover::from_cfds(out));
+            return Ok((CanonicalCover::from_cfds(out), Vec::new()));
         }
+        let col_index = RelationIndex::new(rel);
+        let mut store: PartitionStore<AttrSet> = PartitionStore::new(self.cache_budget);
+        let mut scratch = RefineScratch::for_relation(rel);
 
         let full = AttrSet::full(arity);
         // level 1
         let mut level: Vec<Node> = (0..arity)
             .map(|a| {
-                let p = Partition::by_attribute(rel, a);
+                let p = StrippedPartition::from_value_index(col_index.column(rel, a));
                 stats.partitions += 1;
-                Node {
-                    attrs: AttrSet::singleton(a),
+                let attrs = AttrSet::singleton(a);
+                let node = Node {
+                    attrs,
                     n_classes: p.n_classes(),
-                    partition: Some(p),
                     cplus: full,
-                }
+                };
+                store.insert_pinned(attrs, 1, p);
+                node
             })
             .collect();
         let mut prev_classes: FxHashMap<AttrSet, usize> = FxHashMap::default();
         prev_classes.insert(AttrSet::EMPTY, 1);
-        let mut prev_parts: FxHashMap<AttrSet, Partition> = FxHashMap::default();
         if approx {
-            prev_parts.insert(AttrSet::EMPTY, Partition::full(n));
+            store.insert_pinned(AttrSet::EMPTY, 0, StrippedPartition::full(n));
+            store.unpin_level(0);
         }
 
         let mut ell = 1usize;
@@ -135,24 +213,46 @@ impl Tane {
                     stats.candidates += 1;
                     // exact class-count test, or — below θ = 1.0 — the
                     // g1 relaxation keep ≥ θ·n (keep_meets short-circuits
-                    // exactness with integer arithmetic)
-                    let holds = pc == level[i].n_classes
-                        || (approx && {
-                            let part = prev_parts
-                                .get(&parent)
-                                .expect("approx mode retains parent partitions");
-                            keep_meets(part.keep_count(rel, a), n, theta)
-                        });
+                    // exactness with integer arithmetic); `violations`
+                    // doubles as the emitted FD's measure
+                    let (holds, violations) = if pc == level[i].n_classes {
+                        (true, 0)
+                    } else if approx {
+                        let keep = parent_keep(
+                            &mut store,
+                            rel,
+                            &col_index,
+                            parent,
+                            a,
+                            &mut scratch,
+                            stats,
+                        );
+                        (keep_meets(keep, n, theta), n - keep)
+                    } else {
+                        (false, 0)
+                    };
                     if holds {
                         // X\{A} → A holds; ∅ → A (constant column) excluded
                         // per the canonical-cover convention
                         if !parent.is_empty() {
                             stats.emitted += 1;
                             out.push(Cfd::fd(parent, a));
+                            meas.push(RuleMeasure {
+                                support: n,
+                                violations,
+                            });
                         }
                         let cp = &mut level[i].cplus;
                         cp.remove(a);
-                        *cp = cp.difference(full.difference(x));
+                        // the classic RHS⁺ pruning (drop every B ∉ X)
+                        // is justified by π(X\A) = π(X) — which only an
+                        // *exact* dependency gives. A θ-hold with
+                        // violations left removes just its own RHS:
+                        // anything more over-prunes and loses minimal
+                        // approximate FDs (the completeness probe below)
+                        if violations == 0 {
+                            *cp = cp.difference(full.difference(x));
+                        }
                     }
                 }
             }
@@ -190,6 +290,8 @@ impl Tane {
                     if minimal {
                         stats.emitted += 1;
                         out.push(Cfd::fd(node.attrs, a));
+                        // a (super)key determines every attribute exactly
+                        meas.push(RuleMeasure::exact(n));
                     }
                 }
             }
@@ -200,14 +302,15 @@ impl Tane {
                     kept.push(node);
                 }
             }
-            let mut level_now = kept;
+            let level_now = kept;
             stats.pruned += (level_size - level_now.len()) as u64;
 
             if level_now.len() < 2 || ell >= arity || self.max_lhs.is_some_and(|m| ell > m) {
                 break;
             }
 
-            // generate next level by prefix join
+            // generate next level by prefix join, sharded across the
+            // configured workers (run order keeps it deterministic)
             let index: FxHashMap<AttrSet, usize> = level_now
                 .iter()
                 .enumerate()
@@ -215,7 +318,7 @@ impl Tane {
                 .collect();
             let mut order: Vec<usize> = (0..level_now.len()).collect();
             order.sort_unstable_by_key(|&i| level_now[i].attrs.iter().collect::<Vec<_>>());
-            let mut next: Vec<Node> = Vec::new();
+            let mut runs: Vec<(usize, usize)> = Vec::new();
             let mut run_start = 0;
             while run_start < order.len() {
                 let prefix: Vec<usize> = level_now[order[run_start]]
@@ -233,54 +336,49 @@ impl Tane {
                 {
                     run_end += 1;
                 }
-                for xi in run_start..run_end {
-                    for yi in xi + 1..run_end {
-                        let (n1, n2) = (&level_now[order[xi]], &level_now[order[yi]]);
-                        let z = n1.attrs.union(n2.attrs);
-                        if z.len() != ell + 1 {
-                            continue;
-                        }
-                        if !z.iter().all(|b| index.contains_key(&z.without(b))) {
-                            continue;
-                        }
-                        let extra = n2.attrs.max().expect("nonempty");
-                        let base = if n1.n_classes >= n2.n_classes { n1 } else { n2 };
-                        let extra_attr = if base.attrs == n1.attrs {
-                            extra
-                        } else {
-                            n1.attrs.max().expect("nonempty")
-                        };
-                        let p = base
-                            .partition
-                            .as_ref()
-                            .expect("current level keeps partitions")
-                            .refine(rel, extra_attr, PVal::Var);
-                        stats.partitions += 1;
-                        let mut cplus = full;
-                        for b in z.iter() {
-                            cplus = cplus.intersection(level_now[index[&z.without(b)]].cplus);
-                        }
-                        if cplus.is_empty() {
-                            continue;
-                        }
-                        next.push(Node {
-                            attrs: z,
-                            n_classes: p.n_classes(),
-                            partition: Some(p),
-                            cplus,
-                        });
-                    }
-                }
+                runs.push((run_start, run_end));
                 run_start = run_end;
+            }
+            let last_level = ell + 1 >= arity || self.max_lhs.is_some_and(|m| ell + 1 > m);
+
+            let expand = ExpandCtx {
+                rel,
+                full,
+                level: &level_now,
+                index: &index,
+                order: &order,
+                store: &store,
+                last_level,
+            };
+            // worker w owns runs w, w+T, …; batches merge in run
+            // order, so the level comes out byte-identical to the
+            // serial walk (the shared shard_runs harness)
+            let produced: Vec<Generated> = shard_runs(
+                &runs,
+                self.threads,
+                ctrl,
+                stats,
+                || RefineScratch::for_relation(rel),
+                |run, scratch, local, out| expand.run_pairs(*run, scratch, local, |g| out.push(g)),
+            )?;
+            let mut next: Vec<Node> = Vec::new();
+            for g in produced {
+                if let Some(part) = g.partition {
+                    store.insert_pinned(g.node.attrs, ell as u32 + 1, part);
+                }
+                next.push(g.node);
             }
             if next.is_empty() {
                 break;
             }
+            // slide the level window (see the module docs)
+            if ell >= 1 {
+                store.retire_level(ell as u32 - 1);
+            }
             if approx {
-                prev_parts = level_now
-                    .iter_mut()
-                    .filter_map(|nd| nd.partition.take().map(|p| (nd.attrs, p)))
-                    .collect();
+                store.unpin_level(ell as u32);
+            } else {
+                store.retire_level(ell as u32);
             }
             prev_classes = level_now
                 .into_iter()
@@ -289,10 +387,114 @@ impl Tane {
             level = next;
             ell += 1;
         }
-        Ok(CanonicalCover::from_cfds(out))
+
+        Ok(CanonicalCover::from_measured(
+            out.into_iter().zip(meas).collect(),
+        ))
     }
 }
 
+/// Everything an expansion worker needs, shared read-only.
+struct ExpandCtx<'a> {
+    rel: &'a Relation,
+    full: AttrSet,
+    level: &'a [Node],
+    index: &'a FxHashMap<AttrSet, usize>,
+    order: &'a [usize],
+    store: &'a PartitionStore<AttrSet>,
+    last_level: bool,
+}
+
+impl ExpandCtx<'_> {
+    /// Expands one prefix run: every join pair inside it, in order.
+    fn run_pairs(
+        &self,
+        (run_start, run_end): (usize, usize),
+        scratch: &mut RefineScratch,
+        stats: &mut SearchStats,
+        mut emit: impl FnMut(Generated),
+    ) {
+        let mut buf = StrippedPartition::default();
+        for xi in run_start..run_end {
+            for yi in xi + 1..run_end {
+                let (n1, n2) = (&self.level[self.order[xi]], &self.level[self.order[yi]]);
+                let z = n1.attrs.union(n2.attrs);
+                if z.len() != self.level[self.order[xi]].attrs.len() + 1 {
+                    continue;
+                }
+                if !z.iter().all(|b| self.index.contains_key(&z.without(b))) {
+                    continue;
+                }
+                let mut cplus = self.full;
+                for b in z.iter() {
+                    cplus = cplus.intersection(self.level[self.index[&z.without(b)]].cplus);
+                }
+                if cplus.is_empty() {
+                    continue;
+                }
+                // refine the finer parent by the other's trailing
+                // attribute (fewer splits to perform)
+                let extra = n2.attrs.max().expect("nonempty");
+                let base = if n1.n_classes >= n2.n_classes { n1 } else { n2 };
+                let extra_attr = if base.attrs == n1.attrs {
+                    extra
+                } else {
+                    n1.attrs.max().expect("nonempty")
+                };
+                let base_part = self
+                    .store
+                    .peek(&base.attrs)
+                    .expect("current level is pinned in the store");
+                if self.last_level {
+                    let (n_classes, _) =
+                        base_part.refine_counts(self.rel, None, extra_attr, PVal::Var, scratch);
+                    emit(Generated {
+                        node: Node {
+                            attrs: z,
+                            n_classes,
+                            cplus,
+                        },
+                        partition: None,
+                    });
+                } else {
+                    base_part.refine_into(self.rel, None, extra_attr, PVal::Var, scratch, &mut buf);
+                    stats.partitions += 1;
+                    emit(Generated {
+                        node: Node {
+                            attrs: z,
+                            n_classes: buf.n_classes(),
+                            cplus,
+                        },
+                        partition: Some(buf.take_compact()),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The keep count of the parent attribute set's partition w.r.t. RHS
+/// `a` — served from the store, rebuilt from the relation on a miss.
+fn parent_keep(
+    store: &mut PartitionStore<AttrSet>,
+    rel: &Relation,
+    idx: &RelationIndex,
+    parent: AttrSet,
+    a: usize,
+    scratch: &mut RefineScratch,
+    stats: &mut SearchStats,
+) -> usize {
+    if let Some(part) = store.get(&parent) {
+        return part.keep_count(rel, a, scratch);
+    }
+    let rebuilt =
+        StrippedPartition::of_pattern(rel, idx, parent.iter().map(|b| (b, PVal::Var)), scratch);
+    stats.partitions += 1;
+    let keep = rebuilt.keep_count(rel, a, scratch);
+    store.insert_pinned(parent, parent.len() as u32, rebuilt);
+    store.unpin(&parent);
+    keep
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,5 +633,46 @@ mod review_probe {
             "A->B missing from θ=0.9 cover:\n{}",
             cover.display(&r)
         );
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use cfd_datagen::cust::cust_relation;
+
+    #[test]
+    fn threads_and_cache_do_not_change_the_cover() {
+        let r = cust_relation();
+        let serial = Tane::new().discover(&r);
+        for t in [2, 4] {
+            assert_eq!(serial.cfds(), Tane::new().threads(t).discover(&r).cfds());
+        }
+        for theta in [0.8, 0.875, 1.0] {
+            let cached = Tane::new().min_confidence(theta).discover(&r);
+            let uncached = Tane::new()
+                .min_confidence(theta)
+                .cache_budget(0)
+                .discover(&r);
+            assert_eq!(cached.cfds(), uncached.cfds(), "θ={theta}");
+            let sharded = Tane::new().min_confidence(theta).threads(4).discover(&r);
+            assert_eq!(cached.cfds(), sharded.cfds(), "θ={theta} sharded");
+        }
+    }
+
+    #[test]
+    fn emission_measures_match_the_reference() {
+        use cfd_model::measure::measure;
+        let r = cust_relation();
+        for theta in [0.875, 1.0] {
+            let (cover, measures) = Tane::new()
+                .min_confidence(theta)
+                .run_measured(&r, &Control::default(), &mut SearchStats::default())
+                .unwrap();
+            assert_eq!(cover.len(), measures.len());
+            for (cfd, m) in cover.iter().zip(&measures) {
+                assert_eq!(*m, measure(&r, cfd), "θ={theta}: {}", cfd.display(&r));
+            }
+        }
     }
 }

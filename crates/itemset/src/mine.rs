@@ -53,6 +53,11 @@ pub struct MineOptions {
     /// this exists solely for the ablation that quantifies the paper's
     /// "5–10×" free-set-pruning claim.
     pub free_only: bool,
+    /// Worker threads for the per-level closure computation and the
+    /// deep-level prefix joins (`1` = serial). The mined result is
+    /// byte-identical for every thread count: workers own disjoint
+    /// chunks/runs and results merge in input order.
+    pub threads: usize,
 }
 
 impl Default for MineOptions {
@@ -61,6 +66,7 @@ impl Default for MineOptions {
             keep_tids: true,
             max_len: None,
             free_only: true,
+            threads: 1,
         }
     }
 }
@@ -106,6 +112,24 @@ struct Node {
 
 fn pattern_of(items: &[(usize, u32)]) -> Pattern {
     Pattern::from_pairs(items.iter().map(|&(a, c)| (a, PVal::Const(c))))
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, results
+/// concatenated in input order — a thin wrapper over the shared
+/// [`shard_runs`](cfd_model::progress::shard_runs) harness (one item
+/// per run; mining has no cancellation handle, so the default
+/// never-cancelled control is used).
+fn par_map<T: Sync, R: Send>(items: &[T], threads: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    use cfd_model::progress::{shard_runs, Control, SearchStats};
+    shard_runs(
+        items,
+        threads,
+        &Control::default(),
+        &mut SearchStats::default(),
+        || (),
+        |item, _scratch, _stats, out| out.push(f(item)),
+    )
+    .expect("default Control is never cancelled")
 }
 
 fn intersect(a: &[TupleId], b: &[TupleId]) -> Vec<TupleId> {
@@ -215,10 +239,14 @@ pub fn mine_free_closed(rel: &Relation, k: usize, opts: MineOptions) -> Mined {
     let mut level_no = 1usize;
     loop {
         // register this level's nodes; remember supports for the freeness
-        // checks of the next level's joins
+        // checks of the next level's joins. Closures are independent per
+        // node — the one parallel-friendly chunk of the register pass —
+        // and merge back in node order, keeping the result deterministic.
+        let closures: Vec<Pattern> = par_map(&level, opts.threads, |node| {
+            closure_of_tids(rel, &node.tids)
+        });
         let mut supp_by_pattern: FxHashMap<Pattern, u32> = FxHashMap::default();
-        for node in &level {
-            let clo = closure_of_tids(rel, &node.tids);
+        for (node, clo) in level.iter().zip(closures) {
             supp_by_pattern.insert(pattern_of(&node.items), node.tids.len() as u32);
             register(
                 &mut out,
@@ -277,7 +305,11 @@ pub fn mine_free_closed(rel: &Relation, k: usize, opts: MineOptions) -> Mined {
             }
         } else {
             // deeper levels: classic prefix join over the (much smaller)
-            // current level
+            // current level, sharded across the configured workers —
+            // prefix runs are independent, and the per-run results are
+            // merged in run order (then sorted below), so the outcome is
+            // identical at every thread count
+            let mut runs: Vec<(usize, usize)> = Vec::new();
             let mut run_start = 0;
             while run_start < level.len() {
                 let prefix = &level[run_start].items[..level_no - 1];
@@ -285,6 +317,11 @@ pub fn mine_free_closed(rel: &Relation, k: usize, opts: MineOptions) -> Mined {
                 while run_end < level.len() && &level[run_end].items[..level_no - 1] == prefix {
                     run_end += 1;
                 }
+                runs.push((run_start, run_end));
+                run_start = run_end;
+            }
+            let join_run = |&(run_start, run_end): &(usize, usize)| {
+                let mut produced: Vec<Node> = Vec::new();
                 for i in run_start..run_end {
                     for j in i + 1..run_end {
                         let (s1, s2) = (&level[i], &level[j]);
@@ -327,12 +364,16 @@ pub fn mine_free_closed(rel: &Relation, k: usize, opts: MineOptions) -> Mined {
                             }
                         }
                         if (is_free || !opts.free_only) && all_subs_present {
-                            next.push(Node { items, tids });
+                            produced.push(Node { items, tids });
                         }
                     }
                 }
-                run_start = run_end;
-            }
+                produced
+            };
+            next = par_map(&runs, opts.threads, join_run)
+                .into_iter()
+                .flatten()
+                .collect();
         }
         if next.is_empty() {
             break;

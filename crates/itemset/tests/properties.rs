@@ -139,3 +139,44 @@ proptest! {
         }
     }
 }
+
+#[cfg(test)]
+mod threaded_mining {
+    use cfd_datagen::random::RandomRelation;
+    use cfd_itemset::mine::{mine_free_closed, MineOptions};
+
+    /// The mined result is identical at every thread count (chunked
+    /// closures + sharded deep-level joins merge in input order).
+    #[test]
+    fn thread_count_does_not_change_the_mined_sets() {
+        for seed in 0..6 {
+            let rel = RandomRelation::small(seed).generate();
+            for k in [1, 2] {
+                let serial = mine_free_closed(&rel, k, MineOptions::default());
+                for threads in [2, 4] {
+                    let sharded = mine_free_closed(
+                        &rel,
+                        k,
+                        MineOptions {
+                            threads,
+                            ..MineOptions::default()
+                        },
+                    );
+                    assert_eq!(serial.free.len(), sharded.free.len());
+                    for (a, b) in serial.free.iter().zip(&sharded.free) {
+                        assert_eq!(a.pattern, b.pattern, "seed {seed} k {k} t {threads}");
+                        assert_eq!(a.support, b.support);
+                        assert_eq!(a.tids(), b.tids());
+                        assert_eq!(a.closure, b.closure);
+                    }
+                    assert_eq!(serial.closed.len(), sharded.closed.len());
+                    for (a, b) in serial.closed.iter().zip(&sharded.closed) {
+                        assert_eq!(a.pattern, b.pattern);
+                        assert_eq!(a.support, b.support);
+                    }
+                    assert_eq!(serial.c2f, sharded.c2f);
+                }
+            }
+        }
+    }
+}

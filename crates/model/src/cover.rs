@@ -45,6 +45,27 @@ impl CanonicalCover {
         CanonicalCover { cfds: v }
     }
 
+    /// Builds a cover from emitted `(rule, measure)` pairs, returning
+    /// the measures realigned with the cover's canonical (sorted,
+    /// deduplicated, normalized) order — the epilogue every miner that
+    /// measures at emission shares.
+    ///
+    /// Duplicate emissions of one normalized rule are fine: the measure
+    /// is a function of the normalized rule and the instance, so they
+    /// carry equal measures and the first one wins.
+    pub fn from_measured(pairs: Vec<(Cfd, RuleMeasure)>) -> (CanonicalCover, Vec<RuleMeasure>) {
+        let mut by_rule: crate::fxhash::FxHashMap<Cfd, RuleMeasure> = Default::default();
+        let mut cfds = Vec::with_capacity(pairs.len());
+        for (cfd, m) in pairs {
+            let n = normalize_cfd(&cfd);
+            by_rule.entry(n.clone()).or_insert(m);
+            cfds.push(n);
+        }
+        let cover = CanonicalCover::from_cfds(cfds);
+        let measures = cover.cfds.iter().map(|c| by_rule[c]).collect();
+        (cover, measures)
+    }
+
     /// The CFDs, sorted.
     pub fn cfds(&self) -> &[Cfd] {
         &self.cfds

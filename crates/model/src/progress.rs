@@ -169,6 +169,78 @@ impl SearchStats {
     }
 }
 
+/// Runs `work` over `runs` on up to `threads` scoped workers with a
+/// deterministic merge — the one sharding harness every level-wise
+/// miner (CTANE/TANE expansion, the item-set miner's closure and join
+/// passes) uses.
+///
+/// Worker `w` owns runs `w, w + workers, …`; each run's outputs are
+/// collected into a private batch and the batches are concatenated in
+/// *run order*, so the result is byte-identical to the serial loop for
+/// every thread count. Workers poll `ctrl` once per run (cancellation
+/// keeps working mid-phase), build worker-local state via `scratch`,
+/// and fill a private [`SearchStats`] that is merged into `stats` at
+/// the end.
+pub fn shard_runs<R, S, T, G, F>(
+    runs: &[R],
+    threads: usize,
+    ctrl: &Control<'_>,
+    stats: &mut SearchStats,
+    scratch: G,
+    work: F,
+) -> Result<Vec<T>, Cancelled>
+where
+    R: Sync,
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&R, &mut S, &mut SearchStats, &mut Vec<T>) + Sync,
+{
+    let workers = threads.max(1).min(runs.len().max(1));
+    if workers <= 1 {
+        let mut out = Vec::new();
+        let mut local = SearchStats::default();
+        let mut s = scratch();
+        for run in runs {
+            ctrl.check()?;
+            work(run, &mut s, &mut local, &mut out);
+        }
+        stats.merge(&local);
+        return Ok(out);
+    }
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (work, scratch) = (&work, &scratch);
+                let ctrl = *ctrl;
+                scope.spawn(move || {
+                    let mut s = scratch();
+                    let mut produced: Vec<(usize, Vec<T>)> = Vec::new();
+                    let mut local = SearchStats::default();
+                    for ri in (w..runs.len()).step_by(workers) {
+                        ctrl.check()?;
+                        let mut batch = Vec::new();
+                        work(&runs[ri], &mut s, &mut local, &mut batch);
+                        produced.push((ri, batch));
+                    }
+                    Ok((produced, local))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard_runs worker panicked"))
+            .collect::<Vec<Result<_, Cancelled>>>()
+    });
+    let mut merged: Vec<(usize, Vec<T>)> = Vec::new();
+    for r in results {
+        let (produced, local) = r?;
+        merged.extend(produced);
+        stats.merge(&local);
+    }
+    merged.sort_unstable_by_key(|&(ri, _)| ri);
+    Ok(merged.into_iter().flat_map(|(_, batch)| batch).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +275,35 @@ mod tests {
         assert_eq!(seen.len(), 2);
         assert_eq!(seen[0].phase, "level");
         assert_eq!(seen[1].done, 2);
+    }
+
+    #[test]
+    fn shard_runs_is_deterministic_and_cancellable() {
+        let runs: Vec<usize> = (0..23).collect();
+        let ctrl = Control::default();
+        let work = |&r: &usize, s: &mut usize, st: &mut SearchStats, out: &mut Vec<usize>| {
+            *s += 1;
+            st.candidates += 1;
+            out.extend([r * 2, r * 2 + 1]);
+        };
+        let mut stats1 = SearchStats::default();
+        let serial = shard_runs(&runs, 1, &ctrl, &mut stats1, || 0usize, work).unwrap();
+        for threads in [2, 4, 16] {
+            let mut statsn = SearchStats::default();
+            let sharded = shard_runs(&runs, threads, &ctrl, &mut statsn, || 0usize, work).unwrap();
+            assert_eq!(serial, sharded, "threads={threads}");
+            assert_eq!(statsn.candidates, stats1.candidates);
+        }
+        // pre-cancelled: workers bail on their first checkpoint
+        let flag = AtomicBool::new(true);
+        let ctrl = Control::default().cancel_with(&flag);
+        let mut stats = SearchStats::default();
+        let r = shard_runs(&runs, 4, &ctrl, &mut stats, || 0usize, work);
+        assert_eq!(r, Err(Cancelled));
+        // no runs at all is fine
+        let none: Vec<usize> = Vec::new();
+        let got = shard_runs(&none, 4, &Control::default(), &mut stats, || 0usize, work).unwrap();
+        assert!(got.is_empty());
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //! regions ([`ValueIndex`], cached per relation by [`RelationIndex`])
 //! and dense multi-column group ids ([`GroupIds`]).
 //!
+//! The level-wise miners run on the allocation-free refinement engine
+//! ([`engine`]): [`StrippedPartition`]s refined into caller-owned
+//! buffers through a reusable [`RefineScratch`], interned and cached by
+//! a [`PartitionStore`] (see DESIGN.md §9). [`Partition`] remains the
+//! simple materialized representation used by the validators, the
+//! FastFD-style agree-set path, and as the reference the engine is
+//! property-tested against.
+//!
 //! ```
 //! use cfd_model::csv::relation_from_csv_str;
 //! use cfd_model::pattern::PVal;
@@ -37,11 +45,15 @@
 #![warn(missing_docs)]
 
 pub mod agree;
+pub mod engine;
 pub mod group;
 pub mod index;
 pub mod partition;
+pub mod store;
 
 pub use agree::{agree_sets, agree_sets_of_rows};
+pub use engine::{RefineScratch, StrippedPartition};
 pub use group::GroupIds;
 pub use index::{RelationIndex, ValueIndex};
 pub use partition::Partition;
+pub use store::{PartitionStore, StoreStats};

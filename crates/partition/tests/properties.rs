@@ -205,3 +205,89 @@ proptest! {
         prop_assert_eq!(fast, slow);
     }
 }
+
+mod engine_parity {
+    use super::*;
+    use cfd_partition::{RefineScratch, StrippedPartition};
+
+    /// Legacy classes, modulo layout: sorted classes of sorted tuples.
+    fn canon_stripped(s: &StrippedPartition) -> Vec<Vec<TupleId>> {
+        s.sorted_classes()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// `refine_into` over stripped partitions produces exactly the
+        /// class multiset of the legacy `refine` (singletons included —
+        /// they are merely stored aside, never dropped), and
+        /// `refine_counts` reports the counts of the partition it
+        /// skipped materializing.
+        #[test]
+        fn refine_into_matches_legacy_refine(rel in arb_relation()) {
+            let index = RelationIndex::new(&rel);
+            let mut scratch = RefineScratch::for_relation(&rel);
+            let mut buf = StrippedPartition::default();
+            for base_attr in 0..rel.arity() {
+                let legacy = Partition::by_attribute(&rel, base_attr);
+                let stripped = StrippedPartition::by_attribute(&rel, base_attr);
+                prop_assert_eq!(canon_stripped(&stripped), canon(&legacy));
+                for a in 0..rel.arity() {
+                    let vals = (0..rel.column(a).domain_size() as u32)
+                        .map(PVal::Const)
+                        .chain([PVal::Var]);
+                    for v in vals {
+                        let want = legacy.refine(&rel, a, v);
+                        stripped.refine_into(&rel, Some(&index), a, v, &mut scratch, &mut buf);
+                        prop_assert_eq!(canon_stripped(&buf), canon(&want));
+                        prop_assert_eq!(buf.n_classes(), want.n_classes());
+                        prop_assert_eq!(buf.n_rows(), want.n_rows());
+                        let (classes, rows) =
+                            stripped.refine_counts(&rel, Some(&index), a, v, &mut scratch);
+                        prop_assert_eq!((classes, rows), (want.n_classes(), want.n_rows()));
+                        // the scan path (no index) agrees too
+                        stripped.refine_into(&rel, None, a, v, &mut scratch, &mut buf);
+                        prop_assert_eq!(canon_stripped(&buf), canon(&want));
+                    }
+                }
+            }
+        }
+
+        /// `keep_count` through the scratch engine equals the legacy
+        /// hash-map walk, and `error = rows − keep` is computed as if
+        /// nothing were stripped.
+        #[test]
+        fn keep_count_matches_legacy(rel in arb_relation()) {
+            let mut scratch = RefineScratch::for_relation(&rel);
+            for base_attr in 0..rel.arity() {
+                let legacy = Partition::by_attribute(&rel, base_attr);
+                let stripped = StrippedPartition::by_attribute(&rel, base_attr);
+                for a in 0..rel.arity() {
+                    let want = legacy.keep_count(&rel, a);
+                    prop_assert_eq!(stripped.keep_count(&rel, a, &mut scratch), want);
+                    prop_assert_eq!(
+                        stripped.n_rows() - stripped.keep_count(&rel, a, &mut scratch),
+                        legacy.n_rows() - want
+                    );
+                }
+            }
+        }
+
+        /// Rebuilding a pattern's partition from scratch (the cache-miss
+        /// fallback) matches the refinement chain.
+        #[test]
+        fn of_pattern_matches_chained_refinement(rel in arb_relation()) {
+            let index = RelationIndex::new(&rel);
+            let mut scratch = RefineScratch::for_relation(&rel);
+            let c0 = rel.code(0, 0);
+            let legacy = Partition::by_constant(&rel, 0, c0).refine(&rel, 1, PVal::Var);
+            let built = StrippedPartition::of_pattern(
+                &rel,
+                &index,
+                [(0usize, PVal::Const(c0)), (1, PVal::Var)],
+                &mut scratch,
+            );
+            prop_assert_eq!(canon_stripped(&built), canon(&legacy));
+        }
+    }
+}

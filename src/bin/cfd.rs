@@ -70,7 +70,9 @@ fn usage() -> ExitCode {
          cfd algos\n\
          \n\
          algorithms (cfd algos): {}\n\
-         (--threads parallelizes discovery for fastcfd/naive, and check;\n\
+         (--threads parallelizes discovery with every algorithm — fastcfd/naive shard\n\
+         \x20 FindCover, ctane/tane shard level expansion, cfdminer its mining pass —\n\
+         \x20 and check; output is identical at any thread count;\n\
          \x20 --min-confidence mines approximate covers with ctane/tane/cfdminer;\n\
          \x20 rule files are strict — --lenient skips unparseable lines instead)",
         Algo::all().map(|a| a.name()).join("|")

@@ -100,42 +100,46 @@ fn discover_check_round_trip() {
 }
 
 #[test]
-fn discover_warns_when_threads_are_ignored() {
+fn threads_are_honored_by_every_algorithm() {
     let dir = std::env::temp_dir().join(format!("cfd-cli5-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let csv = dir.join("data.csv");
     write_csv(&csv, false);
     let path = csv.to_str().unwrap();
 
-    // ctane is single-threaded: asking for threads warns on stderr
-    let out = bin()
-        .args([
-            "discover",
-            path,
-            "--k",
-            "2",
-            "--algo",
-            "ctane",
-            "--threads",
-            "4",
-        ])
-        .output()
-        .unwrap();
-    assert!(out.status.success());
-    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
-    assert!(
-        stderr.contains("--threads 4 is ignored by --algo ctane"),
-        "{stderr}"
-    );
-
-    // fastcfd parallelizes: no warning
-    let out = bin()
-        .args(["discover", path, "--k", "2", "--threads", "4"])
-        .output()
-        .unwrap();
-    assert!(out.status.success());
-    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
-    assert!(!stderr.contains("ignored"), "{stderr}");
+    // every algorithm parallelizes now (the level-wise miners shard
+    // level expansion, cfdminer its mining pass): --threads never
+    // warns, and the output is identical to the single-threaded run
+    for algo in Algo::all() {
+        let serial = bin()
+            .args(["discover", path, "--k", "2", "--algo", algo.name()])
+            .output()
+            .unwrap();
+        assert!(serial.status.success(), "{algo}");
+        let sharded = bin()
+            .args([
+                "discover",
+                path,
+                "--k",
+                "2",
+                "--algo",
+                algo.name(),
+                "--threads",
+                "4",
+            ])
+            .output()
+            .unwrap();
+        assert!(sharded.status.success(), "{algo}");
+        // tane/fastfd still note the unrelated --k; --threads itself
+        // must never be reported as ignored
+        let stderr = String::from_utf8_lossy(&sharded.stderr).to_string();
+        assert!(!stderr.contains("--threads"), "{algo}: {stderr}");
+        assert_eq!(
+            String::from_utf8_lossy(&serial.stdout),
+            String::from_utf8_lossy(&sharded.stdout),
+            "{algo}: 4-thread discovery output differs from single-threaded"
+        );
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -359,7 +363,8 @@ fn json_output_is_parseable_and_structured() {
         .map(|r| r.get("text").unwrap().as_str().unwrap())
         .collect();
     assert!(texts.contains(&"([AC] -> CT, (908 || MH))"), "{texts:?}");
-    // the counters counted real work, and the ignored --threads is a note
+    // the counters counted real work; --threads is honored by ctane
+    // now, so the notes array stays empty
     assert!(
         doc.get("stats")
             .unwrap()
@@ -370,10 +375,7 @@ fn json_output_is_parseable_and_structured() {
             > 0.0
     );
     let notes = doc.get("notes").unwrap().as_array().unwrap();
-    assert_eq!(
-        notes[0].get("option").and_then(Json::as_str),
-        Some("threads")
-    );
+    assert!(notes.is_empty(), "{notes:?}");
     std::fs::write(&rules, texts.join("\n")).unwrap();
 
     // check --format json on dirty data: unsatisfied, violations listed

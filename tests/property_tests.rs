@@ -203,3 +203,84 @@ proptest! {
         }
     }
 }
+
+/// Parity guarantees of the partition engine rebuild: thread count and
+/// cache budget are pure performance knobs — discovery output
+/// (rules AND measures, i.e. the full annotated wire document) is
+/// byte-identical across them for every level-wise algorithm.
+mod engine_parity {
+    use super::*;
+
+    fn discover_text(algo: Algo, rel: &Relation, opts: &DiscoverOptions) -> String {
+        let d = algo
+            .discover_with(rel, opts, &Control::default())
+            .expect("discovery succeeds");
+        d.to_annotated_text(rel)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn one_thread_equals_four_threads(
+            rel in arb_relation(),
+            k in 1usize..=2,
+            exact in 0usize..=1,
+        ) {
+            let theta = if exact == 1 { 1.0 } else { 0.8 };
+            for algo in [Algo::Ctane, Algo::Tane, Algo::CfdMiner] {
+                let serial = DiscoverOptions::new(k).min_confidence(theta);
+                let sharded = DiscoverOptions::new(k).min_confidence(theta).threads(4);
+                prop_assert_eq!(
+                    discover_text(algo, &rel, &serial),
+                    discover_text(algo, &rel, &sharded),
+                    "{} k={} θ={}", algo, k, theta
+                );
+            }
+        }
+
+        #[test]
+        fn cache_on_equals_cache_off(rel in arb_relation(), k in 1usize..=2) {
+            // the cache only matters below θ = 1.0 (parent partitions
+            // feed the error counts); budget 0 forces every lookup to
+            // rebuild from the relation
+            for theta in [0.7, 0.9] {
+                let cached = Ctane::new(k).min_confidence(theta).discover(&rel);
+                let uncached = Ctane::new(k)
+                    .min_confidence(theta)
+                    .cache_budget(0)
+                    .discover(&rel);
+                prop_assert_eq!(cached.cfds(), uncached.cfds(), "ctane θ={}", theta);
+                let cached = Tane::new().min_confidence(theta).discover(&rel);
+                let uncached = Tane::new()
+                    .min_confidence(theta)
+                    .cache_budget(0)
+                    .discover(&rel);
+                prop_assert_eq!(cached.cfds(), uncached.cfds(), "tane θ={}", theta);
+            }
+        }
+
+        #[test]
+        fn emission_measures_equal_the_kernel_reference(
+            rel in arb_relation(),
+            k in 1usize..=2,
+        ) {
+            // run_measured's at-emission numbers must be exactly what a
+            // fresh per-rule scan reports — for exact and θ < 1 runs
+            for theta in [0.8, 1.0] {
+                for algo in [Algo::Ctane, Algo::Tane, Algo::CfdMiner] {
+                    let opts = DiscoverOptions::new(k).min_confidence(theta);
+                    let d = algo.discover_with(&rel, &opts, &Control::default()).unwrap();
+                    prop_assert_eq!(d.measures.len(), d.cover.len());
+                    for (cfd, m) in d.cover.iter().zip(&d.measures) {
+                        prop_assert_eq!(
+                            *m,
+                            cfd_suite::model::measure::measure(&rel, cfd),
+                            "{} θ={}: {}", algo, theta, cfd.display(&rel)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
