@@ -9,6 +9,11 @@
 //! pass per distinct LHS wildcard set and scans with flat group ids.
 //! Throughput is rows/s over the whole cover; the kernel runs at 1, 2
 //! and 4 worker threads.
+//!
+//! This workload once regressed 50× without any test noticing (the
+//! in-scan measure accumulation, DESIGN.md §3); a scaled-down pin of
+//! it now lives in the CI perf-smoke guard (`src/bin/guard.rs`,
+//! baselines in `BENCH_GUARD.json`), so the next cliff fails CI.
 
 use cfd_core::FastCfd;
 use cfd_datagen::tax::TaxGenerator;

@@ -549,6 +549,16 @@ impl Discovery {
                         Json::from(self.stats.diff_set_families),
                     ),
                     ("emitted", Json::from(self.stats.emitted)),
+                    (
+                        "store",
+                        Json::obj([
+                            ("hits", Json::from(self.stats.store.hits)),
+                            ("misses", Json::from(self.stats.store.misses)),
+                            ("evictions", Json::from(self.stats.store.evictions)),
+                            ("entries", Json::from(self.stats.store.entries)),
+                            ("bytes", Json::from(self.stats.store.bytes)),
+                        ]),
+                    ),
                 ]),
             ),
             (
@@ -677,7 +687,10 @@ pub trait Discoverer {
         };
         let work = projected.as_ref().unwrap_or(rel);
         let mut stats = SearchStats::default();
-        let (mut cover, mut self_measures) = self.run_measured(work, opts, ctrl, &mut stats)?;
+        let (mut cover, mut self_measures) = {
+            let _sp = cfd_obs::span!("discover.run");
+            self.run_measured(work, opts, ctrl, &mut stats)?
+        };
         if opts.constants_only && !algo.constants_native() {
             // post-filter to the constant fragment, keeping any
             // self-reported measures aligned (the fragment of a sorted
@@ -707,18 +720,22 @@ pub trait Discoverer {
         let mut measures: Vec<RuleMeasure> = match self_measures {
             Some(ms) => ms,
             None if cover.is_empty() => Vec::new(),
-            None => cfd_validate::validate(
-                work,
-                cover.iter(),
-                &cfd_validate::ValidateOptions {
-                    threads: opts.threads,
-                    limit: 0,
-                },
-            )
-            .rules
-            .into_iter()
-            .map(|r| r.measure)
-            .collect(),
+            None => {
+                let _sp = cfd_obs::span!("discover.measure");
+                cfd_validate::validate_with(
+                    work,
+                    cover.iter(),
+                    &cfd_validate::ValidateOptions {
+                        threads: opts.threads,
+                        limit: 0,
+                    },
+                    ctrl,
+                )
+                .rules
+                .into_iter()
+                .map(|r| r.measure)
+                .collect()
+            }
         };
         stats.phase("measure", t_measure.elapsed());
         // top-k: rank by confidence, then support, then canonical rule
@@ -743,6 +760,24 @@ pub trait Discoverer {
             _ => cover,
         };
         stats.phase("total", t0.elapsed());
+        // mirror the run's counters into the attached metrics sink, so a
+        // `--metrics-out` snapshot carries the same numbers as the JSON
+        // "stats" object without a second plumbing path
+        if let Some(m) = ctrl.metrics() {
+            m.add("discover.candidates", stats.candidates);
+            m.add("discover.pruned", stats.pruned);
+            m.add("discover.partitions", stats.partitions);
+            m.add("discover.free_sets", stats.free_sets);
+            m.add("discover.closed_sets", stats.closed_sets);
+            m.add("discover.diff_set_families", stats.diff_set_families);
+            m.add("discover.emitted", stats.emitted);
+            m.add("discover.rules", cover.len() as u64);
+            m.add("store.hits", stats.store.hits);
+            m.add("store.misses", stats.store.misses);
+            m.add("store.evictions", stats.store.evictions);
+            m.set_gauge("store.entries", stats.store.entries);
+            m.set_gauge("store.bytes", stats.store.bytes);
+        }
         Ok(Discovery {
             algo,
             cover,

@@ -387,6 +387,7 @@ impl Ctane {
         loop {
             ctrl.check()?;
             ctrl.report("level", ell, arity);
+            let _sp = cfd_obs::span!("ctane.level");
             // process most-general patterns first (the paper's level order):
             // within an attribute set, fewer constants ⇒ earlier
             level.sort_unstable_by(|a, b| {
@@ -612,6 +613,7 @@ impl Ctane {
             level = next;
             ell += 1;
         }
+        stats.store = store.stats().into();
 
         Ok(CanonicalCover::from_measured(
             out.into_iter().zip(meas).collect(),

@@ -203,6 +203,7 @@ impl Tane {
         loop {
             ctrl.check()?;
             ctrl.report("level", ell, arity);
+            let _sp = cfd_obs::span!("tane.level");
             // compute dependencies
             #[allow(clippy::needless_range_loop)] // cplus is mutated in place
             for i in 0..level.len() {
@@ -387,6 +388,7 @@ impl Tane {
             level = next;
             ell += 1;
         }
+        stats.store = store.stats().into();
 
         Ok(CanonicalCover::from_measured(
             out.into_iter().zip(meas).collect(),

@@ -3,17 +3,39 @@
 //! Discovery over a large instance can run for minutes; a server or UI
 //! embedding it needs to cancel a run, observe its progress, and read
 //! search counters afterwards. This module provides the shared
-//! substrate: a [`Control`] handle (cancellation flag + progress sink)
-//! that algorithms poll at coarse checkpoints, and [`SearchStats`], the
-//! machine-readable counters every algorithm fills in best-effort.
+//! substrate: a [`Control`] handle (cancellation flag + progress sink +
+//! optional [`MetricsSink`]) that algorithms poll at coarse
+//! checkpoints, and [`SearchStats`], the machine-readable counters
+//! every algorithm fills in best-effort.
 //!
 //! The high-level API that consumes these (the `Discoverer` trait,
 //! `DiscoverOptions`, the `Algo` registry) lives in `cfd-core`; this
 //! crate only hosts the types so that `cfd-fd`'s baselines can be
-//! instrumented without depending on `cfd-core`.
+//! instrumented without depending on `cfd-core`. Likewise the
+//! [`MetricsSink`] *trait* lives here so every layer (kernel, stream,
+//! miners) can emit named metrics without depending on the `cfd-obs`
+//! registry that implements it.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
+
+/// A named-metrics consumer: counters accumulate, gauges hold the last
+/// written value, histograms record value distributions. The `cfd-obs`
+/// `Registry` is the canonical implementation; the trait lives in
+/// `cfd-model` so instrumented layers need no `cfd-obs` dependency.
+///
+/// Implementations must be cheap and thread-safe: parallel algorithms
+/// emit from worker threads. Metric names are `&'static str` by design
+/// — the emitting site owns the name, so a sink never allocates to
+/// store one (the naming scheme is documented in DESIGN.md §10).
+pub trait MetricsSink: Send + Sync {
+    /// Adds `delta` to the counter `name` (creating it at 0).
+    fn add(&self, name: &'static str, delta: u64);
+    /// Sets the gauge `name` to `value` (last write wins).
+    fn set_gauge(&self, name: &'static str, value: u64);
+    /// Records `value` into the histogram `name`.
+    fn observe(&self, name: &'static str, value: u64);
+}
 
 /// A coarse progress event reported by an algorithm mid-run.
 ///
@@ -67,6 +89,7 @@ impl std::error::Error for Cancelled {}
 pub struct Control<'a> {
     cancel: Option<&'a AtomicBool>,
     progress: Option<&'a (dyn Fn(Progress) + Sync)>,
+    metrics: Option<&'a dyn MetricsSink>,
 }
 
 impl<'a> Control<'a> {
@@ -84,13 +107,29 @@ impl<'a> Control<'a> {
         self
     }
 
+    /// Attaches a metrics sink: instrumented layers emit named
+    /// counters/gauges/histograms into it (dropped when absent, so an
+    /// un-instrumented run pays one branch per emission site).
+    pub fn metrics_with(mut self, sink: &'a dyn MetricsSink) -> Control<'a> {
+        self.metrics = Some(sink);
+        self
+    }
+
+    /// The attached metrics sink, if any.
+    pub fn metrics(&self) -> Option<&'a dyn MetricsSink> {
+        self.metrics
+    }
+
     /// True iff the cancellation flag is set.
     pub fn cancelled(&self) -> bool {
         self.cancel.is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
-    /// Checkpoint: `Err(Cancelled)` once the flag is set.
+    /// Checkpoint: `Err(Cancelled)` once the flag is set. Each call
+    /// counts into the `control.checks` metric, so a metrics snapshot
+    /// shows how responsive a run would have been to cancellation.
     pub fn check(&self) -> Result<(), Cancelled> {
+        self.metric_add("control.checks", 1);
         if self.cancelled() {
             Err(Cancelled)
         } else {
@@ -104,6 +143,28 @@ impl<'a> Control<'a> {
             sink(Progress { phase, done, total });
         }
     }
+
+    /// Adds to a counter on the attached metrics sink (no-op without one).
+    pub fn metric_add(&self, name: &'static str, delta: u64) {
+        if let Some(m) = self.metrics {
+            m.add(name, delta);
+        }
+    }
+
+    /// Sets a gauge on the attached metrics sink (no-op without one).
+    pub fn metric_gauge(&self, name: &'static str, value: u64) {
+        if let Some(m) = self.metrics {
+            m.set_gauge(name, value);
+        }
+    }
+
+    /// Records into a histogram on the attached metrics sink (no-op
+    /// without one).
+    pub fn metric_observe(&self, name: &'static str, value: u64) {
+        if let Some(m) = self.metrics {
+            m.observe(name, value);
+        }
+    }
 }
 
 impl std::fmt::Debug for Control<'_> {
@@ -111,6 +172,7 @@ impl std::fmt::Debug for Control<'_> {
         f.debug_struct("Control")
             .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
             .field("progress", &self.progress.is_some())
+            .field("metrics", &self.metrics.is_some())
             .finish()
     }
 }
@@ -122,6 +184,31 @@ pub struct PhaseTiming {
     pub name: &'static str,
     /// Wall-clock time spent in the phase.
     pub duration: Duration,
+}
+
+/// Partition-store traffic counters, mirrored into [`SearchStats`] by
+/// the miners that run one (`cfd_partition::StoreStats` is the source;
+/// the copy lives here so `SearchStats` stays below `cfd-partition` in
+/// the crate graph). All-zero for algorithms without a store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Lookups that found a live partition.
+    pub hits: u64,
+    /// Lookups that found nothing (never inserted, retired or evicted).
+    pub misses: u64,
+    /// Partitions evicted to keep the byte budget.
+    pub evictions: u64,
+    /// Partitions still held when the run ended.
+    pub entries: u64,
+    /// Approximate bytes still held when the run ended.
+    pub bytes: u64,
+}
+
+impl StoreCounters {
+    /// True iff no store activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == StoreCounters::default()
+    }
 }
 
 /// Search counters filled in (best-effort) by every discovery
@@ -145,6 +232,9 @@ pub struct SearchStats {
     pub diff_set_families: u64,
     /// Rules emitted before canonical-cover normalization.
     pub emitted: u64,
+    /// Partition-store traffic (the level-wise miners' cache), all-zero
+    /// elsewhere.
+    pub store: StoreCounters,
     /// Per-phase wall-clock timings recorded by the algorithm.
     pub phases: Vec<PhaseTiming>,
 }
@@ -160,6 +250,11 @@ impl SearchStats {
         self.closed_sets += other.closed_sets;
         self.diff_set_families += other.diff_set_families;
         self.emitted += other.emitted;
+        self.store.hits += other.store.hits;
+        self.store.misses += other.store.misses;
+        self.store.evictions += other.store.evictions;
+        self.store.entries += other.store.entries;
+        self.store.bytes += other.store.bytes;
         self.phases.extend(other.phases.iter().cloned());
     }
 

@@ -1,0 +1,94 @@
+//! Property tests for the metrics snapshot JSON round trip and for
+//! thread-independence of deterministic metrics.
+//!
+//! The second property pins down the determinism contract stated in
+//! DESIGN.md §10: counters whose *emission* is deterministic (the same
+//! set of `add`/`observe` calls happens regardless of parallelism —
+//! rows scanned, groups built, batch deltas) produce identical
+//! snapshots at 1 and 4 threads; only traffic-shaped deltas like store
+//! evictions under a racing byte budget may differ, and those are
+//! emitted by the store, not generated here.
+
+use cfd_model::json::Json;
+use cfd_model::progress::MetricsSink;
+use cfd_obs::{MetricsSnapshot, Registry};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One metric emission. `kind`: 0 = counter add, 1 = gauge set,
+/// 2 = histogram observe. Values stay below 2^53 / ops-count so sums
+/// round-trip exactly through the `f64`-backed JSON number.
+fn op_strategy() -> impl Strategy<Value = (u8, u8, u64)> {
+    (0u8..3, 0u8..6, 0u64..1_000_000_000_000)
+}
+
+const NAMES: [&str; 6] = [
+    "validate.rows_scanned",
+    "validate.groups_built",
+    "stream.batch_rows",
+    "store.bytes",
+    "discover.candidates",
+    "control.checks",
+];
+
+fn apply(reg: &Registry, &(kind, name, value): &(u8, u8, u64)) {
+    let name = NAMES[name as usize % NAMES.len()];
+    match kind % 3 {
+        0 => reg.add(name, value),
+        1 => reg.set_gauge(name, value),
+        _ => reg.observe(name, value),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any snapshot survives `to_json` → text → `parse` → `from_json`
+    /// bit-exactly.
+    #[test]
+    fn snapshot_round_trips_through_json(ops in vec(op_strategy(), 0..120)) {
+        let reg = Registry::new();
+        for op in &ops {
+            apply(&reg, op);
+        }
+        let snap = reg.snapshot();
+        let text = snap.to_json().to_string();
+        let parsed = Json::parse(&text).expect("emitted JSON must parse");
+        let back = MetricsSnapshot::from_json(&parsed);
+        prop_assert_eq!(back.as_ref(), Some(&snap));
+    }
+
+    /// Deterministic emissions (counters + histograms; gauges excluded
+    /// because last-write-wins is order-dependent by definition) yield
+    /// the same snapshot whether applied by 1 thread or sharded over 4.
+    #[test]
+    fn deterministic_counters_identical_at_1_and_4_threads(
+        ops in vec(op_strategy(), 0..160),
+    ) {
+        // Drop gauge ops: their final value depends on apply order.
+        let ops: Vec<_> = ops.into_iter().filter(|&(k, _, _)| k % 3 != 1).collect();
+
+        let serial = Registry::new();
+        for op in &ops {
+            apply(&serial, op);
+        }
+
+        let sharded = Registry::new();
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let (sharded, ops) = (&sharded, &ops);
+                s.spawn(move || {
+                    for op in ops.iter().skip(w).step_by(4) {
+                        apply(sharded, op);
+                    }
+                });
+            }
+        });
+
+        let a = serial.snapshot();
+        let b = sharded.snapshot();
+        prop_assert_eq!(&a, &b);
+        // …and so does the exported JSON text, byte for byte.
+        prop_assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+}

@@ -50,6 +50,20 @@ pub struct StoreStats {
     pub bytes: usize,
 }
 
+impl From<StoreStats> for cfd_model::progress::StoreCounters {
+    /// The `SearchStats` mirror of these counters (`cfd-model` sits
+    /// below this crate, so the copy type lives there).
+    fn from(s: StoreStats) -> cfd_model::progress::StoreCounters {
+        cfd_model::progress::StoreCounters {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            entries: s.entries as u64,
+            bytes: s.bytes as u64,
+        }
+    }
+}
+
 /// The keyed partition cache (see the module docs).
 pub struct PartitionStore<K> {
     entries: FxHashMap<K, Entry>,

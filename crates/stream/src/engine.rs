@@ -4,8 +4,10 @@
 use crate::delta::{coalesce, BatchDelta, Event, RuleId};
 use crate::rule::{RuleState, RuleStats};
 use crate::RowId;
+use cfd_model::progress::MetricsSink;
 use cfd_model::relation::{Dict, RelationBuilder};
 use cfd_model::{Cfd, Error, Relation, Result, Schema, Violation};
+use std::sync::Arc;
 
 /// One encoded operation of a batch, broadcast to every shard.
 struct Op {
@@ -53,6 +55,10 @@ pub struct StreamEngine {
     cols: Vec<Vec<u32>>,
     live: Vec<bool>,
     n_live: usize,
+    /// Optional metrics sink: batch counters (`stream.*`) are emitted
+    /// per applied batch. `Arc` rather than a borrow because the engine
+    /// is a long-lived owner, not a per-run handle like `Control`.
+    metrics: Option<Arc<dyn MetricsSink>>,
 }
 
 impl StreamEngine {
@@ -117,7 +123,15 @@ impl StreamEngine {
             cols: vec![Vec::new(); rel.arity()],
             live: Vec::new(),
             n_live: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics sink; every applied batch emits `stream.*`
+    /// counters into it (see DESIGN.md §10 for the names).
+    pub fn metrics_with(mut self, sink: Arc<dyn MetricsSink>) -> StreamEngine {
+        self.metrics = Some(sink);
+        self
     }
 
     /// The schema tuples must conform to.
@@ -280,6 +294,7 @@ impl StreamEngine {
         if ops.is_empty() {
             return BatchDelta::default();
         }
+        let _sp = cfd_obs::span!("stream.apply_batch");
         let work = ops.len() * self.rules.len();
         let events: Vec<Event> = if self.shards.len() <= 1 || work < Self::MIN_PARALLEL_WORK {
             let mut out = Vec::new();
@@ -304,7 +319,23 @@ impl StreamEngine {
             });
             chunks.into_iter().flatten().collect()
         };
-        coalesce(events)
+        let delta = coalesce(events);
+        if let Some(m) = &self.metrics {
+            m.add("stream.batches", 1);
+            m.add(
+                "stream.inserts",
+                ops.iter().filter(|o| o.insert).count() as u64,
+            );
+            m.add(
+                "stream.deletes",
+                ops.iter().filter(|o| !o.insert).count() as u64,
+            );
+            m.add("stream.raised", delta.raised.len() as u64);
+            m.add("stream.cleared", delta.cleared.len() as u64);
+            m.observe("stream.batch_rows", ops.len() as u64);
+            m.set_gauge("stream.live_rows", self.n_live as u64);
+        }
+        delta
     }
 
     /// The current live violation set, sorted by `(rule, violation)`.

@@ -24,6 +24,7 @@
 use crate::report::{RuleReport, ValidationReport};
 use cfd_model::fxhash::FxHashMap;
 use cfd_model::pattern::PVal;
+use cfd_model::progress::Control;
 use cfd_model::relation::{Relation, TupleId};
 use cfd_model::schema::AttrId;
 use cfd_model::{Cfd, RuleMeasure, Violation};
@@ -144,8 +145,11 @@ impl CoverPlan {
                 rhs,
             });
         }
-        let families = run_sharded(threads, &wilds, |wild| Family {
-            gids: GroupIds::build(rel, wild),
+        let families = run_sharded(threads, &wilds, |wild| {
+            let _sp = cfd_obs::span!("validate.group_build");
+            Family {
+                gids: GroupIds::build(rel, wild),
+            }
         });
         CoverPlan {
             rules,
@@ -229,7 +233,7 @@ impl CoverPlan {
                 };
                 if rule.consts.is_empty() {
                     let wit = witness.get_or_insert_with(|| self.families[f].gids.witnesses());
-                    scan_plain_var_rule(rel, rule, &self.families[f].gids, wit, &mut abort, None);
+                    scan_plain_var_rule(rel, rule, &self.families[f].gids, wit, &mut abort);
                 } else {
                     scan_var_rule(rel, &index, rule, &self.families[f].gids, &mut abort, None);
                 }
@@ -245,6 +249,14 @@ impl CoverPlan {
     /// computed at compile time, its witness array is computed here at
     /// most once (only if some member rule has no LHS constants), and
     /// each member rule is one driven scan.
+    ///
+    /// The g1 measure frequencies are **not** accumulated inside the
+    /// scan: a per-row hash-map update there cost a 50× kernel slowdown
+    /// once (DESIGN.md §3). Plain rules walk the family's row order
+    /// (rows counting-sorted by group id, computed once per family)
+    /// with a dense per-code counter; constant-filtered rules collect
+    /// their matching `(group, code)` pairs into a reused buffer and
+    /// sort it — pure array work either way, no per-row hashing.
     fn eval_family(
         &self,
         rel: &Relation,
@@ -252,8 +264,11 @@ impl CoverPlan {
         f: usize,
         limit: usize,
     ) -> Vec<RuleReport> {
+        let _sp = cfd_obs::span!("validate.family_scan");
+        let gids = &self.families[f].gids;
         let mut witness: Option<Vec<u32>> = None;
-        let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut order: Option<Vec<u32>> = None;
+        let mut scratch = MeasureScratch::default();
         self.family_rules[f]
             .iter()
             .map(|&r| {
@@ -261,7 +276,7 @@ impl CoverPlan {
                 let mut violations = 0usize;
                 let mut sample = Vec::new();
                 let support;
-                counts.clear();
+                let removals;
                 {
                     let mut count = |w, t| {
                         violations += 1;
@@ -270,26 +285,26 @@ impl CoverPlan {
                         }
                         true
                     };
-                    support = if rule.consts.is_empty() {
-                        let wit = witness.get_or_insert_with(|| self.families[f].gids.witnesses());
-                        scan_plain_var_rule(
-                            rel,
-                            rule,
-                            &self.families[f].gids,
-                            wit,
-                            &mut count,
-                            Some(&mut counts),
-                        )
+                    let rhs_codes = rel.column(rule.rhs_attr).codes();
+                    if rule.consts.is_empty() {
+                        let wit = witness.get_or_insert_with(|| gids.witnesses());
+                        support = scan_plain_var_rule(rel, rule, gids, wit, &mut count);
+                        let _m = cfd_obs::span!("validate.measure");
+                        let ord = order.get_or_insert_with(|| order_by_gid(gids));
+                        removals = scratch.removals_ordered(ord, gids.gids(), rhs_codes);
                     } else {
-                        scan_var_rule(
+                        scratch.pairs.clear();
+                        support = scan_var_rule(
                             rel,
                             index,
                             rule,
-                            &self.families[f].gids,
+                            gids,
                             &mut count,
-                            Some(&mut counts),
-                        )
-                    };
+                            Some(&mut scratch.pairs),
+                        );
+                        let _m = cfd_obs::span!("validate.measure");
+                        removals = removals_from_pairs(&mut scratch.pairs);
+                    }
                 }
                 RuleReport {
                     rule: r,
@@ -297,7 +312,7 @@ impl CoverPlan {
                     sample,
                     measure: RuleMeasure {
                         support,
-                        violations: removal_count(&counts),
+                        violations: removals,
                     },
                 }
             })
@@ -310,7 +325,40 @@ pub fn validate<'a, I>(rel: &Relation, cfds: I, opts: &ValidateOptions) -> Valid
 where
     I: IntoIterator<Item = &'a Cfd>,
 {
-    CoverPlan::compile_with(rel, cfds, opts.threads).validate(rel, opts)
+    validate_with(rel, cfds, opts, &Control::default())
+}
+
+/// [`validate`] with run instrumentation: emits the kernel's counters
+/// (`validate.*`; DESIGN.md §10) into the metrics sink attached to
+/// `ctrl`, if any. The report is identical to [`validate`]'s.
+pub fn validate_with<'a, I>(
+    rel: &Relation,
+    cfds: I,
+    opts: &ValidateOptions,
+    ctrl: &Control<'_>,
+) -> ValidationReport
+where
+    I: IntoIterator<Item = &'a Cfd>,
+{
+    let _sp = cfd_obs::span!("validate.run");
+    let plan = CoverPlan::compile_with(rel, cfds, opts.threads);
+    let report = plan.validate(rel, opts);
+    ctrl.metric_add("validate.rules", plan.n_rules() as u64);
+    ctrl.metric_add("validate.families", plan.families.len() as u64);
+    ctrl.metric_add(
+        "validate.groups_built",
+        plan.families.iter().map(|f| f.gids.n_groups() as u64).sum(),
+    );
+    ctrl.metric_add("validate.rows", rel.n_rows() as u64);
+    ctrl.metric_add(
+        "validate.support_rows",
+        report.rules.iter().map(|r| r.measure.support as u64).sum(),
+    );
+    ctrl.metric_add(
+        "validate.violation_records",
+        report.rules.iter().map(|r| r.violations as u64).sum(),
+    );
+    report
 }
 
 /// Maps `f` over `items` on up to `threads` scoped worker threads
@@ -464,20 +512,97 @@ fn pick_driver<'a>(
     }
 }
 
-/// Folds the per-`(group, RHS code)` frequencies a variable-rule scan
-/// collected into the g1-style minimal-removal count: per group,
-/// everything except the highest-frequency code must go.
-fn removal_count(counts: &FxHashMap<u64, u32>) -> usize {
-    let mut per_gid: FxHashMap<u32, (u32, u32)> = FxHashMap::default();
-    for (&key, &c) in counts {
-        let slot = per_gid.entry((key >> 32) as u32).or_insert((0, 0));
-        slot.0 += c;
-        slot.1 = slot.1.max(c);
+/// Rows of a family's relation, counting-sorted by group id — the walk
+/// order every plain member rule's measure pass shares. O(rows +
+/// groups), computed at most once per family.
+fn order_by_gid(g: &GroupIds) -> Vec<u32> {
+    let gids = g.gids();
+    let mut cur = vec![0u32; g.n_groups() + 1];
+    for &gid in gids {
+        cur[gid as usize + 1] += 1;
     }
-    per_gid
-        .values()
-        .map(|&(total, max)| (total - max) as usize)
-        .sum()
+    for i in 1..cur.len() {
+        cur[i] += cur[i - 1];
+    }
+    let mut order = vec![0u32; gids.len()];
+    for t in 0..gids.len() as u32 {
+        let slot = &mut cur[gids[t as usize] as usize];
+        order[*slot as usize] = t;
+        *slot += 1;
+    }
+    order
+}
+
+/// Reused buffers of a family's measure passes: a dense per-RHS-code
+/// counter (reset via the touched list, so it is paid once and sized to
+/// the widest RHS domain met) and the `(group, code)` pair buffer of
+/// the constant-filtered rules.
+#[derive(Default)]
+struct MeasureScratch {
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+    pairs: Vec<u64>,
+}
+
+impl MeasureScratch {
+    /// The g1-style minimal-removal count of a plain (constant-free)
+    /// variable rule: walking rows grouped by `ord`, per group
+    /// everything except the highest-frequency RHS code must go.
+    fn removals_ordered(&mut self, ord: &[u32], gids: &[u32], rhs: &[u32]) -> usize {
+        if let Some(&max_code) = rhs.iter().max() {
+            if self.counts.len() <= max_code as usize {
+                self.counts.resize(max_code as usize + 1, 0);
+            }
+        }
+        let mut removals = 0usize;
+        let mut i = 0;
+        while i < ord.len() {
+            let g = gids[ord[i] as usize];
+            let start = i;
+            let mut maxf = 0u32;
+            while i < ord.len() && gids[ord[i] as usize] == g {
+                let c = rhs[ord[i] as usize] as usize;
+                let e = &mut self.counts[c];
+                if *e == 0 {
+                    self.touched.push(c as u32);
+                }
+                *e += 1;
+                maxf = maxf.max(*e);
+                i += 1;
+            }
+            removals += (i - start) - maxf as usize;
+            for &c in &self.touched {
+                self.counts[c as usize] = 0;
+            }
+            self.touched.clear();
+        }
+        removals
+    }
+}
+
+/// The g1-style minimal-removal count from a buffer of
+/// `(group id << 32) | RHS code` pairs (one per matching row): sorting
+/// brings each group's codes together, so one linear walk finds every
+/// group's majority.
+fn removals_from_pairs(pairs: &mut [u64]) -> usize {
+    pairs.sort_unstable();
+    let mut removals = 0usize;
+    let mut i = 0;
+    while i < pairs.len() {
+        let g = pairs[i] >> 32;
+        let start = i;
+        let mut maxf = 0usize;
+        while i < pairs.len() && pairs[i] >> 32 == g {
+            let v = pairs[i];
+            let run = i;
+            while i < pairs.len() && pairs[i] == v {
+                i += 1;
+            }
+            maxf = maxf.max(i - run);
+        }
+        removals += (i - start) - maxf;
+    }
+    removals
 }
 
 /// Evaluates one constant-RHS rule in a single driven scan. Here the
@@ -489,6 +614,7 @@ fn eval_const_rule(
     rule: &CompiledRule,
     limit: usize,
 ) -> RuleReport {
+    let _sp = cfd_obs::span!("validate.const_scan");
     let mut violations = 0usize;
     let mut sample = Vec::new();
     let support = scan_const_rule(rel, index, rule, &mut |_, t| {
@@ -549,16 +675,17 @@ fn scan_const_rule(
 /// tracked per rule (the rule's witness is the first tuple matching
 /// *its* constants, not the family's global first). Feeds
 /// `(witness, dissenter)` pairs to `sink`; returns the support counted
-/// up to the stop point. When `counts` is given, the per-`(group, RHS
-/// code)` frequencies behind the g1 confidence are collected alongside
-/// (counting mode only — the early-exit path passes `None`).
+/// up to the stop point. When `pairs` is given, each matching row
+/// appends its `(group id << 32) | RHS code` key — the raw material of
+/// [`removals_from_pairs`] (counting mode only — the early-exit path
+/// passes `None`).
 fn scan_var_rule(
     rel: &Relation,
     index: &RelationIndex,
     rule: &CompiledRule,
     gids: &GroupIds,
     sink: Sink,
-    counts: Option<&mut FxHashMap<u64, u32>>,
+    pairs: Option<&mut Vec<u64>>,
 ) -> usize {
     let (driver, residual) = pick_driver(rel, index, &rule.consts);
     let filters: Vec<(&[u32], u32)> = residual
@@ -576,7 +703,7 @@ fn scan_var_rule(
     } else {
         Slots::Sparse(FxHashMap::default())
     };
-    let mut counts = counts;
+    let mut pairs = pairs;
     driver.all(|t| {
         if !filters.iter().all(|&(codes, c)| codes[t as usize] == c) {
             return true;
@@ -584,8 +711,8 @@ fn scan_var_rule(
         support += 1;
         let gid = gids[t as usize];
         let rhs = rhs_codes[t as usize];
-        if let Some(counts) = counts.as_deref_mut() {
-            *counts.entry(((gid as u64) << 32) | rhs as u64).or_insert(0) += 1;
+        if let Some(pairs) = pairs.as_deref_mut() {
+            pairs.push(((gid as u64) << 32) | rhs as u64);
         }
         let slot = slots.get(gid);
         if slot == EMPTY {
@@ -604,24 +731,20 @@ fn scan_var_rule(
 /// Scans one variable rule with **no** LHS constants: its group
 /// witnesses are the family's, so the scan is two array loads and a
 /// compare per row. Feeds `(witness, dissenter)` pairs to `sink`;
-/// returns the rule's support (every tuple matches). `counts` as in
-/// [`scan_var_rule`].
+/// returns the rule's support (every tuple matches). The g1 measure is
+/// **not** collected here — [`CoverPlan::eval_family`] computes it in
+/// a separate dense pass over the family's group order, keeping this
+/// scan free of per-row bookkeeping.
 fn scan_plain_var_rule(
     rel: &Relation,
     rule: &CompiledRule,
     gids: &GroupIds,
     witness: &[u32],
     sink: Sink,
-    mut counts: Option<&mut FxHashMap<u64, u32>>,
 ) -> usize {
     debug_assert!(rule.consts.is_empty());
     let rhs_codes = rel.column(rule.rhs_attr).codes();
     for (t, &g) in gids.gids().iter().enumerate() {
-        if let Some(counts) = counts.as_deref_mut() {
-            *counts
-                .entry(((g as u64) << 32) | rhs_codes[t] as u64)
-                .or_insert(0) += 1;
-        }
         let w = witness[g as usize];
         if rhs_codes[t] != rhs_codes[w as usize] && !sink(w as TupleId, t as TupleId) {
             break;

@@ -44,8 +44,10 @@
 //! engine on the initial CSV, then reads a stream of operations from
 //! stdin — one CSV row (optionally prefixed `+`) per insert, `-<id>`
 //! per delete, an empty line (or `.`) to apply the pending batch — and
-//! prints the violation deltas (`RAISED` / `CLEARED` lines) plus
-//! per-rule statistics instead of rescanning:
+//! prints the violation deltas (`RAISED` / `CLEARED` lines), a `BATCH`
+//! summary per applied batch, and per-rule statistics instead of
+//! rescanning. At stdin EOF any staged operations are applied and the
+//! final statistics are flushed before exiting:
 //!
 //! ```sh
 //! cfd discover clean.csv --k 20 > rules.txt
@@ -62,11 +64,13 @@ fn usage() -> ExitCode {
         "usage:\n  \
          cfd discover <data.csv> [--k N] [--algo NAME] [--max-lhs N] [--threads N]\n\
          \x20              [--min-confidence F] [--top-k N] [--constants-only]\n\
-         \x20              [--project A,B,...] [--tableau] [--format text|json]\n  \
-         cfd check <data.csv> <rules.txt> [--limit N] [--threads N] [--lenient] [--format text|json]\n  \
+         \x20              [--project A,B,...] [--tableau] [--format text|json]\n\
+         \x20              [--trace] [--metrics-out FILE]\n  \
+         cfd check <data.csv> <rules.txt> [--limit N] [--threads N] [--lenient] [--format text|json]\n\
+         \x20           [--trace] [--metrics-out FILE]\n  \
          cfd repair <data.csv> <rules.txt> <out.csv> [--lenient]\n  \
          cfd stats <data.csv>\n  \
-         cfd watch <initial.csv> <rules.txt> [--shards N] [--lenient]\n  \
+         cfd watch <initial.csv> <rules.txt> [--shards N] [--lenient] [--trace] [--metrics-out FILE]\n  \
          cfd algos\n\
          \n\
          algorithms (cfd algos): {}\n\
@@ -74,7 +78,9 @@ fn usage() -> ExitCode {
          \x20 FindCover, ctane/tane shard level expansion, cfdminer its mining pass —\n\
          \x20 and check; output is identical at any thread count;\n\
          \x20 --min-confidence mines approximate covers with ctane/tane/cfdminer;\n\
-         \x20 rule files are strict — --lenient skips unparseable lines instead)",
+         \x20 rule files are strict — --lenient skips unparseable lines instead;\n\
+         \x20 --trace prints a span-time summary to stderr, --metrics-out FILE\n\
+         \x20 writes the run's counters/gauges/histograms as JSON)",
         Algo::all().map(|a| a.name()).join("|")
     );
     ExitCode::from(2)
@@ -93,6 +99,63 @@ enum Format {
     Json,
 }
 
+/// The CLI side of `--trace` / `--metrics-out`: installs the tracing
+/// subscriber up front, owns the metrics [`Registry`] a run emits into
+/// (attach it via [`ObsSession::control`] or
+/// [`StreamEngine::metrics_with`]), and on [`ObsSession::finish`]
+/// prints the span summary to stderr and writes the metrics snapshot
+/// JSON. Shared by `discover`, `check` and `watch`.
+///
+/// [`Registry`]: cfd_obs::Registry
+/// [`StreamEngine::metrics_with`]: cfd_suite::stream::StreamEngine::metrics_with
+struct ObsSession {
+    registry: std::sync::Arc<cfd_obs::Registry>,
+    trace: bool,
+    metrics_out: Option<String>,
+}
+
+impl ObsSession {
+    fn start(a: &Args) -> ObsSession {
+        if a.trace {
+            cfd_obs::install_tracing();
+        }
+        ObsSession {
+            registry: std::sync::Arc::new(cfd_obs::Registry::new()),
+            trace: a.trace,
+            metrics_out: a.metrics_out.clone(),
+        }
+    }
+
+    /// A run handle with the registry attached as metrics sink.
+    fn control(&self) -> Control<'_> {
+        Control::default().metrics_with(&*self.registry)
+    }
+
+    /// Prints the span summary (stderr, `# trace …` lines, heaviest
+    /// first) and writes the metrics snapshot to `--metrics-out`.
+    fn finish(&self) -> Result<()> {
+        if self.trace {
+            cfd_obs::shutdown_tracing();
+            let (spans, lost) = cfd_obs::drain_spans();
+            for s in cfd_obs::summarize(&spans) {
+                eprintln!(
+                    "# trace {}: count={} total={}us max={}us threads={}",
+                    s.name, s.count, s.total_us, s.max_us, s.threads
+                );
+            }
+            if lost > 0 {
+                eprintln!("# trace: {lost} older span records overwritten (ring full)");
+            }
+        }
+        if let Some(path) = &self.metrics_out {
+            let snap = self.registry.snapshot();
+            std::fs::write(path, format!("{}\n", snap.to_json())).map_err(Error::from)?;
+            eprintln!("# metrics written to {path}");
+        }
+        Ok(())
+    }
+}
+
 struct Args {
     positional: Vec<String>,
     k: usize,
@@ -108,6 +171,8 @@ struct Args {
     format: Format,
     min_confidence: f64,
     top_k: Option<usize>,
+    trace: bool,
+    metrics_out: Option<String>,
 }
 
 /// Parses flags, reporting the offending flag/value on failure (the
@@ -128,6 +193,8 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, String> {
         format: Format::Text,
         min_confidence: 1.0,
         top_k: None,
+        trace: false,
+        metrics_out: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -169,6 +236,8 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, String> {
             "--constants-only" => a.constants_only = true,
             "--tableau" => a.tableau = true,
             "--lenient" => a.lenient = true,
+            "--trace" => a.trace = true,
+            "--metrics-out" => a.metrics_out = Some(value("--metrics-out")?.clone()),
             other if !other.starts_with('-') => a.positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -209,13 +278,15 @@ fn discover(a: &Args) -> Result<ExitCode> {
         a.k,
         a.algo,
     );
-    let discovery = match a.algo.discover_with(&rel, &opts, &Control::default()) {
+    let obs = ObsSession::start(a);
+    let discovery = match a.algo.discover_with(&rel, &opts, &obs.control()) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
             return Ok(ExitCode::from(2));
         }
     };
+    obs.finish()?;
     // ignored options surface as structured notes; in text mode they
     // render as warnings, in JSON they ride along in the document
     for note in &discovery.notes {
@@ -305,14 +376,17 @@ fn check(a: &Args) -> Result<ExitCode> {
     // one kernel pass over the relation for the whole cover: rules
     // sharing an LHS wildcard set share a grouping, and the sample cap
     // keeps per-rule output bounded while the counters stay exact
-    let report = validate(
+    let obs = ObsSession::start(a);
+    let report = validate_with(
         &rel,
         rules.iter().map(|(_, cfd)| cfd),
         &ValidateOptions {
             threads: a.threads,
             limit: a.limit,
         },
+        &obs.control(),
     );
+    obs.finish()?;
     if a.format == Format::Json {
         let mut doc = report.to_json();
         if let Json::Obj(pairs) = &mut doc {
@@ -446,7 +520,9 @@ fn watch(a: &Args) -> Result<ExitCode> {
         parse_cfd_interning(&mut rel, line)
     })?;
     let (texts, cfds): (Vec<String>, Vec<Cfd>) = loaded.into_iter().unzip();
-    let (mut engine, warm) = StreamEngine::warm(&rel, cfds, a.shards);
+    let obs = ObsSession::start(a);
+    let (engine, warm) = StreamEngine::warm(&rel, cfds, a.shards);
+    let mut engine = engine.metrics_with(obs.registry.clone());
     eprintln!(
         "# watching {} rules over {} ({} tuples, {} shards)",
         engine.rules().len(),
@@ -520,9 +596,16 @@ fn watch(a: &Args) -> Result<ExitCode> {
                     row.len()
                 );
         } else {
+            let (n_del, n_ins) = (deletes.len(), inserts.len());
+            let mut raised = 0usize;
+            let mut cleared = 0usize;
             if !deletes.is_empty() {
                 match engine.delete_batch(deletes) {
-                    Ok(delta) => print_delta(engine, &delta),
+                    Ok(delta) => {
+                        raised += delta.raised.len();
+                        cleared += delta.cleared.len();
+                        print_delta(engine, &delta);
+                    }
                     Err(e) => eprintln!("# delete batch rejected: {e}"),
                 }
             }
@@ -535,10 +618,21 @@ fn watch(a: &Args) -> Result<ExitCode> {
                             ids[0],
                             ids[ids.len() - 1]
                         );
+                        raised += delta.raised.len();
+                        cleared += delta.cleared.len();
                         print_delta(engine, &delta);
                     }
                     Err(e) => eprintln!("# insert batch rejected: {e}"),
                 }
+            }
+            // per-batch summary: what this flush changed and where the
+            // live window stands now
+            if n_del + n_ins > 0 {
+                println!(
+                    "BATCH +{n_ins} -{n_del} raised={raised} cleared={cleared} live={} violations={}",
+                    engine.n_live(),
+                    engine.live_violations().len(),
+                );
             }
         }
         deletes.clear();
@@ -564,8 +658,15 @@ fn watch(a: &Args) -> Result<ExitCode> {
             }
         }
     }
+    // EOF: apply whatever is staged (a piped session need not end with
+    // an explicit flush line), emit the final per-rule stats, and flush
+    // stdout explicitly — when stdout is a pipe the BufWriter would
+    // otherwise be dropped without a guaranteed flush on some exits.
     apply(&mut engine, &mut inserts, &mut deletes);
     print_stats(&engine);
+    obs.finish()?;
+    use std::io::Write as _;
+    std::io::stdout().flush().map_err(Error::from)?;
     if engine.live_violations().is_empty() {
         Ok(ExitCode::SUCCESS)
     } else {

@@ -8,6 +8,9 @@
 //! * [`model`] — relations, pattern tuples, CFDs, satisfaction/support/violations;
 //! * [`partition`] — partitions w.r.t. attribute-set/pattern pairs (Section 4.4);
 //! * [`itemset`] — free and closed item-set mining (Section 3.1);
+//! * [`obs`] — structured observability: span tracing and the metrics
+//!   registry behind `cfd … --trace` / `--metrics-out`, with JSON
+//!   export through `model::json`;
 //! * [`core`] — the discovery algorithms (CFDMiner, CTANE,
 //!   FastCFD/NaiveFast) and the unified [`core::api`] they all
 //!   implement: the `Discoverer` trait, `DiscoverOptions`, structured
@@ -48,6 +51,7 @@ pub use cfd_datagen as datagen;
 pub use cfd_fd as fd;
 pub use cfd_itemset as itemset;
 pub use cfd_model as model;
+pub use cfd_obs as obs;
 pub use cfd_partition as partition;
 pub use cfd_stream as stream;
 pub use cfd_validate as validate;
@@ -70,7 +74,7 @@ pub mod prelude {
     };
     pub use cfd_stream::{BatchDelta, RuleStats, StreamEngine};
     pub use cfd_validate::{
-        detect_violations, satisfies_cover, suggest_repairs_for_cover, validate, CoverPlan,
-        RuleReport, ValidateOptions, ValidationReport,
+        detect_violations, satisfies_cover, suggest_repairs_for_cover, validate, validate_with,
+        CoverPlan, RuleReport, ValidateOptions, ValidationReport,
     };
 }
