@@ -16,8 +16,8 @@
 //! kernel (54 ms → 2.5 s, see DESIGN.md §10) — moves a ratio by an
 //! order of magnitude, which is exactly where the alarm is set.
 //!
-//! Three workloads pin the three serving paths that have regressed or
-//! nearly regressed before:
+//! Four workloads pin the serving paths that have regressed or nearly
+//! regressed before:
 //!
 //! * `validate_kernel` — the `cfd check` path: a 20k-row tax instance
 //!   validated against a ~60-rule discovered cover, single-threaded.
@@ -25,6 +25,10 @@
 //!   1000-row tax instance through the partition-store engine.
 //! * `stream_batch` — the `cfd watch` path: steady-state insert+delete
 //!   batches through a warm `StreamEngine`.
+//! * `ingest_chunked` — the CSV loading path every command pays first:
+//!   a ~150k-row tax CSV through the chunked zero-copy scanner and
+//!   dictionary encoder (serial; thread scaling is the ingest bench's
+//!   job, the guard pins the per-byte cost).
 //!
 //! `--record` writes `BENCH_GUARD.json` (ratios + the raw numbers that
 //! produced them, for forensics); `--check` re-times the workloads and
@@ -139,13 +143,31 @@ fn run_stream(engine: &mut StreamEngine, batch: &[Vec<u32>]) -> u64 {
     n
 }
 
+/// The ingestion workload: a ~150k-row tax CSV (generated once,
+/// streamed into memory) pushed through the chunked scanner +
+/// dictionary encoder at default options.
+fn ingest_workload() -> Vec<u8> {
+    let mut csv = Vec::new();
+    TaxGenerator::new(150_000)
+        .seed(11)
+        .write_csv(&mut csv)
+        .expect("writing to Vec cannot fail");
+    csv
+}
+
+fn run_ingest(csv: &[u8]) -> u64 {
+    let rel = cfd_model::ingest_csv_reader(csv, &Default::default(), &Control::default())
+        .expect("generated CSV ingests");
+    (rel.n_rows() + rel.memory_bytes()) as u64
+}
+
 struct Measured {
     name: &'static str,
     ms: f64,
     ratio: f64,
 }
 
-/// Times the calibration loop and all three workloads; ratios are
+/// Times the calibration loop and all four workloads; ratios are
 /// relative to this run's own calibration.
 fn measure() -> (f64, Vec<Measured>) {
     let calib_ms = best_of_ms(3, calibration);
@@ -172,6 +194,14 @@ fn measure() -> (f64, Vec<Measured>) {
     let ms = best_of_ms(3, || run_stream(&mut engine, &batch));
     out.push(Measured {
         name: "stream_batch",
+        ms,
+        ratio: ms / calib_ms,
+    });
+
+    let csv = ingest_workload();
+    let ms = best_of_ms(3, || run_ingest(&csv));
+    out.push(Measured {
+        name: "ingest_chunked",
         ms,
         ratio: ms / calib_ms,
     });

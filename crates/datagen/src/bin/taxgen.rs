@@ -1,0 +1,92 @@
+//! Streams a synthetic Tax-style instance (Section 6.1 parameters) to a
+//! CSV file without materializing the relation, so million-row inputs
+//! for the ingestion benchmarks can be produced on a small heap.
+//!
+//! ```text
+//! taxgen <ROWS> [--arity N] [--cf F] [--seed S] [--out PATH]
+//! ```
+//!
+//! With no `--out`, the CSV goes to stdout.
+
+use cfd_datagen::tax::TaxGenerator;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::process::ExitCode;
+
+struct Args {
+    rows: usize,
+    arity: usize,
+    cf: f64,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut rows = None;
+    let mut args = Args {
+        rows: 0,
+        arity: 7,
+        cf: 0.7,
+        seed: 0x5eed,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--arity" => {
+                args.arity = take("--arity")?
+                    .parse()
+                    .map_err(|e| format!("--arity: {e}"))?
+            }
+            "--cf" => args.cf = take("--cf")?.parse().map_err(|e| format!("--cf: {e}"))?,
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => args.out = Some(take("--out")?),
+            _ if rows.is_none() && !arg.starts_with('-') => {
+                rows = Some(arg.parse().map_err(|e| format!("ROWS: {e}"))?)
+            }
+            _ => return Err(format!("unexpected argument: {arg}")),
+        }
+    }
+    args.rows = rows.ok_or("usage: taxgen <ROWS> [--arity N] [--cf F] [--seed S] [--out PATH]")?;
+    Ok(args)
+}
+
+fn run(args: &Args) -> io::Result<()> {
+    let gen = TaxGenerator::new(args.rows)
+        .arity(args.arity)
+        .cf(args.cf)
+        .seed(args.seed);
+    match &args.out {
+        Some(path) => {
+            let mut w = BufWriter::new(File::create(path)?);
+            gen.write_csv(&mut w)?;
+            w.flush()
+        }
+        None => {
+            let stdout = io::stdout();
+            let mut w = BufWriter::new(stdout.lock());
+            gen.write_csv(&mut w)?;
+            w.flush()
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("taxgen: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = run(&args) {
+        eprintln!("taxgen: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

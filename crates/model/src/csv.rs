@@ -2,28 +2,116 @@
 //! from files without external dependencies. Supports quoted fields with
 //! embedded commas, quotes (`""`) and newlines; both `\n` and `\r\n` row
 //! terminators.
+//!
+//! Two reading modes share one grammar:
+//!
+//! * the string API ([`parse_csv`], [`relation_from_csv_str`]) parses a
+//!   fully materialized text, and
+//! * the chunked scanner ([`BlockReader`]) reads fixed-size buffers
+//!   from any [`Read`], carries partial records across chunk
+//!   boundaries **quote-aware** (a quoted newline spanning two chunks
+//!   parses identically to the string API), and hands out blocks of
+//!   whole records for the streaming pipeline in [`crate::ingest`].
+//!
+//! Record parsing itself is zero-copy: `parse_record_spans` (crate
+//! private) emits byte ranges into the block, unescaping into a shared
+//! scratch buffer only for fields that used quotes. The invariants of
+//! the boundary scan are spelled out in DESIGN.md §11.
 
 use crate::error::{Error, Result};
 use crate::relation::{Relation, RelationBuilder};
 use crate::schema::Schema;
-use std::io::{BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::path::Path;
 
-/// Parses one CSV record from `line_iter`-style raw text; returns the
-/// fields and the number of bytes consumed. Exposed for testing.
-fn parse_record(input: &str) -> Result<(Vec<String>, usize)> {
-    let bytes = input.as_bytes();
-    let mut fields = Vec::new();
-    let mut field = String::new();
-    let mut i = 0;
+/// Default chunk size of the streaming reader path (1 MiB).
+pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
+
+/// One parsed field: a byte range into either the block being parsed
+/// (`scratch == false`) or the unescape scratch buffer.
+#[derive(Clone, Copy)]
+struct FieldSpan {
+    start: usize,
+    end: usize,
+    scratch: bool,
+}
+
+/// Reusable span/scratch buffers filled by [`parse_record_spans`].
+/// Fields that needed no unescaping are byte ranges into the parsed
+/// block; quoted fields are unescaped once into `scratch` and the span
+/// points there instead.
+#[derive(Default)]
+pub(crate) struct RecordFields {
+    spans: Vec<FieldSpan>,
+    scratch: String,
+}
+
+impl RecordFields {
+    pub(crate) fn clear(&mut self) {
+        self.spans.clear();
+        self.scratch.clear();
+    }
+
+    /// Number of field spans accumulated so far.
+    pub(crate) fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The text of field `i`, resolved against the block it was parsed
+    /// from.
+    pub(crate) fn get<'a>(&'a self, block: &'a str, i: usize) -> &'a str {
+        let s = self.spans[i];
+        if s.scratch {
+            &self.scratch[s.start..s.end]
+        } else {
+            &block[s.start..s.end]
+        }
+    }
+}
+
+/// Parses one record of `block` starting at byte `at`, appending one
+/// span per field to `out`; returns the offset just past the record's
+/// terminator (or `block.len()` for a final record without one).
+///
+/// This is the one CSV state machine in the crate — the string API and
+/// the chunked pipeline both run on it, so they cannot drift apart.
+/// Grammar notes: a quote opens a field only when nothing precedes it
+/// in the field; `""` inside quotes is an escaped quote; after a
+/// closing quote the field continues unquoted (so `"x"y` is `xy`); a
+/// lone `\r` not followed by `\n` is an ordinary character.
+pub(crate) fn parse_record_spans(block: &str, at: usize, out: &mut RecordFields) -> Result<usize> {
+    let bytes = block.as_bytes();
+    let mut i = at;
+    let mut field_begin = i;
+    // scratch offset where this field's unescaped text began; `None`
+    // while the field is still a pure block range
+    let mut owned_begin: Option<usize> = None;
     let mut in_quotes = false;
+
+    macro_rules! flush {
+        ($end:expr) => {
+            out.spans.push(match owned_begin {
+                Some(ob) => FieldSpan {
+                    start: ob,
+                    end: out.scratch.len(),
+                    scratch: true,
+                },
+                None => FieldSpan {
+                    start: field_begin,
+                    end: $end,
+                    scratch: false,
+                },
+            })
+        };
+    }
+
     loop {
         if in_quotes {
             match bytes.get(i) {
                 None => return Err(Error::Parse("unterminated quoted field".into())),
                 Some(b'"') => {
                     if bytes.get(i + 1) == Some(&b'"') {
-                        field.push('"');
+                        out.scratch.push('"');
                         i += 2;
                     } else {
                         in_quotes = false;
@@ -31,42 +119,307 @@ fn parse_record(input: &str) -> Result<(Vec<String>, usize)> {
                     }
                 }
                 Some(_) => {
-                    // advance one UTF-8 scalar
-                    let ch = input[i..].chars().next().unwrap();
-                    field.push(ch);
-                    i += ch.len_utf8();
+                    // copy the whole run up to the next quote at once
+                    let mut j = i + 1;
+                    while j < bytes.len() && bytes[j] != b'"' {
+                        j += 1;
+                    }
+                    out.scratch.push_str(&block[i..j]);
+                    i = j;
                 }
             }
         } else {
             match bytes.get(i) {
                 None => {
-                    fields.push(std::mem::take(&mut field));
-                    return Ok((fields, i));
+                    flush!(i);
+                    return Ok(i);
                 }
                 Some(b',') => {
-                    fields.push(std::mem::take(&mut field));
+                    flush!(i);
                     i += 1;
+                    field_begin = i;
+                    owned_begin = None;
                 }
                 Some(b'\r') if bytes.get(i + 1) == Some(&b'\n') => {
-                    fields.push(std::mem::take(&mut field));
-                    return Ok((fields, i + 2));
+                    flush!(i);
+                    return Ok(i + 2);
                 }
                 Some(b'\n') => {
-                    fields.push(std::mem::take(&mut field));
-                    return Ok((fields, i + 1));
+                    flush!(i);
+                    return Ok(i + 1);
                 }
-                Some(b'"') if field.is_empty() => {
+                Some(b'"') if owned_begin.is_none() && i == field_begin => {
+                    // a quote opens the field only when the field is
+                    // still empty (an escaped section can never be
+                    // re-entered: the byte after a closing quote is
+                    // never itself a quote — that parses as `""`)
                     in_quotes = true;
+                    owned_begin = Some(out.scratch.len());
                     i += 1;
                 }
                 Some(_) => {
-                    let ch = input[i..].chars().next().unwrap();
-                    field.push(ch);
-                    i += ch.len_utf8();
+                    // run of ordinary bytes up to the next structural
+                    // byte (all structural bytes are ASCII, so byte-wise
+                    // scanning is UTF-8 safe)
+                    let mut j = i + 1;
+                    while j < bytes.len() && !matches!(bytes[j], b',' | b'\r' | b'\n' | b'"') {
+                        j += 1;
+                    }
+                    if owned_begin.is_some() {
+                        out.scratch.push_str(&block[i..j]);
+                    }
+                    i = j;
                 }
             }
         }
     }
+}
+
+/// All records of one block, parsed into reusable span buffers (blank
+/// lines already dropped, matching [`parse_csv`]). One instance is
+/// reused block after block so steady-state parsing allocates nothing.
+#[derive(Default)]
+pub(crate) struct BlockRecords {
+    fields: RecordFields,
+    /// Exclusive end, per record, of its field run in `fields`.
+    rows: Vec<usize>,
+}
+
+impl BlockRecords {
+    /// Parses every record of `block`, replacing previous contents.
+    pub(crate) fn parse_into(&mut self, block: &str) -> Result<()> {
+        self.fields.clear();
+        self.rows.clear();
+        let mut at = 0;
+        while at < block.len() {
+            let start = self.fields.spans.len();
+            at = parse_record_spans(block, at, &mut self.fields)?;
+            // skip blank lines: a single empty field
+            if self.fields.spans.len() == start + 1 && self.fields.get(block, start).is_empty() {
+                self.fields.spans.truncate(start);
+                continue;
+            }
+            self.rows.push(self.fields.spans.len());
+        }
+        Ok(())
+    }
+
+    pub(crate) fn n_records(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn record_start(&self, r: usize) -> usize {
+        if r == 0 {
+            0
+        } else {
+            self.rows[r - 1]
+        }
+    }
+
+    /// Number of fields in record `r`.
+    pub(crate) fn record_len(&self, r: usize) -> usize {
+        self.rows[r] - self.record_start(r)
+    }
+
+    /// Field `f` of record `r`, resolved against `block`.
+    pub(crate) fn field<'a>(&'a self, block: &'a str, r: usize, f: usize) -> &'a str {
+        self.fields.get(block, self.record_start(r) + f)
+    }
+}
+
+/// Validates a raw block as UTF-8, mirroring the error
+/// `Read::read_to_string` would have produced on the same input.
+pub(crate) fn block_str(block: &[u8]) -> Result<&str> {
+    std::str::from_utf8(block).map_err(|_| {
+        Error::from(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "stream did not contain valid UTF-8",
+        ))
+    })
+}
+
+/// Resumable quote-aware scan for record boundaries in a byte buffer.
+/// Tracks just enough state (`in_quotes` + are-we-at-field-start) to
+/// know whether a newline terminates a record, without parsing fields.
+#[derive(Clone, Copy)]
+struct BoundaryScan {
+    /// Resume position: bytes before it have been classified.
+    pos: usize,
+    in_quotes: bool,
+    /// True when nothing precedes `pos` in the current field (a quote
+    /// here opens the field).
+    field_start: bool,
+    /// Offset just past the last complete record seen.
+    last_end: usize,
+}
+
+impl BoundaryScan {
+    fn new() -> BoundaryScan {
+        BoundaryScan {
+            pos: 0,
+            in_quotes: false,
+            field_start: true,
+            last_end: 0,
+        }
+    }
+
+    /// Advances over `buf[self.pos..]`. Stops early at a final byte
+    /// whose meaning needs lookahead — a `"` inside quotes (closing
+    /// quote vs first half of an escape) or a `\r` outside (possible
+    /// split `\r\n`) — leaving `pos` on it so the scan resumes after
+    /// the buffer grows. Multi-byte UTF-8 continuation bytes are all
+    /// ≥ 0x80 and never match a structural byte, so scanning bytes is
+    /// safe.
+    fn advance(&mut self, buf: &[u8]) {
+        while self.pos < buf.len() {
+            let b = buf[self.pos];
+            if self.in_quotes {
+                if b == b'"' {
+                    match buf.get(self.pos + 1) {
+                        Some(b'"') => self.pos += 2, // escaped quote
+                        Some(_) => {
+                            self.in_quotes = false;
+                            self.field_start = false;
+                            self.pos += 1;
+                        }
+                        None => return, // ambiguous: close vs escape half
+                    }
+                } else {
+                    self.pos += 1;
+                }
+            } else {
+                match b {
+                    b',' => {
+                        self.field_start = true;
+                        self.pos += 1;
+                    }
+                    b'\n' => {
+                        self.pos += 1;
+                        self.last_end = self.pos;
+                        self.field_start = true;
+                    }
+                    b'\r' => match buf.get(self.pos + 1) {
+                        Some(b'\n') => {
+                            self.pos += 2;
+                            self.last_end = self.pos;
+                            self.field_start = true;
+                        }
+                        Some(_) => {
+                            // lone \r: an ordinary character
+                            self.field_start = false;
+                            self.pos += 1;
+                        }
+                        None => return, // ambiguous: maybe a split \r\n
+                    },
+                    b'"' if self.field_start => {
+                        self.in_quotes = true;
+                        self.field_start = false;
+                        self.pos += 1;
+                    }
+                    _ => {
+                        self.field_start = false;
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Chunked CSV block reader: reads fixed-size chunks from any [`Read`]
+/// and yields buffers of *whole records*, carrying partial trailing
+/// records (quote-aware, so a quoted newline spanning two chunks is
+/// never mistaken for a record boundary) into the next block. Peak
+/// buffered memory is O(chunk size + longest record), observable via
+/// [`BlockReader::max_block_bytes`]. Scanner invariants: DESIGN.md §11.
+pub struct BlockReader<R> {
+    reader: R,
+    chunk: usize,
+    /// Bytes read but not yet emitted; always starts at a record
+    /// boundary.
+    carry: Vec<u8>,
+    /// Scan state over `carry`, resumable across chunk growth.
+    scan: BoundaryScan,
+    eof: bool,
+    max_block: usize,
+}
+
+impl<R: Read> BlockReader<R> {
+    /// Wraps `reader`, reading `chunk_bytes` (min 1) at a time.
+    pub fn new(reader: R, chunk_bytes: usize) -> BlockReader<R> {
+        BlockReader {
+            reader,
+            chunk: chunk_bytes.max(1),
+            carry: Vec::new(),
+            scan: BoundaryScan::new(),
+            eof: false,
+            max_block: 0,
+        }
+    }
+
+    /// The next block of complete records, or `Ok(None)` at end of
+    /// input. The final block may lack a trailing terminator (and may
+    /// hold an unterminated quote — the parser reports that, exactly as
+    /// the string API does). A record longer than the chunk size grows
+    /// the buffer until the record completes.
+    pub fn next_block(&mut self) -> Result<Option<Vec<u8>>> {
+        loop {
+            if self.eof {
+                if self.carry.is_empty() {
+                    return Ok(None);
+                }
+                self.scan = BoundaryScan::new();
+                self.max_block = self.max_block.max(self.carry.len());
+                return Ok(Some(std::mem::take(&mut self.carry)));
+            }
+            // grow the carry by one chunk of fresh bytes
+            let mut buf = std::mem::take(&mut self.carry);
+            let old = buf.len();
+            buf.resize(old + self.chunk, 0);
+            let mut filled = old;
+            while filled < buf.len() {
+                let n = self.reader.read(&mut buf[filled..])?;
+                if n == 0 {
+                    self.eof = true;
+                    break;
+                }
+                filled += n;
+            }
+            buf.truncate(filled);
+            self.max_block = self.max_block.max(filled);
+            self.carry = buf;
+            if self.eof {
+                continue; // the eof arm above flushes whatever is left
+            }
+            self.scan.advance(&self.carry);
+            let end = self.scan.last_end;
+            if end == 0 {
+                continue; // no complete record yet: grow further
+            }
+            let mut block = std::mem::take(&mut self.carry);
+            self.carry = block[end..].to_vec();
+            block.truncate(end);
+            // the carry starts at a record boundary: fresh scan state
+            self.scan = BoundaryScan::new();
+            return Ok(Some(block));
+        }
+    }
+
+    /// Largest buffer this reader ever held — the peak-memory witness
+    /// of the O(chunk) claim (grows past the chunk size only when a
+    /// single record does).
+    pub fn max_block_bytes(&self) -> usize {
+        self.max_block
+    }
+}
+
+/// Parses one CSV record from raw text; returns the fields and the
+/// number of bytes consumed.
+fn parse_record(input: &str) -> Result<(Vec<String>, usize)> {
+    let mut rf = RecordFields::default();
+    let used = parse_record_spans(input, 0, &mut rf)?;
+    let fields = (0..rf.len()).map(|i| rf.get(input, i).to_owned()).collect();
+    Ok((fields, used))
 }
 
 /// Parses CSV text into records.
@@ -101,10 +454,17 @@ pub fn relation_from_csv_str(text: &str) -> Result<Relation> {
 }
 
 /// Reads a relation from any reader producing CSV with a header row.
+///
+/// Streams through the chunked scanner ([`BlockReader`]) in O(chunk)
+/// memory instead of buffering the whole input into a `String`; the
+/// resulting relation and every error are identical to feeding the
+/// same bytes to [`relation_from_csv_str`].
 pub fn relation_from_csv_reader<R: Read>(reader: R) -> Result<Relation> {
-    let mut buf = String::new();
-    BufReader::new(reader).read_to_string(&mut buf)?;
-    relation_from_csv_str(&buf)
+    crate::ingest::ingest_csv_reader_serial(
+        reader,
+        &crate::ingest::IngestOptions::default(),
+        &crate::progress::Control::default(),
+    )
 }
 
 /// Reads a relation from a CSV file with a header row.
@@ -187,6 +547,17 @@ mod tests {
     }
 
     #[test]
+    fn quote_after_close_and_mid_field_quotes() {
+        // `"x"y` continues unquoted after the close; quotes inside a
+        // non-empty field are literal
+        let r = parse_csv("\"x\"y,a\"b\n\"\",\"\"z\n").unwrap();
+        assert_eq!(r, vec![vec!["xy", "a\"b"], vec!["", "z"]]);
+        // lone \r is an ordinary character
+        let r = parse_csv("a\rb,c\n").unwrap();
+        assert_eq!(r, vec![vec!["a\rb", "c"]]);
+    }
+
+    #[test]
     fn relation_round_trip() {
         let text = "CC,AC,CT\n01,908,MH\n44,131,EDI\n01,908,MH\n";
         let rel = relation_from_csv_str(text).unwrap();
@@ -219,5 +590,63 @@ mod tests {
     fn reader_api() {
         let rel = relation_from_csv_reader("A,B\nx,y\n".as_bytes()).unwrap();
         assert_eq!(rel.n_rows(), 1);
+    }
+
+    /// Reassembles `text` from a [`BlockReader`]'s blocks and checks
+    /// each block holds whole records only, for every chunk size.
+    fn assert_blocks_clean(text: &str) {
+        let reference = parse_csv(text).unwrap();
+        for chunk in 1..=text.len().max(1) {
+            let mut r = BlockReader::new(text.as_bytes(), chunk);
+            let mut rebuilt = Vec::new();
+            let mut parsed = Vec::new();
+            while let Some(block) = r.next_block().unwrap() {
+                rebuilt.extend_from_slice(&block);
+                let s = std::str::from_utf8(&block).unwrap();
+                parsed.extend(parse_csv(s).unwrap());
+            }
+            assert_eq!(rebuilt, text.as_bytes(), "chunk={chunk}: bytes lost");
+            assert_eq!(parsed, reference, "chunk={chunk}: records differ");
+        }
+    }
+
+    #[test]
+    fn block_reader_respects_record_boundaries() {
+        assert_blocks_clean("a,b\n1,2\n3,4\n");
+        // quoted newline, CRLF terminator, escaped quotes, lone \r —
+        // every chunk size forces each ambiguity onto a boundary
+        assert_blocks_clean("h1,h2\r\n\"multi\nline\",\"q\"\"q\"\r\nx\ry,z\n");
+        // blank lines and a final record without terminator
+        assert_blocks_clean("a,b\n\n\n1,2");
+        // record much longer than any small chunk
+        let long = format!("A,B\n{},{}\n", "x".repeat(100), "y".repeat(100));
+        assert_blocks_clean(&long);
+    }
+
+    #[test]
+    fn block_reader_memory_stays_chunk_bounded() {
+        // 200 short records, chunk of 32 bytes: the reader must never
+        // buffer more than chunk + one partial record
+        let text: String = std::iter::once("A,B\n".to_string())
+            .chain((0..200).map(|i| format!("r{i},v{i}\n")))
+            .collect();
+        let mut r = BlockReader::new(text.as_bytes(), 32);
+        while r.next_block().unwrap().is_some() {}
+        assert!(
+            r.max_block_bytes() <= 32 + 16,
+            "peak {} exceeds chunk + record bound",
+            r.max_block_bytes()
+        );
+    }
+
+    #[test]
+    fn block_reader_invalid_utf8_matches_slurp_error() {
+        let bytes: &[u8] = b"A,B\nx,\xff\xfe\n";
+        let err = relation_from_csv_reader(bytes).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("stream did not contain valid UTF-8"),
+            "unexpected error: {err}"
+        );
     }
 }

@@ -1,0 +1,540 @@
+//! Streaming, chunked, parallel CSV → [`Relation`] ingestion.
+//!
+//! The string API ([`crate::csv::relation_from_csv_str`]) needs the
+//! whole input materialized; at the million-row scale the ROADMAP
+//! targets, loading dominated both wall time and peak RSS. This module
+//! is the engine behind every reader-based load in the workspace:
+//!
+//! 1. **Read** — a [`BlockReader`] pulls fixed-size chunks from any
+//!    [`Read`] and emits blocks of *whole records* (quote-aware carry,
+//!    so a quoted newline spanning chunks parses identically to the
+//!    string API). Peak buffered input is O(chunk + longest record).
+//! 2. **Parse + encode** — each block is parsed zero-copy (field spans
+//!    into the block) and dictionary-encoded with *block-local*
+//!    dictionaries; with `threads > 1`, workers pull blocks from a
+//!    shared reader and encode in parallel.
+//! 3. **Merge** — blocks merge into the global columns strictly in
+//!    input order: each block's local values are interned into the
+//!    global dictionary in local-code order, which reproduces exactly
+//!    the first-seen code assignment of a serial row scan. Final codes
+//!    are therefore **independent of thread count and chunk size**
+//!    (property-tested in `tests/ingest_equiv.rs`). The per-code
+//!    histograms merged here become each column's first-level
+//!    partition ([`crate::relation::Column::value_counts`]), warm for
+//!    downstream grouping.
+//!
+//! Observability flows through the [`Control`] handle: `ingest.read` /
+//! `ingest.parse` / `ingest.encode` / `ingest.merge` spans (forwarded
+//! to `cfd-obs` when tracing is on), `ingest.rows` and
+//! `ingest.chunk_bytes` counters, and the `ingest.relation_bytes` /
+//! `ingest.max_block_bytes` gauges (the RSS proxies). See DESIGN.md
+//! §11.
+//!
+//! ```
+//! use cfd_model::ingest::{ingest_csv_reader, IngestOptions};
+//! use cfd_model::progress::Control;
+//!
+//! let csv = "CC,AC\n01,908\n44,131\n";
+//! let opts = IngestOptions::default().threads(4).chunk_bytes(8);
+//! let rel = ingest_csv_reader(csv.as_bytes(), &opts, &Control::default()).unwrap();
+//! assert_eq!(rel.n_rows(), 2);
+//! assert_eq!(rel.value(1, 1), "131");
+//! ```
+
+use crate::csv::{
+    block_str, parse_record_spans, BlockReader, BlockRecords, RecordFields, DEFAULT_CHUNK_BYTES,
+};
+use crate::error::{Error, Result};
+use crate::progress::Control;
+use crate::relation::{Column, Dict, Relation};
+use crate::schema::Schema;
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::path::Path;
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::Mutex;
+
+/// Options of the chunked ingestion pipeline.
+#[derive(Clone, Debug)]
+pub struct IngestOptions {
+    /// Bytes per read chunk (min 1). Default [`DEFAULT_CHUNK_BYTES`].
+    pub chunk_bytes: usize,
+    /// Worker threads dictionary-encoding blocks; `<= 1` runs the
+    /// serial path. The resulting relation is identical either way.
+    pub threads: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> IngestOptions {
+        IngestOptions {
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            threads: 1,
+        }
+    }
+}
+
+impl IngestOptions {
+    /// Sets the chunk size in bytes.
+    pub fn chunk_bytes(mut self, n: usize) -> IngestOptions {
+        self.chunk_bytes = n;
+        self
+    }
+
+    /// Sets the number of encode workers.
+    pub fn threads(mut self, n: usize) -> IngestOptions {
+        self.threads = n;
+        self
+    }
+}
+
+/// One column's block-local encoding output: codes over a local
+/// dictionary, plus the local per-code histogram.
+struct LocalCol {
+    codes: Vec<u32>,
+    dict: Dict,
+    counts: Vec<u32>,
+}
+
+impl LocalCol {
+    fn new() -> LocalCol {
+        LocalCol {
+            codes: Vec::new(),
+            dict: Dict::default(),
+            counts: Vec::new(),
+        }
+    }
+}
+
+/// Dictionary-encodes every record of a parsed block with block-local
+/// dictionaries (codes in first-seen order within the block).
+fn encode_block(block: &str, recs: &BlockRecords, arity: usize) -> Result<Vec<LocalCol>> {
+    let mut cols: Vec<LocalCol> = (0..arity).map(|_| LocalCol::new()).collect();
+    for r in 0..recs.n_records() {
+        let w = recs.record_len(r);
+        if w != arity {
+            return Err(Error::Relation(format!(
+                "row has {w} values, schema has arity {arity}"
+            )));
+        }
+        for (a, col) in cols.iter_mut().enumerate() {
+            let c = col.dict.intern(recs.field(block, r, a));
+            if c as usize == col.counts.len() {
+                col.counts.push(0);
+            }
+            col.counts[c as usize] += 1;
+            col.codes.push(c);
+        }
+    }
+    Ok(cols)
+}
+
+/// Merges one block's local columns into the global ones, remapping
+/// block-local codes through the global dictionaries.
+///
+/// Blocks must be merged in input order. Interning each block's local
+/// values in local-code order then reproduces exactly the first-seen
+/// global code assignment of a serial row scan: a value's first global
+/// appearance is in its earliest containing block, at its first local
+/// occurrence. This is the determinism argument of DESIGN.md §11.
+fn merge_block(global: &mut [LocalCol], block: Vec<LocalCol>, remap: &mut Vec<u32>) {
+    for (g, l) in global.iter_mut().zip(block) {
+        remap.clear();
+        for lc in 0..l.dict.len() as u32 {
+            let gc = g.dict.intern(l.dict.value(lc));
+            if gc as usize == g.counts.len() {
+                g.counts.push(0);
+            }
+            g.counts[gc as usize] += l.counts[lc as usize];
+            remap.push(gc);
+        }
+        g.codes.extend(l.codes.iter().map(|&c| remap[c as usize]));
+    }
+}
+
+/// Reads blocks until the first non-blank record appears; returns the
+/// schema it defines plus the unconsumed remainder of its block.
+fn read_header<R: Read>(blocks: &mut BlockReader<R>) -> Result<(Schema, Vec<u8>)> {
+    let mut rf = RecordFields::default();
+    loop {
+        let Some(block) = blocks.next_block()? else {
+            return Err(Error::Parse("empty CSV input".into()));
+        };
+        let s = block_str(&block)?;
+        let mut at = 0;
+        while at < s.len() {
+            rf.clear();
+            let next = parse_record_spans(s, at, &mut rf)?;
+            if !(rf.len() == 1 && rf.get(s, 0).is_empty()) {
+                let names: Vec<&str> = (0..rf.len()).map(|i| rf.get(s, i)).collect();
+                let schema = Schema::new(names)?;
+                return Ok((schema, block[next..].to_vec()));
+            }
+            at = next;
+        }
+        // the whole block was blank lines: keep reading
+    }
+}
+
+/// Parses and encodes one raw block (the per-block worker step).
+fn encode_one(
+    block: &[u8],
+    recs: &mut BlockRecords,
+    arity: usize,
+    ctrl: &Control<'_>,
+) -> Result<(usize, Vec<LocalCol>)> {
+    let s = block_str(block)?;
+    {
+        let _sp = ctrl.span("ingest.parse");
+        recs.parse_into(s)?;
+    }
+    let cols = {
+        let _sp = ctrl.span("ingest.encode");
+        encode_block(s, recs, arity)?
+    };
+    Ok((recs.n_records(), cols))
+}
+
+fn ingest_serial<R: Read>(
+    blocks: &mut BlockReader<R>,
+    first: Option<Vec<u8>>,
+    global: &mut [LocalCol],
+    arity: usize,
+    ctrl: &Control<'_>,
+) -> Result<()> {
+    let mut recs = BlockRecords::default();
+    let mut remap: Vec<u32> = Vec::new();
+    let mut pending = first;
+    loop {
+        let block = match pending.take() {
+            Some(b) => b,
+            None => {
+                let _sp = ctrl.span("ingest.read");
+                match blocks.next_block()? {
+                    Some(b) => b,
+                    None => return Ok(()),
+                }
+            }
+        };
+        ctrl.metric_add("ingest.chunk_bytes", block.len() as u64);
+        let (rows, cols) = encode_one(&block, &mut recs, arity, ctrl)?;
+        ctrl.metric_add("ingest.rows", rows as u64);
+        let _sp = ctrl.span("ingest.merge");
+        merge_block(global, cols, &mut remap);
+    }
+}
+
+/// The shared block source workers pull from: the reader, the
+/// remainder of the header block, and the index of the next block
+/// (indices keep the merge in input order).
+struct Source<R> {
+    blocks: BlockReader<R>,
+    pending: Option<Vec<u8>>,
+    next_index: u64,
+    /// Set on the first source error so other workers stop pulling.
+    failed: bool,
+}
+
+type BlockResult = (u64, Result<(usize, Vec<LocalCol>)>);
+
+fn worker<R: Read>(
+    source: &Mutex<Source<R>>,
+    tx: SyncSender<BlockResult>,
+    arity: usize,
+    ctrl: Control<'_>,
+) {
+    let mut recs = BlockRecords::default();
+    loop {
+        let (idx, block) = {
+            let mut s = source.lock().unwrap();
+            if s.failed {
+                return;
+            }
+            let taken = match s.pending.take() {
+                Some(b) => Ok(Some(b)),
+                None => {
+                    let _sp = ctrl.span("ingest.read");
+                    s.blocks.next_block()
+                }
+            };
+            let idx = s.next_index;
+            match taken {
+                Ok(Some(b)) => {
+                    s.next_index += 1;
+                    (idx, b)
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    s.failed = true;
+                    s.next_index += 1;
+                    drop(s);
+                    let _ = tx.send((idx, Err(e)));
+                    return;
+                }
+            }
+        };
+        ctrl.metric_add("ingest.chunk_bytes", block.len() as u64);
+        let res = encode_one(&block, &mut recs, arity, &ctrl);
+        // send fails only when the merger bailed on an earlier error
+        if tx.send((idx, res)).is_err() {
+            return;
+        }
+    }
+}
+
+fn ingest_parallel<R: Read + Send>(
+    blocks: BlockReader<R>,
+    first: Option<Vec<u8>>,
+    global: &mut [LocalCol],
+    arity: usize,
+    threads: usize,
+    ctrl: &Control<'_>,
+) -> Result<usize> {
+    let source = Mutex::new(Source {
+        blocks,
+        pending: first,
+        next_index: 0,
+        failed: false,
+    });
+    // bounded channel: backpressure keeps at most ~2 encoded blocks
+    // per worker in flight, so memory stays O(threads × chunk)
+    let (tx, rx) = mpsc::sync_channel::<BlockResult>(threads * 2);
+    let merged = std::thread::scope(|scope| -> Result<()> {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let source = &source;
+            let ctrl = *ctrl;
+            scope.spawn(move || worker(source, tx, arity, ctrl));
+        }
+        drop(tx);
+        // merge strictly in block order; out-of-order arrivals wait
+        let mut held: BTreeMap<u64, Result<(usize, Vec<LocalCol>)>> = BTreeMap::new();
+        let mut next = 0u64;
+        let mut remap: Vec<u32> = Vec::new();
+        for (idx, res) in rx {
+            held.insert(idx, res);
+            while let Some(res) = held.remove(&next) {
+                next += 1;
+                let (rows, cols) = res?;
+                ctrl.metric_add("ingest.rows", rows as u64);
+                let _sp = ctrl.span("ingest.merge");
+                merge_block(global, cols, &mut remap);
+            }
+        }
+        // a worker that died without sending leaves a hole; surface
+        // the earliest leftover result rather than dropping rows
+        if let Some((_, res)) = held.into_iter().next() {
+            res?;
+        }
+        Ok(())
+    });
+    merged?;
+    Ok(source.into_inner().unwrap().blocks.max_block_bytes())
+}
+
+/// Assembles the merged global columns into a relation and reports the
+/// memory gauges.
+fn finish_relation(
+    schema: Schema,
+    global: Vec<LocalCol>,
+    max_block: usize,
+    ctrl: &Control<'_>,
+) -> Relation {
+    let n_rows = global.first().map_or(0, |c| c.codes.len());
+    let cols = global
+        .into_iter()
+        .map(|c| Column::from_parts(c.codes, c.dict, c.counts))
+        .collect();
+    let rel = Relation::from_parts(schema, cols, n_rows);
+    ctrl.metric_gauge("ingest.max_block_bytes", max_block as u64);
+    ctrl.metric_gauge("ingest.relation_bytes", rel.memory_bytes() as u64);
+    rel
+}
+
+/// The serial pipeline over any [`Read`] — no `Send` bound, so
+/// `relation_from_csv_reader` can keep its original signature.
+/// `opts.threads` is ignored.
+pub(crate) fn ingest_csv_reader_serial<R: Read>(
+    reader: R,
+    opts: &IngestOptions,
+    ctrl: &Control<'_>,
+) -> Result<Relation> {
+    let mut blocks = BlockReader::new(reader, opts.chunk_bytes);
+    let (schema, first) = {
+        let _sp = ctrl.span("ingest.read");
+        read_header(&mut blocks)?
+    };
+    let arity = schema.arity();
+    let mut global: Vec<LocalCol> = (0..arity).map(|_| LocalCol::new()).collect();
+    let first = (!first.is_empty()).then_some(first);
+    ingest_serial(&mut blocks, first, &mut global, arity, ctrl)?;
+    Ok(finish_relation(
+        schema,
+        global,
+        blocks.max_block_bytes(),
+        ctrl,
+    ))
+}
+
+/// Streams CSV with a header row into a [`Relation`] through the
+/// chunked pipeline. The relation — codes, dictionary order and
+/// histograms — is byte-identical to
+/// [`relation_from_csv_str`](crate::csv::relation_from_csv_str) on the
+/// same bytes, for every chunk size and thread count; so are all
+/// errors. Peak input-side memory is O(`chunk_bytes` × threads), not
+/// O(file).
+pub fn ingest_csv_reader<R: Read + Send>(
+    reader: R,
+    opts: &IngestOptions,
+    ctrl: &Control<'_>,
+) -> Result<Relation> {
+    if opts.threads <= 1 {
+        return ingest_csv_reader_serial(reader, opts, ctrl);
+    }
+    let mut blocks = BlockReader::new(reader, opts.chunk_bytes);
+    let (schema, first) = {
+        let _sp = ctrl.span("ingest.read");
+        read_header(&mut blocks)?
+    };
+    let arity = schema.arity();
+    let mut global: Vec<LocalCol> = (0..arity).map(|_| LocalCol::new()).collect();
+    let first = (!first.is_empty()).then_some(first);
+    let max_block = ingest_parallel(blocks, first, &mut global, arity, opts.threads, ctrl)?;
+    Ok(finish_relation(schema, global, max_block, ctrl))
+}
+
+/// Opens `path` and streams it through [`ingest_csv_reader`].
+pub fn ingest_csv_path<P: AsRef<Path>>(
+    path: P,
+    opts: &IngestOptions,
+    ctrl: &Control<'_>,
+) -> Result<Relation> {
+    let f = std::fs::File::open(path)?;
+    ingest_csv_reader(f, opts, ctrl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::relation_from_csv_str;
+    use crate::progress::MetricsSink;
+    use std::collections::HashMap;
+    use std::time::{Duration, Instant};
+
+    /// Full structural equality: schema, codes, dictionary order,
+    /// histograms.
+    fn assert_rel_identical(a: &Relation, b: &Relation) {
+        assert_eq!(a.arity(), b.arity());
+        assert_eq!(a.n_rows(), b.n_rows());
+        for at in 0..a.arity() {
+            assert_eq!(a.schema().name(at), b.schema().name(at));
+            let (ca, cb) = (a.column(at), b.column(at));
+            assert_eq!(ca.codes(), cb.codes(), "attribute {at}: codes");
+            assert_eq!(ca.domain_size(), cb.domain_size());
+            for c in 0..ca.domain_size() as u32 {
+                assert_eq!(ca.dict().value(c), cb.dict().value(c), "attr {at} code {c}");
+            }
+            assert_eq!(
+                ca.value_counts(),
+                cb.value_counts(),
+                "attribute {at}: counts"
+            );
+        }
+    }
+
+    const TRICKY: &str =
+        "H1,H2,H3\r\n\"multi\nline\",\"q\"\"q\",plain\r\n\n1,\"a,b\",2\nx\ry,\"\",last";
+
+    #[test]
+    fn chunked_matches_string_parse_at_all_chunk_sizes() {
+        let expected = relation_from_csv_str(TRICKY).unwrap();
+        for chunk in [1, 2, 3, 5, 7, 16, 64, 4096] {
+            for threads in [1, 4] {
+                let opts = IngestOptions::default().chunk_bytes(chunk).threads(threads);
+                let got = ingest_csv_reader(TRICKY.as_bytes(), &opts, &Control::default()).unwrap();
+                assert_rel_identical(&expected, &got);
+            }
+        }
+    }
+
+    #[test]
+    fn errors_match_the_string_api() {
+        let opts = IngestOptions::default().chunk_bytes(4);
+        for threads in [1, 4] {
+            let opts = opts.clone().threads(threads);
+            let e = ingest_csv_reader("".as_bytes(), &opts, &Control::default()).unwrap_err();
+            assert!(e.to_string().contains("empty CSV input"), "{e}");
+            let e = ingest_csv_reader("\n\n\n".as_bytes(), &opts, &Control::default()).unwrap_err();
+            assert!(e.to_string().contains("empty CSV input"), "{e}");
+            let e =
+                ingest_csv_reader("a,b\n1\n".as_bytes(), &opts, &Control::default()).unwrap_err();
+            assert!(e.to_string().contains("schema has arity 2"), "{e}");
+            let e = ingest_csv_reader("a,b\n\"oops\n".as_bytes(), &opts, &Control::default())
+                .unwrap_err();
+            assert!(e.to_string().contains("unterminated quoted field"), "{e}");
+        }
+    }
+
+    #[derive(Default)]
+    struct TestSink {
+        counters: Mutex<HashMap<&'static str, u64>>,
+        gauges: Mutex<HashMap<&'static str, u64>>,
+        spans: Mutex<Vec<&'static str>>,
+    }
+
+    impl MetricsSink for TestSink {
+        fn add(&self, name: &'static str, delta: u64) {
+            *self.counters.lock().unwrap().entry(name).or_insert(0) += delta;
+        }
+        fn set_gauge(&self, name: &'static str, value: u64) {
+            self.gauges.lock().unwrap().insert(name, value);
+        }
+        fn observe(&self, _name: &'static str, _value: u64) {}
+        fn spans_enabled(&self) -> bool {
+            true
+        }
+        fn record_span(&self, name: &'static str, _start: Instant, _dur: Duration) {
+            self.spans.lock().unwrap().push(name);
+        }
+    }
+
+    #[test]
+    fn metrics_and_spans_flow_through_the_control_handle() {
+        let sink = TestSink::default();
+        let ctrl = Control::default().metrics_with(&sink);
+        let csv = "A,B\n1,2\n3,4\n5,6\n";
+        let opts = IngestOptions::default().chunk_bytes(6).threads(2);
+        let rel = ingest_csv_reader(csv.as_bytes(), &opts, &ctrl).unwrap();
+        assert_eq!(rel.n_rows(), 3);
+
+        let counters = sink.counters.lock().unwrap();
+        assert_eq!(counters["ingest.rows"], 3);
+        // every data byte flows through exactly one counted block
+        assert_eq!(counters["ingest.chunk_bytes"], (csv.len() - 4) as u64);
+        let gauges = sink.gauges.lock().unwrap();
+        assert_eq!(gauges["ingest.relation_bytes"], rel.memory_bytes() as u64);
+        // chunk-bounded: no record here is longer than 6 bytes + carry
+        assert!(gauges["ingest.max_block_bytes"] <= 6 + 6);
+
+        let spans = sink.spans.lock().unwrap();
+        for name in [
+            "ingest.read",
+            "ingest.parse",
+            "ingest.encode",
+            "ingest.merge",
+        ] {
+            assert!(spans.contains(&name), "missing span {name}: {spans:?}");
+        }
+    }
+
+    #[test]
+    fn header_larger_than_chunk_and_values_interned_once() {
+        let csv = "LongHeaderA,LongHeaderB\nsame,same\nsame,other\n";
+        let opts = IngestOptions::default().chunk_bytes(3).threads(4);
+        let rel = ingest_csv_reader(csv.as_bytes(), &opts, &Control::default()).unwrap();
+        assert_eq!(rel.schema().name(0), "LongHeaderA");
+        assert_eq!(rel.n_rows(), 2);
+        assert_eq!(rel.column(0).domain_size(), 1);
+        assert_eq!(rel.column(0).value_counts(), &[2]);
+        assert_eq!(rel.column(1).value_counts(), &[1, 1]);
+    }
+}

@@ -24,7 +24,11 @@
 //! * [`cover`] — canonical-cover bookkeeping and the constant/variable
 //!   normal form of Lemma 1,
 //! * a small CSV reader/writer ([`csv`]) so relations can be loaded from
-//!   files without external dependencies.
+//!   files without external dependencies,
+//! * [`ingest`] — the streaming, chunked, optionally parallel CSV →
+//!   [`Relation`] pipeline (O(chunk) input memory, deterministic codes
+//!   for every chunk size and thread count) behind every reader-based
+//!   load.
 //!
 //! Everything downstream (partitions, item sets, the discovery algorithms)
 //! is built on these types.
@@ -38,6 +42,7 @@ pub mod cover;
 pub mod csv;
 pub mod error;
 pub mod fxhash;
+pub mod ingest;
 pub mod json;
 pub mod measure;
 pub mod pattern;
@@ -55,6 +60,7 @@ pub use cfd::{Cfd, CfdClass};
 pub use cover::{normalize_cfd, CanonicalCover};
 pub use error::{Error, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use ingest::{ingest_csv_path, ingest_csv_reader, IngestOptions};
 pub use json::Json;
 pub use measure::{measure, RuleMeasure};
 pub use pattern::{PVal, Pattern};

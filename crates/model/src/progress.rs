@@ -17,7 +17,7 @@
 //! registry that implements it.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A named-metrics consumer: counters accumulate, gauges hold the last
 /// written value, histograms record value distributions. The `cfd-obs`
@@ -35,6 +35,20 @@ pub trait MetricsSink: Send + Sync {
     fn set_gauge(&self, name: &'static str, value: u64);
     /// Records `value` into the histogram `name`.
     fn observe(&self, name: &'static str, value: u64);
+
+    /// True iff spans forwarded through [`MetricsSink::record_span`]
+    /// are kept. Layers below `cfd-obs` in the crate graph (the
+    /// ingestion pipeline lives in this crate and cannot call the
+    /// `cfd_obs::span!` macro) gate their clock reads on this, so an
+    /// untraced run never reads the clock. Defaults to `false`.
+    fn spans_enabled(&self) -> bool {
+        false
+    }
+
+    /// Records a completed span (`start` + `dur` measured by the
+    /// caller). The `cfd-obs` registry forwards these into the same
+    /// ring buffers as `span!` guards; the default drops them.
+    fn record_span(&self, _name: &'static str, _start: Instant, _dur: Duration) {}
 }
 
 /// A coarse progress event reported by an algorithm mid-run.
@@ -163,6 +177,39 @@ impl<'a> Control<'a> {
     pub fn metric_observe(&self, name: &'static str, value: u64) {
         if let Some(m) = self.metrics {
             m.observe(name, value);
+        }
+    }
+
+    /// Opens a named span that records itself into the metrics sink
+    /// when dropped — the span hook for layers below `cfd-obs` in the
+    /// crate graph (e.g. the ingestion pipeline in this crate). When no
+    /// sink is attached, or the sink reports spans disabled, this costs
+    /// one virtual call and no clock read.
+    pub fn span(&self, name: &'static str) -> ControlSpan<'a> {
+        let sink = self.metrics.filter(|m| m.spans_enabled());
+        ControlSpan {
+            sink,
+            name,
+            start: sink.map(|_| Instant::now()),
+        }
+    }
+}
+
+/// An open span handed out by [`Control::span`]; records itself into
+/// the metrics sink on drop. Bind it — `let _s = ctrl.span(..)` — or
+/// the span closes on the same line it opened.
+#[must_use = "a span measures until it is dropped; bind it with `let`"]
+pub struct ControlSpan<'a> {
+    sink: Option<&'a dyn MetricsSink>,
+    name: &'static str,
+    /// `None` when spans were disabled at entry — drop is then a no-op.
+    start: Option<Instant>,
+}
+
+impl Drop for ControlSpan<'_> {
+    fn drop(&mut self) {
+        if let (Some(sink), Some(start)) = (self.sink, self.start) {
+            sink.record_span(self.name, start, start.elapsed());
         }
     }
 }

@@ -6,37 +6,119 @@
 //! solely at ingestion and display time. This is the standard layout for
 //! dependency-discovery implementations (TANE, FastFD and their CFD
 //! extensions all pre-encode the input this way).
+//!
+//! Memory layout matters at the million-row scale the ingestion
+//! pipeline ([`crate::ingest`]) targets: [`Dict`] stores each distinct
+//! string exactly once, every [`Column`] carries its first-level
+//! partition histogram ([`Column::value_counts`]) built during
+//! ingestion, and [`Relation::memory_bytes`] makes the footprint
+//! observable (DESIGN.md §11).
 
 use crate::error::{Error, Result};
-use crate::fxhash::FxHashMap;
+use crate::fxhash::FxHasher;
 use crate::schema::{AttrId, Schema};
 use std::fmt;
+use std::hash::Hasher;
 
 /// Dense tuple identifier (row index).
 pub type TupleId = u32;
 
+/// Free slot marker in [`Dict`]'s code table. A real code can never be
+/// `u32::MAX`: that would need more than 4 G distinct values in one
+/// column, which the `u32` code space cannot represent anyway.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+fn hash_value(v: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(v.as_bytes());
+    // FxHash ends in a multiply, so the low bits of the state depend
+    // only on the low input bytes — for short code-like values
+    // ("v0".."v99999", shared first byte) the masked bucket index
+    // collapses to a handful of slots and probing goes quadratic. An
+    // xor-shift-multiply finalizer folds the strong high bits back
+    // down before the table mask is applied.
+    let x = h.finish();
+    let x = (x ^ (x >> 32)).wrapping_mul(0xd6e8_feb8_6659_fd93);
+    x ^ (x >> 32)
+}
+
 /// Per-attribute value dictionary: code → string and string → code.
+///
+/// Each interned string is stored **once**, as a `Box<str>` whose code
+/// is its index in the value arena; the reverse direction is an
+/// open-addressing table of codes (power-of-two capacity, linear
+/// probing, grown at 7/8 load) hashed with the in-tree [`FxHasher`].
+/// The earlier layout held every string twice — the `values` vector
+/// plus the owned key of a `HashMap<String, u32>` — which dominated
+/// relation-side memory on high-cardinality columns (DESIGN.md §11).
 #[derive(Clone, Default)]
 pub struct Dict {
-    values: Vec<String>,
-    index: FxHashMap<String, u32>,
+    /// Interned strings; the code of a value is its index here.
+    values: Vec<Box<str>>,
+    /// Open-addressing table of codes into `values` (`EMPTY_SLOT` marks
+    /// a free slot; capacity is zero or a power of two).
+    table: Vec<u32>,
 }
 
 impl Dict {
+    /// Finds the code of `v` in the table, if present.
+    fn probe(&self, v: &str) -> Option<u32> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut i = hash_value(v) as usize & mask;
+        loop {
+            match self.table[i] {
+                EMPTY_SLOT => return None,
+                c => {
+                    if &*self.values[c as usize] == v {
+                        return Some(c);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Rebuilds the table at double capacity (min 16 slots).
+    fn grow(&mut self) {
+        let cap = (self.table.len() * 2).max(16);
+        let mut table = vec![EMPTY_SLOT; cap];
+        let mask = cap - 1;
+        for (c, v) in self.values.iter().enumerate() {
+            let mut i = hash_value(v) as usize & mask;
+            while table[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            table[i] = c as u32;
+        }
+        self.table = table;
+    }
+
     /// Interns `v`, returning its code.
     pub fn intern(&mut self, v: &str) -> u32 {
-        if let Some(&c) = self.index.get(v) {
+        if let Some(c) = self.probe(v) {
             return c;
         }
+        // keep load ≤ 7/8 so probe chains stay short
+        if (self.values.len() + 1) * 8 > self.table.len() * 7 {
+            self.grow();
+        }
         let c = self.values.len() as u32;
-        self.values.push(v.to_owned());
-        self.index.insert(v.to_owned(), c);
+        self.values.push(v.into());
+        let mask = self.table.len() - 1;
+        let mut i = hash_value(v) as usize & mask;
+        while self.table[i] != EMPTY_SLOT {
+            i = (i + 1) & mask;
+        }
+        self.table[i] = c;
         c
     }
 
     /// Looks up the code of `v`, if it was interned.
     pub fn code(&self, v: &str) -> Option<u32> {
-        self.index.get(v).copied()
+        self.probe(v)
     }
 
     /// The string for a code.
@@ -53,16 +135,58 @@ impl Dict {
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
+
+    /// Approximate heap bytes held: the string bytes (each counted
+    /// once), the arena's pointer slots, and the code table.
+    pub fn memory_bytes(&self) -> usize {
+        let strings: usize = self.values.iter().map(|v| v.len()).sum();
+        strings
+            + self.values.capacity() * std::mem::size_of::<Box<str>>()
+            + self.table.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
-/// One column: codes aligned with row ids, plus the dictionary.
+/// One column: codes aligned with row ids, the dictionary, and the
+/// per-code multiplicity histogram.
 #[derive(Clone)]
 pub struct Column {
     codes: Vec<u32>,
     dict: Dict,
+    /// `counts[c]` = number of rows whose code is `c`. Always exactly
+    /// `dict.len()` long (dictionary-only values count 0). This is the
+    /// column's first-level partition histogram: built shard-wise
+    /// during ingestion and kept correct by every constructor in this
+    /// module, so downstream grouping (`ValueIndex`, `GroupIds`) skips
+    /// its first counting pass (DESIGN.md §11).
+    counts: Vec<u32>,
+}
+
+/// Per-code row multiplicities of `codes` over a domain of `dom` codes.
+fn recount(codes: &[u32], dom: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; dom];
+    for &c in codes {
+        counts[c as usize] += 1;
+    }
+    counts
 }
 
 impl Column {
+    /// Assembles a column from pre-built parts — the ingestion
+    /// pipeline's merge step. The histogram invariant is the caller's
+    /// to uphold (checked in debug builds).
+    pub(crate) fn from_parts(codes: Vec<u32>, dict: Dict, counts: Vec<u32>) -> Column {
+        debug_assert_eq!(counts.len(), dict.len());
+        debug_assert_eq!(
+            counts.iter().map(|&c| c as usize).sum::<usize>(),
+            codes.len()
+        );
+        Column {
+            codes,
+            dict,
+            counts,
+        }
+    }
+
     /// The dictionary of this column.
     pub fn dict(&self) -> &Dict {
         &self.dict
@@ -84,6 +208,25 @@ impl Column {
     pub fn domain_size(&self) -> usize {
         self.dict.len()
     }
+
+    /// Per-code row multiplicities: `value_counts()[c]` is the number
+    /// of rows whose code is `c` (0 for values interned into the
+    /// dictionary without occurring in any row). The slice is always
+    /// exactly [`Column::domain_size`] long — it is the first level of
+    /// the column's partition, maintained incrementally so grouping
+    /// passes need not recount.
+    #[inline]
+    pub fn value_counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Approximate heap bytes held by this column: codes, histogram,
+    /// and dictionary.
+    pub fn memory_bytes(&self) -> usize {
+        self.codes.capacity() * std::mem::size_of::<u32>()
+            + self.counts.capacity() * std::mem::size_of::<u32>()
+            + self.dict.memory_bytes()
+    }
 }
 
 /// An instance `r` of a schema `R`.
@@ -95,6 +238,18 @@ pub struct Relation {
 }
 
 impl Relation {
+    /// Assembles a relation from per-column parts — used by the
+    /// ingestion pipeline's final merge.
+    pub(crate) fn from_parts(schema: Schema, cols: Vec<Column>, n_rows: usize) -> Relation {
+        debug_assert_eq!(cols.len(), schema.arity());
+        debug_assert!(cols.iter().all(|c| c.codes.len() == n_rows));
+        Relation {
+            schema,
+            cols,
+            n_rows,
+        }
+    }
+
     /// The schema of the relation.
     #[inline]
     pub fn schema(&self) -> &Schema {
@@ -140,6 +295,15 @@ impl Relation {
         (0..self.arity()).map(|a| self.value(t, a)).collect()
     }
 
+    /// Approximate heap bytes held by the relation's codes, histograms
+    /// and dictionaries — the "relation-side memory" number the
+    /// ingestion pipeline reports as the `ingest.relation_bytes` gauge
+    /// (DESIGN.md §11). Dictionaries shared between cloned relations
+    /// are counted in each holder.
+    pub fn memory_bytes(&self) -> usize {
+        self.cols.iter().map(Column::memory_bytes).sum()
+    }
+
     /// Builds a sub-relation containing only the given rows (in the given
     /// order). Dictionaries are shared with the original relation, so codes
     /// remain comparable across the two instances.
@@ -147,9 +311,14 @@ impl Relation {
         let cols = self
             .cols
             .iter()
-            .map(|c| Column {
-                codes: rows.iter().map(|&t| c.codes[t as usize]).collect(),
-                dict: c.dict.clone(),
+            .map(|c| {
+                let codes: Vec<u32> = rows.iter().map(|&t| c.codes[t as usize]).collect();
+                let counts = recount(&codes, c.dict.len());
+                Column {
+                    codes,
+                    dict: c.dict.clone(),
+                    counts,
+                }
             })
             .collect();
         Relation {
@@ -170,6 +339,9 @@ impl Relation {
                 (code as usize) < cols[a].dict.len(),
                 "code {code} outside the dictionary of attribute {a}"
             );
+            let old = cols[a].codes[t as usize];
+            cols[a].counts[old as usize] -= 1;
+            cols[a].counts[code as usize] += 1;
             cols[a].codes[t as usize] = code;
         }
         Relation {
@@ -187,6 +359,12 @@ impl Relation {
         let mut cols = self.cols.clone();
         for &(t, a, value) in edits {
             let code = cols[a].dict.intern(value);
+            if code as usize == cols[a].counts.len() {
+                cols[a].counts.push(0);
+            }
+            let old = cols[a].codes[t as usize];
+            cols[a].counts[old as usize] -= 1;
+            cols[a].counts[code as usize] += 1;
             cols[a].codes[t as usize] = code;
         }
         Relation {
@@ -225,7 +403,11 @@ impl Relation {
     /// representable (e.g. as a rule constant) without occurring in any
     /// tuple yet.
     pub fn intern_value(&mut self, a: AttrId, v: &str) -> u32 {
-        self.cols[a].dict.intern(v)
+        let code = self.cols[a].dict.intern(v);
+        if code as usize == self.cols[a].counts.len() {
+            self.cols[a].counts.push(0);
+        }
+        code
     }
 
     /// Average active-domain fraction relative to the number of rows — the
@@ -279,6 +461,7 @@ impl RelationBuilder {
             .map(|_| Column {
                 codes: Vec::new(),
                 dict: Dict::default(),
+                counts: Vec::new(),
             })
             .collect();
         RelationBuilder {
@@ -306,6 +489,7 @@ impl RelationBuilder {
             .into_iter()
             .map(|dict| Column {
                 codes: Vec::new(),
+                counts: vec![0; dict.len()],
                 dict,
             })
             .collect();
@@ -345,6 +529,10 @@ impl RelationBuilder {
         }
         for (c, v) in self.cols.iter_mut().zip(row) {
             let code = c.dict.intern(v.as_ref());
+            if code as usize == c.counts.len() {
+                c.counts.push(0);
+            }
+            c.counts[code as usize] += 1;
             c.codes.push(code);
         }
         self.n_rows += 1;
@@ -368,7 +556,9 @@ impl RelationBuilder {
             while c.dict.len() <= code as usize {
                 let next = c.dict.len();
                 c.dict.intern(&format!("v{next}"));
+                c.counts.push(0);
             }
+            c.counts[code as usize] += 1;
             c.codes.push(code);
         }
         self.n_rows += 1;
@@ -417,6 +607,18 @@ mod tests {
         .unwrap()
     }
 
+    /// Every column's histogram must match a recount of its codes.
+    fn assert_counts_consistent(r: &Relation) {
+        for a in 0..r.arity() {
+            let col = r.column(a);
+            assert_eq!(
+                col.value_counts(),
+                &recount(col.codes(), col.domain_size())[..],
+                "attribute {a}"
+            );
+        }
+    }
+
     #[test]
     fn encoding_round_trip() {
         let r = sample();
@@ -428,6 +630,7 @@ mod tests {
         assert_eq!(r.code(0, 0), r.code(1, 0));
         assert_ne!(r.code(0, 0), r.code(2, 0));
         assert_eq!(r.column(1).domain_size(), 2);
+        assert_counts_consistent(&r);
     }
 
     #[test]
@@ -449,6 +652,9 @@ mod tests {
         assert_eq!(r.code(0, 1), 2);
         assert_eq!(r.value(0, 1), "v2");
         assert_eq!(r.column(1).domain_size(), 3);
+        // synthetic fill-in codes v0/v1 of column B occur 1 and 0 times
+        assert_eq!(r.column(1).value_counts(), &[1, 0, 1]);
+        assert_counts_consistent(&r);
     }
 
     #[test]
@@ -458,6 +664,7 @@ mod tests {
         assert_eq!(s.n_rows(), 2);
         assert_eq!(s.value(0, 0), "a2");
         assert_eq!(s.code(1, 0), r.code(0, 0));
+        assert_counts_consistent(&s);
     }
 
     #[test]
@@ -480,6 +687,7 @@ mod tests {
         assert_eq!(p.value(2, 1), "c2");
         // codes are shared with the original columns
         assert_eq!(p.code(0, 0), r.code(0, 0));
+        assert_counts_consistent(&p);
     }
 
     #[test]
@@ -501,6 +709,7 @@ mod tests {
         // and the round trip decodes back to the original strings
         assert_eq!(s.tuple_values(0), vec!["a1", "b9", "c1"]);
         assert_eq!(s.tuple_values(1), vec!["a3", "b9", "c2"]);
+        assert_counts_consistent(&s);
         // arity mismatch is rejected
         let schema2 = Schema::new(["A", "B"]).unwrap();
         assert!(RelationBuilder::from_dicts(schema2, r.dicts()).is_err());
@@ -522,6 +731,7 @@ mod tests {
         // the unseen "b7" extended the dictionary rather than erroring
         assert_eq!(s.value(3, 1), "b7");
         assert_eq!(s.column(1).domain_size(), r.column(1).domain_size() + 1);
+        assert_counts_consistent(&s);
     }
 
     #[test]
@@ -530,5 +740,78 @@ mod tests {
         assert_eq!(r.tuple_values(1), vec!["a1", "b2", "c1"]);
         let dbg = format!("{r:?}");
         assert!(dbg.contains("3 rows"));
+    }
+
+    #[test]
+    fn dict_handles_many_distinct_values() {
+        let mut d = Dict::default();
+        for i in 0..10_000u32 {
+            let v = format!("value-{i}");
+            assert_eq!(d.intern(&v), i, "fresh values get sequential codes");
+            assert_eq!(d.intern(&v), i, "re-interning is stable");
+        }
+        assert_eq!(d.len(), 10_000);
+        for i in (0..10_000u32).rev() {
+            let v = format!("value-{i}");
+            assert_eq!(d.code(&v), Some(i));
+            assert_eq!(d.value(i), v);
+        }
+        assert_eq!(d.code("value-10000"), None);
+        assert_eq!(d.code(""), None);
+    }
+
+    /// The satellite's acceptance test: on a 100k-distinct-value column
+    /// the single-copy dictionary must be measurably smaller than the
+    /// old layout, which held every string in both `Vec<String>` and
+    /// the key of a `HashMap<String, u32>`.
+    #[test]
+    fn dict_memory_drops_versus_two_copy_baseline() {
+        const N: usize = 100_000;
+        let schema = Schema::new(["V"]).unwrap();
+        let mut b = RelationBuilder::new(schema);
+        for i in 0..N {
+            b.push_row(&[format!("distinct-value-{i:06}")]).unwrap();
+        }
+        let r = b.finish();
+        let dict = r.column(0).dict();
+        assert_eq!(dict.len(), N);
+
+        let string_bytes: usize = (0..N as u32).map(|c| dict.value(c).len()).sum();
+        // Two-copy model of the old layout: every string's bytes twice,
+        // plus a `String` header in the vector and another in the map
+        // key, plus the map's u32 payload. (Real `HashMap` overhead —
+        // control bytes, load factor — would only add to this, so the
+        // baseline is conservative.)
+        let two_copy =
+            2 * string_bytes + N * (2 * std::mem::size_of::<String>() + std::mem::size_of::<u32>());
+        let now = dict.memory_bytes();
+        // the arena and table run at power-of-two capacities, so allow
+        // their slack while still demanding a real drop
+        assert!(
+            now < two_copy * 2 / 3,
+            "single-copy dict ({now} B) should be well under the \
+             two-copy baseline ({two_copy} B)"
+        );
+        // and it can never be below one copy of the raw string bytes
+        assert!(now > string_bytes);
+
+        // relation-level accounting includes codes and histogram
+        let rel_bytes = r.memory_bytes();
+        assert!(rel_bytes >= now + N * 2 * std::mem::size_of::<u32>());
+    }
+
+    #[test]
+    fn replacement_constructors_keep_histograms_consistent() {
+        let r = sample();
+        let by_code = r.with_replaced_codes(&[(0, 0, r.code(2, 0)), (1, 1, r.code(0, 1))]);
+        assert_counts_consistent(&by_code);
+        let by_value = r.with_replaced_values(&[(0, 2, "c9"), (2, 0, "a1")]);
+        assert_eq!(by_value.value(0, 2), "c9");
+        assert_counts_consistent(&by_value);
+        // interning a rule-only constant extends the histogram with a 0
+        let mut m = sample();
+        let c = m.intern_value(1, "b42");
+        assert_eq!(m.column(1).value_counts()[c as usize], 0);
+        assert_counts_consistent(&m);
     }
 }

@@ -52,6 +52,6 @@ pub mod trace;
 
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
 pub use trace::{
-    drain_spans, install_tracing, shutdown_tracing, summarize, tracing_enabled, SpanGuard,
-    SpanRecord, SpanSummary,
+    drain_spans, install_tracing, record_span, shutdown_tracing, summarize, tracing_enabled,
+    SpanGuard, SpanRecord, SpanSummary,
 };

@@ -182,6 +182,14 @@ impl MetricsSink for Registry {
         let mut s = self.shards[shard_of(name)].lock().unwrap();
         slot(&mut s.histograms, name, Histogram::new()).observe(value);
     }
+
+    fn spans_enabled(&self) -> bool {
+        crate::trace::tracing_enabled()
+    }
+
+    fn record_span(&self, name: &'static str, start: std::time::Instant, dur: std::time::Duration) {
+        crate::trace::record_span(name, start, dur);
+    }
 }
 
 /// Frozen state of one histogram.

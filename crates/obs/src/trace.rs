@@ -16,7 +16,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Number of ring shards. Spans hash to a shard by thread id, so up to
 /// this many threads record without lock contention.
@@ -145,19 +145,34 @@ impl Drop for SpanGuard {
         let Some(start) = self.start else { return };
         // Flag may have flipped off mid-span; still record — the ring
         // survives shutdown so a final drain sees complete data.
-        let Some(epoch) = EPOCH.get() else { return };
-        let start_us = start.duration_since(*epoch).as_micros() as u64;
-        let dur_us = start.elapsed().as_micros() as u64;
-        let thread = THREAD_ID.with(|id| *id);
-        let rec = SpanRecord {
-            name: self.name,
-            start_us,
-            dur_us,
-            thread,
-        };
-        if let Some(ring) = RINGS[thread as usize % SHARDS].lock().unwrap().as_mut() {
-            ring.push(rec);
-        }
+        record_span(self.name, start, start.elapsed());
+    }
+}
+
+/// Records an externally timed span into the rings, as if a
+/// [`SpanGuard`] named `name` had been entered at `start` and dropped
+/// `dur` later. This is the entry point for layers *below* `cfd-obs`
+/// in the crate graph: the [`Registry`](crate::Registry) forwards
+/// spans emitted through `cfd_model::progress::Control::span` (e.g.
+/// the `ingest.*` spans of the chunked CSV pipeline) into here, so
+/// they show up in the same `--trace` summary as `span!` guards.
+/// No-op until [`install_tracing`] has pinned the epoch.
+pub fn record_span(name: &'static str, start: Instant, dur: Duration) {
+    let Some(epoch) = EPOCH.get() else { return };
+    // `start` can predate the epoch when tracing was installed after
+    // the span opened; saturate rather than panic.
+    let start_us = start
+        .checked_duration_since(*epoch)
+        .unwrap_or_default()
+        .as_micros() as u64;
+    let rec = SpanRecord {
+        name,
+        start_us,
+        dur_us: dur.as_micros() as u64,
+        thread: THREAD_ID.with(|id| *id),
+    };
+    if let Some(ring) = RINGS[rec.thread as usize % SHARDS].lock().unwrap().as_mut() {
+        ring.push(rec);
     }
 }
 

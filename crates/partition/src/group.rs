@@ -51,11 +51,13 @@ impl GroupIds {
         let mut gids = rel.column(attrs[0]).codes().to_vec();
         let mut width = rel.column(attrs[0]).domain_size();
         for &a in &attrs[1..] {
+            let col = rel.column(a);
             width = combine(
                 &mut gids,
                 width,
-                rel.column(a).codes(),
-                rel.column(a).domain_size(),
+                col.codes(),
+                col.domain_size(),
+                col.value_counts(),
             );
         }
         GroupIds {
@@ -101,19 +103,26 @@ impl GroupIds {
 }
 
 /// Renumbers `(gid, code)` pairs into fresh dense ids via two stable
-/// counting passes, in place. Returns the new id width.
-fn combine(gids: &mut [u32], width: usize, codes: &[u32], dom: usize) -> usize {
+/// counting passes, in place. Returns the new id width. The incoming
+/// column's histogram (`code_counts`, maintained by the relation —
+/// see `Column::value_counts`) stands in for the first counting pass,
+/// so only its prefix sum is computed here.
+fn combine(
+    gids: &mut [u32],
+    width: usize,
+    codes: &[u32],
+    dom: usize,
+    code_counts: &[u32],
+) -> usize {
     let n = gids.len();
     if n == 0 {
         return 0;
     }
-    // stable counting sort of row ids by code …
+    // stable counting sort of row ids by code (histogram pre-built) …
+    debug_assert_eq!(code_counts.len(), dom);
     let mut cur = vec![0u32; dom + 1];
-    for &c in codes {
-        cur[c as usize + 1] += 1;
-    }
-    for i in 1..=dom {
-        cur[i] += cur[i - 1];
+    for (c, &k) in code_counts.iter().enumerate() {
+        cur[c + 1] = cur[c] + k;
     }
     let mut by_code = vec![0u32; n];
     for t in 0..n as u32 {

@@ -38,17 +38,19 @@ impl ValueIndex {
     ///
     /// [`Partition::by_attribute`]: crate::Partition::by_attribute
     pub fn build(rel: &Relation, a: AttrId) -> ValueIndex {
-        let codes = rel.column(a).codes();
-        let dom = rel.column(a).domain_size();
-        let mut counts = vec![0u32; dom + 1];
-        for &c in codes {
-            counts[c as usize + 1] += 1;
+        let col = rel.column(a);
+        let codes = col.codes();
+        let dom = col.domain_size();
+        // warm start: the column's maintained per-code histogram
+        // (built shard-wise during ingestion) replaces the counting
+        // pass — only the prefix sum and the placement scan remain
+        let counts = col.value_counts();
+        debug_assert_eq!(counts.len(), dom);
+        let mut starts = vec![0u32; dom + 1];
+        for (c, &k) in counts.iter().enumerate() {
+            starts[c + 1] = starts[c] + k;
         }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
-        }
-        let starts = counts.clone();
-        let mut fill = counts;
+        let mut fill = starts.clone();
         let mut tuples = vec![0 as TupleId; codes.len()];
         for (t, &c) in codes.iter().enumerate() {
             let slot = &mut fill[c as usize];

@@ -56,6 +56,7 @@
 
 use cfd_suite::model::csv::relation_from_csv_path;
 use cfd_suite::model::tableau::group_into_tableaux;
+use cfd_suite::model::{ingest_csv_path, IngestOptions};
 use cfd_suite::prelude::*;
 use std::process::ExitCode;
 
@@ -104,7 +105,9 @@ enum Format {
 /// (attach it via [`ObsSession::control`] or
 /// [`StreamEngine::metrics_with`]), and on [`ObsSession::finish`]
 /// prints the span summary to stderr and writes the metrics snapshot
-/// JSON. Shared by `discover`, `check` and `watch`.
+/// JSON. Shared by `discover`, `check` and `watch` — started *before*
+/// the CSV load, so `ingest.*` spans and counters from the chunked
+/// loader land in the same session as the algorithm's own spans.
 ///
 /// [`Registry`]: cfd_obs::Registry
 /// [`StreamEngine::metrics_with`]: cfd_suite::stream::StreamEngine::metrics_with
@@ -129,6 +132,15 @@ impl ObsSession {
     /// A run handle with the registry attached as metrics sink.
     fn control(&self) -> Control<'_> {
         Control::default().metrics_with(&*self.registry)
+    }
+
+    /// Loads a CSV through the chunked (and, with `threads > 1`,
+    /// parallel) ingestion pipeline, spans/metrics flowing into this
+    /// session. Memory stays O(chunk + longest record) on the reader
+    /// side regardless of file size.
+    fn load_csv(&self, path: &str, threads: usize) -> Result<Relation> {
+        let opts = IngestOptions::default().threads(threads);
+        ingest_csv_path(path, &opts, &self.control())
     }
 
     /// Prints the span summary (stderr, `# trace …` lines, heaviest
@@ -250,7 +262,8 @@ fn discover(a: &Args) -> Result<ExitCode> {
     if a.tableau && a.format == Format::Json {
         return Ok(arg_error("--tableau conflicts with --format json"));
     }
-    let rel = relation_from_csv_path(&a.positional[0])?;
+    let obs = ObsSession::start(a);
+    let rel = obs.load_csv(&a.positional[0], a.threads)?;
     let mut opts = DiscoverOptions::new(a.k);
     opts.max_lhs = a.max_lhs;
     opts.threads = a.threads;
@@ -278,7 +291,6 @@ fn discover(a: &Args) -> Result<ExitCode> {
         a.k,
         a.algo,
     );
-    let obs = ObsSession::start(a);
     let discovery = match a.algo.discover_with(&rel, &opts, &obs.control()) {
         Ok(d) => d,
         Err(e) => {
@@ -365,7 +377,8 @@ fn load_rules(rel: &Relation, path: &str, lenient: bool) -> Result<Vec<(String, 
 }
 
 fn check(a: &Args) -> Result<ExitCode> {
-    let rel = relation_from_csv_path(&a.positional[0])?;
+    let obs = ObsSession::start(a);
+    let rel = obs.load_csv(&a.positional[0], a.threads)?;
     let rules = load_rules(&rel, &a.positional[1], a.lenient)?;
     eprintln!(
         "# checking {} rules against {} ({} threads)",
@@ -376,7 +389,6 @@ fn check(a: &Args) -> Result<ExitCode> {
     // one kernel pass over the relation for the whole cover: rules
     // sharing an LHS wildcard set share a grouping, and the sample cap
     // keeps per-rule output bounded while the counters stay exact
-    let obs = ObsSession::start(a);
     let report = validate_with(
         &rel,
         rules.iter().map(|(_, cfd)| cfd),
@@ -515,12 +527,12 @@ fn watch(a: &Args) -> Result<ExitCode> {
     use cfd_suite::prelude::StreamEngine;
     use std::io::BufRead;
 
-    let mut rel = relation_from_csv_path(&a.positional[0])?;
+    let obs = ObsSession::start(a);
+    let mut rel = obs.load_csv(&a.positional[0], 1)?;
     let loaded = load_rules_with(&a.positional[1], a.lenient, |line| {
         parse_cfd_interning(&mut rel, line)
     })?;
     let (texts, cfds): (Vec<String>, Vec<Cfd>) = loaded.into_iter().unzip();
-    let obs = ObsSession::start(a);
     let (engine, warm) = StreamEngine::warm(&rel, cfds, a.shards);
     let mut engine = engine.metrics_with(obs.registry.clone());
     eprintln!(
