@@ -16,7 +16,7 @@
 //! kernel (54 ms → 2.5 s, see DESIGN.md §10) — moves a ratio by an
 //! order of magnitude, which is exactly where the alarm is set.
 //!
-//! Four workloads pin the serving paths that have regressed or nearly
+//! Five workloads pin the serving paths that have regressed or nearly
 //! regressed before:
 //!
 //! * `validate_kernel` — the `cfd check` path: a 20k-row tax instance
@@ -29,6 +29,11 @@
 //!   a ~150k-row tax CSV through the chunked zero-copy scanner and
 //!   dictionary encoder (serial; thread scaling is the ingest bench's
 //!   job, the guard pins the per-byte cost).
+//! * `serve_roundtrip` — the `cfd serve` path: a resident in-process
+//!   server with one registered dataset answering a burst of sync
+//!   discover requests over one connection, so protocol parsing, the
+//!   job queue, shared-index dispatch, and result serialization are
+//!   all on the clock.
 //!
 //! `--record` writes `BENCH_GUARD.json` (ratios + the raw numbers that
 //! produced them, for forensics); `--check` re-times the workloads and
@@ -161,6 +166,83 @@ fn run_ingest(csv: &[u8]) -> u64 {
     (rel.n_rows() + rel.memory_bytes()) as u64
 }
 
+/// The `cfd serve` workload rig: an in-process server on an ephemeral
+/// loopback port with a 200-row tax instance registered once; each
+/// measured round drives 10 sync discover requests through one
+/// connection and reads the streamed replies back.
+struct ServeRig {
+    r: std::io::BufReader<std::net::TcpStream>,
+    w: std::net::TcpStream,
+    server: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl ServeRig {
+    fn start() -> ServeRig {
+        use cfd_serve::{ServeOptions, Server};
+        let server = Server::bind(&ServeOptions::default()).expect("bind loopback");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        let w = std::net::TcpStream::connect(addr).expect("connect to own server");
+        let r = std::io::BufReader::new(w.try_clone().expect("clone socket"));
+        let mut rig = ServeRig {
+            r,
+            w,
+            server: Some(handle),
+        };
+        let mut csv = Vec::new();
+        TaxGenerator::new(200)
+            .seed(5)
+            .write_csv(&mut csv)
+            .expect("writing to Vec cannot fail");
+        let req = Json::obj([
+            ("op", Json::from("register")),
+            ("name", Json::from("tax")),
+            ("csv", Json::from(String::from_utf8(csv).expect("utf8 csv"))),
+        ]);
+        let rep = rig.request(&req.to_string());
+        assert!(rep.contains("\"ok\":true"), "register failed: {rep}");
+        rig
+    }
+
+    /// One round trip: send a request line, return the reply line
+    /// (skipping any job-event lines streamed before it).
+    fn request(&mut self, line: &str) -> String {
+        use std::io::{BufRead, Write};
+        self.w.write_all(line.as_bytes()).expect("send request");
+        self.w.write_all(b"\n").expect("send request");
+        loop {
+            let mut reply = String::new();
+            let n = self.r.read_line(&mut reply).expect("read reply");
+            assert!(n > 0, "server hung up mid-measurement");
+            // replies lead with "ok", events with "event"
+            if reply.starts_with("{\"ok\"") {
+                return reply;
+            }
+        }
+    }
+
+    fn shutdown(mut self) {
+        let rep = self.request("{\"op\":\"shutdown\"}");
+        assert!(rep.contains("\"ok\":true"), "shutdown failed: {rep}");
+        self.server
+            .take()
+            .expect("server handle")
+            .join()
+            .expect("server thread")
+            .expect("server run");
+    }
+}
+
+fn run_serve(rig: &mut ServeRig) -> u64 {
+    let mut n = 0u64;
+    for _ in 0..10 {
+        let rep = rig.request("{\"op\":\"discover\",\"dataset\":\"tax\",\"sync\":true}");
+        assert!(rep.contains("\"ok\":true"), "discover failed: {rep}");
+        n += rep.len() as u64;
+    }
+    n
+}
+
 struct Measured {
     name: &'static str,
     ms: f64,
@@ -202,6 +284,15 @@ fn measure() -> (f64, Vec<Measured>) {
     let ms = best_of_ms(3, || run_ingest(&csv));
     out.push(Measured {
         name: "ingest_chunked",
+        ms,
+        ratio: ms / calib_ms,
+    });
+
+    let mut rig = ServeRig::start();
+    let ms = best_of_ms(3, || run_serve(&mut rig));
+    rig.shutdown();
+    out.push(Measured {
+        name: "serve_roundtrip",
         ms,
         ratio: ms / calib_ms,
     });

@@ -45,6 +45,7 @@ use cfd_model::json::Json;
 pub use cfd_model::measure::RuleMeasure;
 pub use cfd_model::progress::{Cancelled, Control, PhaseTiming, Progress, SearchStats};
 use cfd_model::relation::Relation;
+use cfd_partition::RelationIndex;
 
 /// The algorithm registry: every discovery algorithm the suite ships,
 /// under its stable CLI/wire name.
@@ -633,11 +634,51 @@ pub trait Discoverer {
         Ok((self.run(rel, opts, ctrl, stats)?, None))
     }
 
+    /// [`Discoverer::run_measured`] against a caller-owned
+    /// [`RelationIndex`] — the per-dataset column cache a resident
+    /// server shares across jobs. Algorithms that consult per-column
+    /// value regions (CTANE's level-1 seeding and constant
+    /// refinements) override this to reuse the shared cache; the
+    /// default ignores the index and runs normally, so every
+    /// implementor stays correct. Output is byte-identical either way.
+    fn run_measured_indexed(
+        &self,
+        rel: &Relation,
+        index: &RelationIndex,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Option<Vec<RuleMeasure>>), DiscoverError> {
+        let _ = index;
+        self.run_measured(rel, opts, ctrl, stats)
+    }
+
     /// Full-service discovery: validates `opts`, projects, runs,
     /// filters, and returns the structured [`Discovery`].
     fn discover_with(
         &self,
         rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+    ) -> Result<Discovery, DiscoverError> {
+        self.discover_indexed(rel, None, opts, ctrl)
+    }
+
+    /// [`Discoverer::discover_with`] with an optional shared
+    /// [`RelationIndex`] over `rel` — the job-facing entry point of a
+    /// resident server (`cfd serve`): the registry builds one index per
+    /// registered dataset and every discover/measure job on that
+    /// dataset reuses it, so per-column value regions are computed once
+    /// per dataset rather than once per request. The index is consulted
+    /// by the search (where the algorithm supports it) *and* by the
+    /// kernel measuring pass. When [`DiscoverOptions::project`] is set
+    /// the index describes the wrong relation and is ignored for that
+    /// run. The [`Discovery`] is byte-identical with or without the
+    /// index.
+    fn discover_indexed(
+        &self,
+        rel: &Relation,
+        index: Option<&RelationIndex>,
         opts: &DiscoverOptions,
         ctrl: &Control<'_>,
     ) -> Result<Discovery, DiscoverError> {
@@ -686,10 +727,16 @@ pub trait Discoverer {
             None => None,
         };
         let work = projected.as_ref().unwrap_or(rel);
+        // a projection changes the relation the index was built for —
+        // fall back to a private index for that run
+        let index = if projected.is_some() { None } else { index };
         let mut stats = SearchStats::default();
         let (mut cover, mut self_measures) = {
             let _sp = cfd_obs::span!("discover.run");
-            self.run_measured(work, opts, ctrl, &mut stats)?
+            match index {
+                Some(ix) => self.run_measured_indexed(work, ix, opts, ctrl, &mut stats)?,
+                None => self.run_measured(work, opts, ctrl, &mut stats)?,
+            }
         };
         if opts.constants_only && !algo.constants_native() {
             // post-filter to the constant fragment, keeping any
@@ -722,19 +769,17 @@ pub trait Discoverer {
             None if cover.is_empty() => Vec::new(),
             None => {
                 let _sp = cfd_obs::span!("discover.measure");
-                cfd_validate::validate_with(
-                    work,
-                    cover.iter(),
-                    &cfd_validate::ValidateOptions {
-                        threads: opts.threads,
-                        limit: 0,
-                    },
-                    ctrl,
-                )
-                .rules
-                .into_iter()
-                .map(|r| r.measure)
-                .collect()
+                let vopts = cfd_validate::ValidateOptions {
+                    threads: opts.threads,
+                    limit: 0,
+                };
+                let report = match index {
+                    Some(ix) => {
+                        cfd_validate::validate_indexed(work, cover.iter(), ix, &vopts, ctrl)
+                    }
+                    None => cfd_validate::validate_with(work, cover.iter(), &vopts, ctrl),
+                };
+                report.rules.into_iter().map(|r| r.measure).collect()
             }
         };
         stats.phase("measure", t_measure.elapsed());
@@ -885,6 +930,20 @@ impl Discoverer for Ctane {
         let (cover, measures) = self.configured(opts).run_measured(rel, ctrl, stats)?;
         Ok((cover, Some(measures)))
     }
+
+    fn run_measured_indexed(
+        &self,
+        rel: &Relation,
+        index: &RelationIndex,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Option<Vec<RuleMeasure>>), DiscoverError> {
+        let (cover, measures) = self
+            .configured(opts)
+            .run_measured_indexed(rel, index, ctrl, stats)?;
+        Ok((cover, Some(measures)))
+    }
 }
 
 impl Discoverer for FastCfd {
@@ -1008,6 +1067,18 @@ impl Discoverer for Algo {
         stats: &mut SearchStats,
     ) -> Result<(CanonicalCover, Option<Vec<RuleMeasure>>), DiscoverError> {
         self.discoverer().run_measured(rel, opts, ctrl, stats)
+    }
+
+    fn run_measured_indexed(
+        &self,
+        rel: &Relation,
+        index: &RelationIndex,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Option<Vec<RuleMeasure>>), DiscoverError> {
+        self.discoverer()
+            .run_measured_indexed(rel, index, opts, ctrl, stats)
     }
 }
 

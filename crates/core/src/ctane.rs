@@ -308,6 +308,27 @@ impl Ctane {
         ctrl: &Control<'_>,
         stats: &mut SearchStats,
     ) -> Result<(CanonicalCover, Vec<RuleMeasure>), Cancelled> {
+        // per-column value regions, built lazily and shared by every
+        // constant refinement of the run
+        let col_index = RelationIndex::new(rel);
+        self.run_measured_indexed(rel, &col_index, ctrl, stats)
+    }
+
+    /// [`Ctane::run_measured`] against a caller-owned
+    /// [`RelationIndex`] — the value-index cache a resident server
+    /// shares across every job on the same registered dataset, so the
+    /// per-column counting passes that seed level 1 (and drive each
+    /// constant refinement) are paid once per dataset, not once per
+    /// request. The cover is byte-identical to a run with a private
+    /// index: the index caches pure per-column regions, never search
+    /// state.
+    pub fn run_measured_indexed(
+        &self,
+        rel: &Relation,
+        col_index: &RelationIndex,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Vec<RuleMeasure>), Cancelled> {
         let n = rel.n_rows();
         let arity = rel.arity();
         let theta = self.min_confidence;
@@ -319,9 +340,6 @@ impl Ctane {
         if n == 0 || n < self.k {
             return Ok((CanonicalCover::from_cfds(out), Vec::new()));
         }
-        // per-column value regions, built lazily and shared by every
-        // constant refinement of the run
-        let col_index = RelationIndex::new(rel);
         let mut store: PartitionStore<Pattern> = PartitionStore::new(self.cache_budget);
         let mut scratch = RefineScratch::for_relation(rel);
 
@@ -441,7 +459,7 @@ impl Ctane {
                                 let keep = parent_keep(
                                     &mut store,
                                     rel,
-                                    &col_index,
+                                    col_index,
                                     &parent_pat,
                                     a,
                                     &mut scratch,
@@ -566,7 +584,7 @@ impl Ctane {
             let expand = ExpandCtx {
                 alg: self,
                 rel,
-                col_index: &col_index,
+                col_index,
                 uni: &uni,
                 level: &level,
                 index: &index,

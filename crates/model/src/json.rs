@@ -136,11 +136,17 @@ impl Json {
     }
 
     /// Parses a JSON document (strict: trailing garbage is an error).
+    ///
+    /// Nesting is capped at [`MAX_PARSE_DEPTH`] levels: the parser is
+    /// recursive, and a hostile `[[[[…` line must produce a structured
+    /// error, not a stack overflow — `cfd serve` feeds client-supplied
+    /// bytes straight into this function.
     pub fn parse(text: &str) -> Result<Json> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             text,
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -215,15 +221,30 @@ impl std::fmt::Display for Json {
     }
 }
 
+/// Maximum container nesting [`Json::parse`] accepts. Deep enough for
+/// any document this suite emits (a `Discovery` nests 5 levels), small
+/// enough that the recursive parser cannot be driven to stack overflow
+/// by untrusted input.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'t> {
     bytes: &'t [u8],
     text: &'t str,
     pos: usize,
+    depth: usize,
 }
 
 impl<'t> Parser<'t> {
     fn fail(&self, msg: &str) -> Error {
         Error::Parse(format!("JSON: {msg} at byte {}", self.pos))
+    }
+
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.fail("nesting deeper than MAX_PARSE_DEPTH levels"));
+        }
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -259,10 +280,12 @@ impl<'t> Parser<'t> {
             Some(b'"') => self.string().map(Json::Str),
             Some(b'[') => {
                 self.pos += 1;
+                self.descend()?;
                 let mut items = Vec::new();
                 self.skip_ws();
                 if self.bytes.get(self.pos) == Some(&b']') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 loop {
@@ -273,6 +296,7 @@ impl<'t> Parser<'t> {
                         Some(b',') => self.pos += 1,
                         Some(b']') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Json::Arr(items));
                         }
                         _ => return Err(self.fail("expected ',' or ']'")),
@@ -281,10 +305,12 @@ impl<'t> Parser<'t> {
             }
             Some(b'{') => {
                 self.pos += 1;
+                self.descend()?;
                 let mut pairs = Vec::new();
                 self.skip_ws();
                 if self.bytes.get(self.pos) == Some(&b'}') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 loop {
@@ -300,6 +326,7 @@ impl<'t> Parser<'t> {
                         Some(b',') => self.pos += 1,
                         Some(b'}') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Json::Obj(pairs));
                         }
                         _ => return Err(self.fail("expected ',' or '}'")),
@@ -452,6 +479,37 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn rejects_hostile_nesting_without_overflowing() {
+        // a protocol line of nothing but open brackets must come back
+        // as a parse error, not a stack overflow — `cfd serve` parses
+        // untrusted client bytes with this function
+        let bombs = [
+            "[".repeat(100_000),
+            "{\"a\":".repeat(100_000),
+            format!(
+                "{}1{}",
+                "[".repeat(MAX_PARSE_DEPTH + 1),
+                "]".repeat(MAX_PARSE_DEPTH + 1)
+            ),
+        ];
+        for bomb in &bombs {
+            let err = Json::parse(bomb).unwrap_err().to_string();
+            assert!(err.contains("MAX_PARSE_DEPTH"), "{err}");
+        }
+        // the cap is about *nesting*, not size: exactly MAX_PARSE_DEPTH
+        // levels still parse
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Json::parse(&ok).is_ok());
+        // ... and sibling containers don't accumulate depth
+        let wide = format!("[{}1]", "[1],".repeat(10_000));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

@@ -1,0 +1,518 @@
+//! Jobs: submitted work, its lifecycle, and the bounded queue workers
+//! drain.
+//!
+//! A [`Job`] is the server-side ticket for one discover/check/repair
+//! request: a global sequential id, a cancellation flag, a state
+//! machine (`queued → running → done | failed | cancelled`), and the
+//! subscriber channel its progress events and final result stream to.
+//! The [`JobQueue`] in front of the workers is bounded — a submission
+//! past the cap is *rejected* with a structured `queue_full` error
+//! rather than queued without limit, so a flood of requests degrades
+//! into fast failures instead of unbounded memory growth (admission
+//! control, like the registry's byte budget).
+//!
+//! Execution ([`run_spec`]) is deliberately a pure function of the
+//! spec and a [`Control`]: workers own nothing but the borrowed
+//! handle, which is how `cancel` reaches a running job (its flag is
+//! polled at the algorithm's own checkpoints) and how per-job metrics
+//! and progress reach the server's registry and the subscribed client.
+
+use crate::protocol::{event, ServeError};
+use crate::registry::Dataset;
+use crate::session::attach_rule_texts;
+use cfd_core::api::{Algo, DiscoverError, DiscoverOptions, Discoverer};
+use cfd_core::Ctane;
+use cfd_model::{Cfd, Control, Json};
+use cfd_validate::ValidateOptions;
+use std::collections::VecDeque;
+use std::sync::atomic::AtomicBool;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What kind of work a job carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// CFD discovery over a registered dataset.
+    Discover,
+    /// Cover validation over a registered dataset.
+    Check,
+    /// Repair suggestion (edits are returned, never applied).
+    Repair,
+}
+
+impl JobKind {
+    /// Wire name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Discover => "discover",
+            JobKind::Check => "check",
+            JobKind::Repair => "repair",
+        }
+    }
+}
+
+/// Terminal outcome of a job.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// Finished; the op-specific result document.
+    Done(Json),
+    /// Failed with a structured error.
+    Failed(ServeError),
+    /// Stopped through its cancellation flag (or cancelled while
+    /// still queued).
+    Cancelled,
+}
+
+enum Phase {
+    Queued,
+    Running,
+    Finished(JobOutcome),
+}
+
+/// One submitted job: id, cancellation flag, state machine, and the
+/// subscriber its events stream to.
+pub struct Job {
+    /// Global sequential id (1-based).
+    pub id: u64,
+    /// What the job does.
+    pub kind: JobKind,
+    /// The dataset it runs against.
+    pub dataset: String,
+    /// Sync jobs carry their result in the submission reply; their
+    /// terminal event is suppressed (progress still streams).
+    pub sync: bool,
+    /// The flag `cancel` sets and [`Control::check`] polls.
+    pub cancel: AtomicBool,
+    phase: Mutex<Phase>,
+    done_cv: Condvar,
+    subscriber: Mutex<Option<Sender<String>>>,
+}
+
+impl Job {
+    /// A queued job whose events go to `subscriber` (the submitting
+    /// connection's writer channel).
+    pub fn new(
+        id: u64,
+        kind: JobKind,
+        dataset: String,
+        sync: bool,
+        subscriber: Sender<String>,
+    ) -> Arc<Job> {
+        Arc::new(Job {
+            id,
+            kind,
+            dataset,
+            sync,
+            cancel: AtomicBool::new(false),
+            phase: Mutex::new(Phase::Queued),
+            done_cv: Condvar::new(),
+            subscriber: Mutex::new(Some(subscriber)),
+        })
+    }
+
+    /// Streams one event line to the subscriber (silently dropped when
+    /// the client is gone — a job never fails because its watcher
+    /// hung up).
+    pub fn send_event(&self, kind: &str, fields: Vec<(String, Json)>) {
+        if let Some(tx) = self.subscriber.lock().expect("subscriber lock").as_ref() {
+            let _ = tx.send(event(kind, self.id, fields).to_string());
+        }
+    }
+
+    /// Marks the job running and announces it.
+    pub fn set_running(&self) {
+        *self.phase.lock().expect("job lock") = Phase::Running;
+        self.send_event(
+            "started",
+            vec![("kind".into(), Json::from(self.kind.name()))],
+        );
+    }
+
+    /// Records the terminal outcome, wakes waiters, emits the terminal
+    /// event (async jobs only), and drops the subscriber sender — a
+    /// finished job must not keep its connection's writer thread
+    /// alive.
+    pub fn finish(&self, outcome: JobOutcome) {
+        {
+            let mut phase = self.phase.lock().expect("job lock");
+            if matches!(*phase, Phase::Finished(_)) {
+                return;
+            }
+            *phase = Phase::Finished(outcome.clone());
+        }
+        self.done_cv.notify_all();
+        if !self.sync {
+            match &outcome {
+                JobOutcome::Done(result) => {
+                    self.send_event("done", vec![("result".into(), result.clone())])
+                }
+                JobOutcome::Failed(e) => self.send_event(
+                    "failed",
+                    vec![(
+                        "error".into(),
+                        Json::obj([
+                            ("code", Json::from(e.code)),
+                            ("message", Json::from(e.message.as_str())),
+                        ]),
+                    )],
+                ),
+                JobOutcome::Cancelled => self.send_event("cancelled", Vec::new()),
+            }
+        }
+        *self.subscriber.lock().expect("subscriber lock") = None;
+    }
+
+    /// Blocks until the job reaches a terminal state (the sync-mode
+    /// wait), returning the outcome.
+    pub fn wait(&self) -> JobOutcome {
+        let mut phase = self.phase.lock().expect("job lock");
+        loop {
+            if let Phase::Finished(outcome) = &*phase {
+                return outcome.clone();
+            }
+            phase = self.done_cv.wait(phase).expect("job lock");
+        }
+    }
+
+    /// Wire name of the current state.
+    pub fn state_name(&self) -> &'static str {
+        match &*self.phase.lock().expect("job lock") {
+            Phase::Queued => "queued",
+            Phase::Running => "running",
+            Phase::Finished(JobOutcome::Done(_)) => "done",
+            Phase::Finished(JobOutcome::Failed(_)) => "failed",
+            Phase::Finished(JobOutcome::Cancelled) => "cancelled",
+        }
+    }
+
+    /// The job's row for `jobs` / `status` replies; `with_result`
+    /// additionally carries a terminal result or error.
+    pub fn to_json(&self, with_result: bool) -> Json {
+        let mut fields = vec![
+            ("job".to_string(), Json::from(self.id)),
+            ("kind".to_string(), Json::from(self.kind.name())),
+            ("dataset".to_string(), Json::from(self.dataset.as_str())),
+            ("state".to_string(), Json::from(self.state_name())),
+        ];
+        if with_result {
+            if let Phase::Finished(outcome) = &*self.phase.lock().expect("job lock") {
+                match outcome {
+                    JobOutcome::Done(result) => fields.push(("result".to_string(), result.clone())),
+                    JobOutcome::Failed(e) => fields.push((
+                        "error".to_string(),
+                        Json::obj([
+                            ("code", Json::from(e.code)),
+                            ("message", Json::from(e.message.as_str())),
+                        ]),
+                    )),
+                    JobOutcome::Cancelled => {}
+                }
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// The parsed, admission-checked work a worker executes: every variant
+/// holds its dataset `Arc` (so `unregister` cannot pull data out from
+/// under a running job) and everything else was validated at
+/// submission, so workers never reject.
+pub enum JobSpec {
+    /// Discovery via [`Discoverer::discover_indexed`] against the
+    /// dataset's shared index.
+    Discover {
+        /// Target dataset.
+        ds: Arc<Dataset>,
+        /// Algorithm to run.
+        algo: Algo,
+        /// Validated options.
+        opts: DiscoverOptions,
+        /// CTANE partition-store budget for this job, in bytes.
+        cache_budget: Option<usize>,
+    },
+    /// Validation via [`cfd_validate::validate_indexed`].
+    Check {
+        /// Target dataset.
+        ds: Arc<Dataset>,
+        /// Parsed rules with their wire texts.
+        rules: Vec<(String, Cfd)>,
+        /// Kernel options.
+        opts: ValidateOptions,
+    },
+    /// Repair suggestion for a cover.
+    Repair {
+        /// Target dataset.
+        ds: Arc<Dataset>,
+        /// Parsed rules with their wire texts.
+        rules: Vec<(String, Cfd)>,
+    },
+}
+
+/// Runs a spec under `ctrl`, returning the result document. This is
+/// the entire worker-side logic: cancellation surfaces as
+/// [`JobOutcome::Cancelled`], any other failure as a structured error.
+pub fn run_spec(spec: &JobSpec, ctrl: &Control<'_>) -> JobOutcome {
+    match spec {
+        JobSpec::Discover {
+            ds,
+            algo,
+            opts,
+            cache_budget,
+        } => {
+            // CTANE's partition-store budget is a per-job resource
+            // (the store is private to the run); every other algorithm
+            // ignores it, which submission already noted.
+            let disc: Box<dyn Discoverer> = match (algo, cache_budget) {
+                (Algo::Ctane, Some(bytes)) => Box::new(Ctane::new(opts.k).cache_budget(*bytes)),
+                _ => algo.discoverer(),
+            };
+            match disc.discover_indexed(&ds.rel, Some(&ds.index), opts, ctrl) {
+                Ok(d) => JobOutcome::Done(d.to_json(&ds.rel)),
+                Err(DiscoverError::Cancelled) => JobOutcome::Cancelled,
+                Err(e) => JobOutcome::Failed(ServeError::new("bad_options", e.to_string())),
+            }
+        }
+        JobSpec::Check { ds, rules, opts } => {
+            if ctrl.check().is_err() {
+                return JobOutcome::Cancelled;
+            }
+            let report = cfd_validate::validate_indexed(
+                &ds.rel,
+                rules.iter().map(|(_, c)| c),
+                &ds.index,
+                opts,
+                ctrl,
+            );
+            let mut doc = report.to_json();
+            attach_rule_texts(&mut doc, rules);
+            JobOutcome::Done(doc)
+        }
+        JobSpec::Repair { ds, rules } => {
+            if ctrl.check().is_err() {
+                return JobOutcome::Cancelled;
+            }
+            let cfds: Vec<&Cfd> = rules.iter().map(|(_, c)| c).collect();
+            let before = cfd_validate::detect_violations(&ds.rel, cfds.iter().copied()).len();
+            let edits = cfd_validate::suggest_repairs_for_cover(&ds.rel, cfds.iter().copied());
+            let fixed = cfd_model::apply_repairs(&ds.rel, &edits);
+            let after = cfd_validate::detect_violations(&fixed, cfds.iter().copied()).len();
+            let edit_docs = Json::arr(edits.iter().map(|r| {
+                let dict = ds.rel.column(r.attr).dict();
+                Json::obj([
+                    ("tuple", Json::from(r.tuple)),
+                    ("attr", Json::from(ds.rel.schema().name(r.attr))),
+                    ("current", Json::from(dict.value(r.current))),
+                    ("suggested", Json::from(dict.value(r.suggested))),
+                ])
+            }));
+            JobOutcome::Done(Json::obj([
+                ("edits", edit_docs),
+                ("violations_before", Json::from(before)),
+                ("violations_after", Json::from(after)),
+            ]))
+        }
+    }
+}
+
+struct QueueInner {
+    pending: VecDeque<(Arc<Job>, JobSpec)>,
+    running: usize,
+    closed: bool,
+}
+
+/// The bounded FIFO between connections and workers. Submission past
+/// the depth cap fails fast (`queue_full`); closing lets workers drain
+/// what is pending, then stop.
+pub struct JobQueue {
+    max_depth: usize,
+    inner: Mutex<QueueInner>,
+    work_cv: Condvar,
+    idle_cv: Condvar,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `max_depth` pending jobs.
+    pub fn new(max_depth: usize) -> JobQueue {
+        JobQueue {
+            max_depth,
+            inner: Mutex::new(QueueInner {
+                pending: VecDeque::new(),
+                running: 0,
+                closed: false,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job, or rejects it: `shutting_down` once closed,
+    /// `queue_full` past the depth cap.
+    pub fn submit(&self, job: Arc<Job>, spec: JobSpec) -> Result<(), ServeError> {
+        let mut q = self.inner.lock().expect("queue lock");
+        if q.closed {
+            return Err(ServeError::new(
+                "shutting_down",
+                "server is shutting down; no new jobs",
+            ));
+        }
+        if q.pending.len() >= self.max_depth {
+            return Err(ServeError::new(
+                "queue_full",
+                format!(
+                    "job queue is at its depth cap ({}); retry after a job finishes",
+                    self.max_depth
+                ),
+            ));
+        }
+        q.pending.push_back((job, spec));
+        drop(q);
+        self.work_cv.notify_one();
+        Ok(())
+    }
+
+    /// Worker entry: blocks for the next job, `None` once the queue is
+    /// closed *and* drained. The popped job counts as running until
+    /// [`JobQueue::done`].
+    pub fn pop(&self) -> Option<(Arc<Job>, JobSpec)> {
+        let mut q = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = q.pending.pop_front() {
+                q.running += 1;
+                return Some(item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.work_cv.wait(q).expect("queue lock");
+        }
+    }
+
+    /// Marks one popped job finished.
+    pub fn done(&self) {
+        let mut q = self.inner.lock().expect("queue lock");
+        q.running -= 1;
+        if q.pending.is_empty() && q.running == 0 {
+            drop(q);
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Removes `job_id` from the pending queue if it has not been
+    /// picked up yet — the fast path of `cancel`. Returns the job when
+    /// it was still pending.
+    pub fn take_pending(&self, job_id: u64) -> Option<Arc<Job>> {
+        let mut q = self.inner.lock().expect("queue lock");
+        let at = q.pending.iter().position(|(j, _)| j.id == job_id)?;
+        let (job, _) = q.pending.remove(at)?;
+        if q.pending.is_empty() && q.running == 0 {
+            drop(q);
+            self.idle_cv.notify_all();
+        }
+        Some(job)
+    }
+
+    /// Stops admission and wakes idle workers so they can exit once
+    /// the backlog drains.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.work_cv.notify_all();
+    }
+
+    /// Blocks until nothing is pending or running — the shutdown
+    /// drain (cancelled jobs exit at their next checkpoint, so this
+    /// terminates).
+    pub fn wait_idle(&self) {
+        let mut q = self.inner.lock().expect("queue lock");
+        while !(q.pending.is_empty() && q.running == 0) {
+            q = self.idle_cv.wait(q).expect("queue lock");
+        }
+    }
+
+    /// Pending jobs right now (`stats` gauge).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").pending.len()
+    }
+
+    /// Running jobs right now (`stats` gauge).
+    pub fn running(&self) -> usize {
+        self.inner.lock().expect("queue lock").running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn ticket(id: u64) -> (Arc<Job>, std::sync::mpsc::Receiver<String>) {
+        let (tx, rx) = channel();
+        (Job::new(id, JobKind::Discover, "t".into(), false, tx), rx)
+    }
+
+    fn noop_spec() -> JobSpec {
+        use cfd_model::csv::relation_from_csv_str;
+        let rel = relation_from_csv_str("A,B\nx,1\n").unwrap();
+        JobSpec::Repair {
+            ds: Arc::new(crate::registry::Dataset::new("t", rel)),
+            rules: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn queue_enforces_depth_and_drains_on_close() {
+        let q = JobQueue::new(2);
+        let (j1, _r1) = ticket(1);
+        let (j2, _r2) = ticket(2);
+        let (j3, _r3) = ticket(3);
+        q.submit(j1, noop_spec()).unwrap();
+        q.submit(j2, noop_spec()).unwrap();
+        assert_eq!(q.submit(j3, noop_spec()).unwrap_err().code, "queue_full");
+        assert_eq!(q.depth(), 2);
+        // cancel-while-queued removes from the backlog
+        assert_eq!(q.take_pending(2).unwrap().id, 2);
+        assert!(q.take_pending(2).is_none());
+        q.close();
+        let (j4, _r4) = ticket(4);
+        assert_eq!(q.submit(j4, noop_spec()).unwrap_err().code, "shutting_down");
+        // closed + non-empty still hands out work, then stops
+        assert_eq!(q.pop().unwrap().0.id, 1);
+        q.done();
+        assert!(q.pop().is_none());
+        q.wait_idle();
+    }
+
+    #[test]
+    fn job_lifecycle_streams_events_and_wakes_waiters() {
+        let (job, rx) = ticket(7);
+        assert_eq!(job.state_name(), "queued");
+        job.set_running();
+        assert_eq!(job.state_name(), "running");
+        let started = rx.recv().unwrap();
+        assert!(started.contains("\"started\""), "got {started}");
+        assert!(started.contains("\"job\":7"), "got {started}");
+        job.send_event("progress", vec![("done".into(), Json::from(1usize))]);
+        assert!(rx.recv().unwrap().contains("\"progress\""));
+        job.finish(JobOutcome::Done(Json::obj([("x", Json::from(1usize))])));
+        assert_eq!(job.state_name(), "done");
+        let done = rx.recv().unwrap();
+        assert!(done.contains("\"done\""), "got {done}");
+        assert!(done.contains("\"result\""), "got {done}");
+        // terminal: subscriber dropped, no more events possible
+        assert!(rx.recv().is_err());
+        assert!(matches!(job.wait(), JobOutcome::Done(_)));
+        // double-finish is a no-op
+        job.finish(JobOutcome::Cancelled);
+        assert_eq!(job.state_name(), "done");
+    }
+
+    #[test]
+    fn sync_jobs_suppress_the_terminal_event() {
+        let (tx, rx) = channel();
+        let job = Job::new(9, JobKind::Check, "t".into(), true, tx);
+        job.set_running();
+        let _ = rx.recv().unwrap(); // started still streams
+        job.finish(JobOutcome::Cancelled);
+        assert!(rx.recv().is_err(), "no terminal event in sync mode");
+        assert!(matches!(job.wait(), JobOutcome::Cancelled));
+    }
+}

@@ -1,0 +1,70 @@
+//! # cfd-serve
+//!
+//! The resident service behind `cfd serve`: a dependency-free TCP
+//! line-protocol server that keeps datasets — and their amortizable
+//! derived state — in memory across requests, so N clients pay the
+//! ingest/index cost once instead of once per `cfd` invocation.
+//!
+//! Three subsystems (one module each, protocol grammar in DESIGN.md
+//! §12):
+//!
+//! * [`registry`] — named relations ingested once through the chunked
+//!   pipeline, each bundled with its shared
+//!   [`cfd_partition::RelationIndex`] behind an `Arc` and admitted
+//!   against a server-wide byte budget;
+//! * [`jobs`] — discover/check/repair jobs with per-job cancellation
+//!   flags, run by a fixed worker pool behind a *bounded* queue
+//!   (overload is a structured `queue_full` error, not unbounded
+//!   buffering);
+//! * [`server`] — the accept loop and per-connection reader/writer
+//!   threads that stream newline-delimited JSON replies, job progress
+//!   events, and final `Discovery`/`ValidationReport` documents to
+//!   many concurrent sockets.
+//!
+//! Results are *identical to the one-shot CLI*: jobs run through the
+//! same `discover_indexed`/`validate_indexed` entry points the CLI's
+//! code paths reduce to, and discovery output is independent of thread
+//! count and cache budget by the determinism contract, so a server
+//! answer can be diffed byte-for-byte against `cfd discover` /
+//! `cfd check` (the integration tests do exactly that).
+//!
+//! ```
+//! use cfd_serve::protocol::{ok_reply, Request};
+//! use cfd_serve::server::{ServeOptions, Server};
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::TcpStream;
+//!
+//! // requests are one JSON object per line, tagged with an "op"
+//! let req = Request::parse(r#"{"op": "ping"}"#).unwrap();
+//! assert_eq!(req, Request::Ping);
+//!
+//! // bind on an ephemeral port, serve on a background thread
+//! let server = Server::bind(&ServeOptions::default()).unwrap();
+//! let addr = server.local_addr();
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let mut sock = TcpStream::connect(addr).unwrap();
+//! sock.write_all(b"{\"op\": \"ping\"}\n{\"op\": \"shutdown\"}\n")
+//!     .unwrap();
+//! let mut lines = BufReader::new(sock).lines();
+//! let pong = lines.next().unwrap().unwrap();
+//! assert_eq!(pong, ok_reply("ping", Vec::<(String, _)>::new()).to_string());
+//! let bye = lines.next().unwrap().unwrap();
+//! assert!(bye.contains("\"shutdown\""));
+//! handle.join().unwrap().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod jobs;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod session;
+
+pub use jobs::{Job, JobKind, JobOutcome, JobQueue, JobSpec};
+pub use protocol::{LineRead, Request, ServeError, DEFAULT_MAX_LINE};
+pub use registry::{Dataset, DatasetRegistry};
+pub use server::{ServeOptions, Server};
+pub use session::ObsSession;

@@ -1,0 +1,228 @@
+//! The dataset registry: named relations, ingested once, shared by
+//! every job.
+//!
+//! A registered dataset bundles the [`Relation`] with its
+//! [`RelationIndex`] — the lazily-built per-column value-region cache
+//! that discovery *and* validation consult — behind one `Arc`, so N
+//! concurrent jobs on the same dataset share both without copying and
+//! without re-deriving per-column partitions per request. (The mutable
+//! per-run [`cfd_partition::PartitionStore`] stays private to each
+//! job; sharing it would serialize jobs on its lock. DESIGN.md §12
+//! spells out the split.)
+//!
+//! Admission control is by resident bytes: the registry carries a
+//! budget and [`DatasetRegistry::insert`] rejects a dataset that would
+//! push [`Relation::memory_bytes`] totals past it with a structured
+//! `registry_budget` error — the server degrades predictably instead
+//! of growing without bound.
+
+use crate::protocol::ServeError;
+use cfd_model::{Json, Relation};
+use cfd_partition::RelationIndex;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A registered dataset: the relation, its shared column index, and
+/// the byte size it is accounted at.
+pub struct Dataset {
+    /// Registry name.
+    pub name: String,
+    /// The ingested relation.
+    pub rel: Relation,
+    /// Shared per-column value-region cache over `rel`. Built lazily,
+    /// per column, on first use by any job ([`RelationIndex`] is
+    /// internally synchronized), then reused by every later job.
+    pub index: RelationIndex,
+    /// `rel.memory_bytes()` at registration — what the budget charges.
+    pub bytes: usize,
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("name", &self.name)
+            .field("rows", &self.rel.n_rows())
+            .field("arity", &self.rel.arity())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+impl Dataset {
+    /// Wraps an ingested relation for registration.
+    pub fn new(name: impl Into<String>, rel: Relation) -> Dataset {
+        let bytes = rel.memory_bytes();
+        let index = RelationIndex::new(&rel);
+        Dataset {
+            name: name.into(),
+            rel,
+            index,
+            bytes,
+        }
+    }
+
+    /// The dataset's registry row (`datasets` reply element).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("rows", Json::from(self.rel.n_rows())),
+            ("arity", Json::from(self.rel.arity())),
+            ("bytes", Json::from(self.bytes)),
+        ])
+    }
+}
+
+/// Named datasets behind a byte budget. All methods are `&self` — the
+/// registry is shared across connection and worker threads.
+pub struct DatasetRegistry {
+    budget: usize,
+    inner: Mutex<BTreeMap<String, Arc<Dataset>>>,
+}
+
+impl DatasetRegistry {
+    /// An empty registry admitting up to `budget_bytes` of resident
+    /// relation data.
+    pub fn new(budget_bytes: usize) -> DatasetRegistry {
+        DatasetRegistry {
+            budget: budget_bytes,
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The configured budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Registers `ds` under its name. Rejects duplicates
+    /// (`dataset_exists`) and datasets that would exceed the byte
+    /// budget (`registry_budget`) — both leave the registry unchanged.
+    pub fn insert(&self, ds: Dataset) -> Result<Arc<Dataset>, ServeError> {
+        let mut map = self.inner.lock().expect("registry lock");
+        if map.contains_key(&ds.name) {
+            return Err(ServeError::new(
+                "dataset_exists",
+                format!("dataset {:?} is already registered", ds.name),
+            ));
+        }
+        let used: usize = map.values().map(|d| d.bytes).sum();
+        if used + ds.bytes > self.budget {
+            return Err(ServeError::new(
+                "registry_budget",
+                format!(
+                    "dataset {:?} needs {} bytes but only {} of the {}-byte budget remain \
+                     (unregister something first)",
+                    ds.name,
+                    ds.bytes,
+                    self.budget - used,
+                    self.budget
+                ),
+            ));
+        }
+        let ds = Arc::new(ds);
+        map.insert(ds.name.clone(), ds.clone());
+        Ok(ds)
+    }
+
+    /// Looks a dataset up by name (`unknown_dataset` when absent).
+    pub fn get(&self, name: &str) -> Result<Arc<Dataset>, ServeError> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::new("unknown_dataset", format!("no dataset named {name:?}")))
+    }
+
+    /// Removes a dataset by name, returning it. Jobs already holding
+    /// the `Arc` finish against the old data; the bytes stop counting
+    /// against the budget immediately.
+    pub fn remove(&self, name: &str) -> Result<Arc<Dataset>, ServeError> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .remove(name)
+            .ok_or_else(|| ServeError::new("unknown_dataset", format!("no dataset named {name:?}")))
+    }
+
+    /// Total bytes currently charged against the budget.
+    pub fn total_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .values()
+            .map(|d| d.bytes)
+            .sum()
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry lock").len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registry rows in name order (the `datasets` reply).
+    pub fn list(&self) -> Vec<Json> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .values()
+            .map(|d| d.to_json())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_model::csv::relation_from_csv_str;
+
+    fn small() -> Relation {
+        relation_from_csv_str("A,B\nx,1\ny,2\n").unwrap()
+    }
+
+    #[test]
+    fn budget_and_duplicates_are_enforced() {
+        let rel = small();
+        let bytes = rel.memory_bytes();
+        let reg = DatasetRegistry::new(bytes * 2 + bytes / 2);
+        reg.insert(Dataset::new("a", small())).unwrap();
+        assert_eq!(
+            reg.insert(Dataset::new("a", small())).unwrap_err().code,
+            "dataset_exists"
+        );
+        reg.insert(Dataset::new("b", small())).unwrap();
+        // a third copy exceeds the 2.5x budget…
+        let err = reg.insert(Dataset::new("c", small())).unwrap_err();
+        assert_eq!(err.code, "registry_budget");
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.total_bytes(), bytes * 2);
+        // …until something is unregistered
+        reg.remove("a").unwrap();
+        reg.insert(Dataset::new("c", small())).unwrap();
+        assert_eq!(reg.remove("nope").unwrap_err().code, "unknown_dataset");
+        assert_eq!(reg.get("zzz").unwrap_err().code, "unknown_dataset");
+        let rows = reg.list();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("name").and_then(Json::as_str), Some("b"));
+    }
+
+    #[test]
+    fn shared_index_answers_like_a_fresh_one() {
+        let reg = DatasetRegistry::new(usize::MAX);
+        let ds = reg.insert(Dataset::new("t", small())).unwrap();
+        let fresh = RelationIndex::new(&ds.rel);
+        for a in 0..ds.rel.arity() {
+            let shared = ds.index.column(&ds.rel, a);
+            let local = fresh.column(&ds.rel, a);
+            assert_eq!(shared.n_codes(), local.n_codes());
+            for c in 0..shared.n_codes() as u32 {
+                assert_eq!(shared.region(c), local.region(c));
+            }
+        }
+    }
+}

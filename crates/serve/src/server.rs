@@ -1,0 +1,565 @@
+//! The TCP server: accept loop, per-connection threads, worker pool,
+//! and the shutdown drain.
+//!
+//! Concurrency layout (DESIGN.md §12): one acceptor (the thread inside
+//! [`Server::run`]), one reader/dispatch thread plus one writer thread
+//! per connection, and a fixed pool of job workers draining the
+//! bounded [`JobQueue`]. The writer thread owns the socket's write
+//! half and consumes an `mpsc` channel of serialized lines; the
+//! connection's dispatcher *and* every job the connection submitted
+//! hold senders, so replies and asynchronous job events interleave
+//! without ever contending on the socket itself, and a job that
+//! finishes after its client sent EOF still gets its terminal event
+//! flushed before the socket closes.
+//!
+//! Shutdown (`{"op": "shutdown"}`) is a drain, not an abort: admission
+//! stops (`shutting_down` errors), pending and running jobs finish
+//! (cancel them first for a fast exit), the reply goes out, and only
+//! then are the acceptor and the remaining connections unblocked.
+
+use crate::jobs::{run_spec, Job, JobKind, JobOutcome, JobQueue, JobSpec};
+use crate::protocol::{
+    error_reply, ok_reply, read_line_capped, LineRead, Request, ServeError, DEFAULT_MAX_LINE,
+};
+use crate::registry::{Dataset, DatasetRegistry};
+use crate::session::parse_rules_with;
+use cfd_model::cfd::parse_cfd;
+use cfd_model::csv::relation_from_csv_str;
+use cfd_model::progress::MetricsSink;
+use cfd_model::{Control, IngestOptions, Json, Progress};
+use cfd_validate::ValidateOptions;
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Server configuration: listen address plus the three admission
+/// budgets (worker pool size, queue depth, registry bytes) and the
+/// per-line cap.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Listen address (`"127.0.0.1:0"` picks an ephemeral port;
+    /// [`Server::local_addr`] reports the choice).
+    pub addr: String,
+    /// Job worker threads.
+    pub workers: usize,
+    /// Pending-job cap; submissions past it fail with `queue_full`.
+    pub queue_depth: usize,
+    /// Registry byte budget; registrations past it fail with
+    /// `registry_budget`.
+    pub registry_budget: usize,
+    /// Protocol line cap in bytes; longer lines are discarded and
+    /// answered with `line_too_long`.
+    pub max_line: usize,
+}
+
+impl Default for ServeOptions {
+    /// Loopback on an ephemeral port, 2 workers, 32 queued jobs, a
+    /// 1 GiB registry, 64 KiB lines.
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 32,
+            registry_budget: 1 << 30,
+            max_line: DEFAULT_MAX_LINE,
+        }
+    }
+}
+
+struct State {
+    registry: DatasetRegistry,
+    queue: JobQueue,
+    metrics: Arc<cfd_obs::Registry>,
+    shutdown: AtomicBool,
+    next_job: AtomicU64,
+    jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
+    clients: Mutex<Vec<TcpStream>>,
+    addr: SocketAddr,
+    max_line: usize,
+    workers: usize,
+}
+
+/// A bound (not yet running) server. [`Server::bind`] reserves the
+/// socket so callers can learn the ephemeral port and clone the
+/// metrics registry before [`Server::run`] takes over the thread.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the shared state. No thread
+    /// is spawned yet.
+    pub fn bind(opts: &ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(State {
+            registry: DatasetRegistry::new(opts.registry_budget),
+            queue: JobQueue::new(opts.queue_depth.max(1)),
+            metrics: Arc::new(cfd_obs::Registry::new()),
+            shutdown: AtomicBool::new(false),
+            next_job: AtomicU64::new(1),
+            jobs: Mutex::new(BTreeMap::new()),
+            clients: Mutex::new(Vec::new()),
+            addr,
+            max_line: opts.max_line.max(256),
+            workers: opts.workers.max(1),
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (the resolved port when `addr` asked for 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// The server-wide metrics registry (`serve.*` counters, job
+    /// metrics, ingest metrics) — clone it before [`Server::run`] to
+    /// read or snapshot it afterwards.
+    pub fn metrics(&self) -> Arc<cfd_obs::Registry> {
+        self.state.metrics.clone()
+    }
+
+    /// Serves until a `shutdown` request completes: spawns the worker
+    /// pool, accepts connections, and on shutdown joins every worker
+    /// and connection thread before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        let state = self.state;
+        let workers: Vec<_> = (0..state.workers)
+            .map(|_| {
+                let st = state.clone();
+                thread::spawn(move || worker_loop(&st))
+            })
+            .collect();
+        let mut conns = Vec::new();
+        for stream in self.listener.incoming() {
+            if state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            if let Ok(clone) = stream.try_clone() {
+                state.clients.lock().expect("clients lock").push(clone);
+            }
+            let st = state.clone();
+            conns.push(thread::spawn(move || connection(&st, stream)));
+        }
+        // the queue was closed by the shutdown handler; workers exit
+        // once the backlog drains (already drained — the handler waits)
+        state.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        // unblock any connection still parked in a read
+        for c in state.clients.lock().expect("clients lock").drain(..) {
+            let _ = c.shutdown(Shutdown::Read);
+        }
+        for c in conns {
+            let _ = c.join();
+        }
+        Ok(())
+    }
+}
+
+/// One job worker: pop, run under a per-job [`Control`], finish.
+fn worker_loop(state: &Arc<State>) {
+    while let Some((job, spec)) = state.queue.pop() {
+        if job.cancel.load(Ordering::Relaxed) {
+            // cancelled while queued but popped before the cancel
+            // handler could remove it
+            state.metrics.add("serve.jobs_cancelled", 1);
+            job.finish(JobOutcome::Cancelled);
+            state.queue.done();
+            continue;
+        }
+        job.set_running();
+        let outcome = {
+            let _sp = cfd_obs::span!("serve.job");
+            let progress = |p: Progress| {
+                job.send_event(
+                    "progress",
+                    vec![
+                        ("phase".to_string(), Json::from(p.phase)),
+                        ("done".to_string(), Json::from(p.done)),
+                        ("total".to_string(), Json::from(p.total)),
+                    ],
+                );
+            };
+            let ctrl = Control::default()
+                .cancel_with(&job.cancel)
+                .progress_with(&progress)
+                .metrics_with(&*state.metrics);
+            run_spec(&spec, &ctrl)
+        };
+        let counter = match &outcome {
+            JobOutcome::Done(_) => "serve.jobs_completed",
+            JobOutcome::Failed(_) => "serve.jobs_failed",
+            JobOutcome::Cancelled => "serve.jobs_cancelled",
+        };
+        state.metrics.add(counter, 1);
+        job.finish(outcome);
+        state.queue.done();
+    }
+}
+
+/// One connection: a writer thread owning the socket's write half and
+/// a read/dispatch loop on this thread. Returns when the client hangs
+/// up, errors, or a `shutdown` request completes.
+fn connection(state: &Arc<State>, stream: TcpStream) {
+    state.metrics.add("serve.connections", 1);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let (tx, rx) = channel::<String>();
+    let writer = thread::spawn(move || {
+        let mut w = BufWriter::new(stream);
+        // write errors are not fatal: keep draining so job senders
+        // never see the channel close early, and so terminal events
+        // sent before the hangup are at least attempted
+        for line in rx {
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.write_all(b"\n");
+            let _ = w.flush();
+        }
+    });
+    loop {
+        match read_line_capped(&mut reader, state.max_line) {
+            Err(_) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                state.metrics.add("serve.errors", 1);
+                let e = ServeError::new(
+                    "line_too_long",
+                    format!("request lines are capped at {} bytes", state.max_line),
+                );
+                let _ = tx.send(error_reply(None, &e).to_string());
+            }
+            Ok(LineRead::Line(line)) => {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let (reply, quit) = dispatch(state, &tx, line);
+                let _ = tx.send(reply.to_string());
+                if quit {
+                    break;
+                }
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Parses and executes one request line; the bool asks the connection
+/// loop to stop (shutdown).
+fn dispatch(state: &Arc<State>, tx: &Sender<String>, line: &str) -> (Json, bool) {
+    let _sp = cfd_obs::span!("serve.request");
+    state.metrics.add("serve.requests", 1);
+    let req = match Request::parse(line) {
+        Ok(r) => r,
+        Err((op, e)) => {
+            state.metrics.add("serve.errors", 1);
+            return (error_reply(op.as_deref(), &e), false);
+        }
+    };
+    let result: Result<(Json, bool), (&'static str, ServeError)> = match req {
+        Request::Ping => Ok((ok_reply("ping", Vec::<(String, Json)>::new()), false)),
+        Request::Register { name, path, csv } => register(state, &name, path, csv)
+            .map(|ds| {
+                (
+                    ok_reply(
+                        "register",
+                        [
+                            ("name", Json::from(ds.name.as_str())),
+                            ("rows", Json::from(ds.rel.n_rows())),
+                            ("arity", Json::from(ds.rel.arity())),
+                            ("bytes", Json::from(ds.bytes)),
+                        ],
+                    ),
+                    false,
+                )
+            })
+            .map_err(|e| ("register", e)),
+        Request::Datasets => Ok((
+            ok_reply("datasets", [("datasets", Json::arr(state.registry.list()))]),
+            false,
+        )),
+        Request::Unregister { name } => state
+            .registry
+            .remove(&name)
+            .map(|ds| {
+                (
+                    ok_reply(
+                        "unregister",
+                        [
+                            ("name", Json::from(ds.name.as_str())),
+                            ("bytes", Json::from(ds.bytes)),
+                        ],
+                    ),
+                    false,
+                )
+            })
+            .map_err(|e| ("unregister", e)),
+        Request::Discover(d) => submit(state, tx, JobKind::Discover, d.sync, {
+            move |st| {
+                let ds = st.registry.get(&d.dataset)?;
+                d.opts
+                    .validate(&ds.rel)
+                    .map_err(|e| ServeError::new("bad_options", e.to_string()))?;
+                Ok(JobSpec::Discover {
+                    ds,
+                    algo: d.algo,
+                    opts: d.opts.clone(),
+                    cache_budget: d.cache_budget,
+                })
+            }
+        }),
+        Request::Check {
+            dataset,
+            rules,
+            limit,
+            threads,
+            sync,
+        } => submit(state, tx, JobKind::Check, sync, move |st| {
+            let ds = st.registry.get(&dataset)?;
+            let rules = parse_inline_rules(&ds, &rules)?;
+            Ok(JobSpec::Check {
+                ds,
+                rules,
+                opts: ValidateOptions {
+                    threads: threads.max(1),
+                    limit,
+                },
+            })
+        }),
+        Request::Repair {
+            dataset,
+            rules,
+            sync,
+        } => submit(state, tx, JobKind::Repair, sync, move |st| {
+            let ds = st.registry.get(&dataset)?;
+            let rules = parse_inline_rules(&ds, &rules)?;
+            Ok(JobSpec::Repair { ds, rules })
+        }),
+        Request::Cancel { job } => cancel(state, job).map_err(|e| ("cancel", e)),
+        Request::Status { job } => {
+            let found = state.jobs.lock().expect("jobs lock").get(&job).cloned();
+            match found {
+                Some(j) => {
+                    let Json::Obj(fields) = j.to_json(true) else {
+                        unreachable!("job rows are objects")
+                    };
+                    Ok((ok_reply("status", fields), false))
+                }
+                None => Err((
+                    "status",
+                    ServeError::new("unknown_job", format!("no job {job}")),
+                )),
+            }
+        }
+        Request::Jobs => {
+            let rows: Vec<Json> = state
+                .jobs
+                .lock()
+                .expect("jobs lock")
+                .values()
+                .map(|j| j.to_json(false))
+                .collect();
+            Ok((ok_reply("jobs", [("jobs", Json::arr(rows))]), false))
+        }
+        Request::Stats => Ok((stats(state), false)),
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.queue.close();
+            state.queue.wait_idle();
+            // wake the acceptor so `run` can tear down; the reply is
+            // already queued on this connection's writer
+            let _ = TcpStream::connect(state.addr);
+            Ok((
+                ok_reply("shutdown", [("jobs_drained", Json::from(true))]),
+                true,
+            ))
+        }
+    };
+    match result {
+        Ok(out) => out,
+        Err((op, e)) => {
+            state.metrics.add("serve.errors", 1);
+            (error_reply(Some(op), &e), false)
+        }
+    }
+}
+
+/// Ingests and registers a dataset from a server-side path or an
+/// inline CSV body.
+fn register(
+    state: &Arc<State>,
+    name: &str,
+    path: Option<String>,
+    csv: Option<String>,
+) -> Result<Arc<Dataset>, ServeError> {
+    let _sp = cfd_obs::span!("serve.register");
+    let ctrl = Control::default().metrics_with(&*state.metrics);
+    let rel = match (path, csv) {
+        (Some(p), None) => ingest_path(&p, &ctrl)?,
+        (None, Some(body)) => relation_from_csv_str(&body)
+            .map_err(|e| ServeError::new("io", format!("inline csv: {e}")))?,
+        _ => unreachable!("protocol parser enforces path xor csv"),
+    };
+    state.registry.insert(Dataset::new(name, rel))
+}
+
+fn ingest_path(path: &str, ctrl: &Control<'_>) -> Result<cfd_model::Relation, ServeError> {
+    cfd_model::ingest_csv_path(path, &IngestOptions::default(), ctrl)
+        .map_err(|e| ServeError::new("io", format!("{path}: {e}")))
+}
+
+/// Parses a request's inline rule array against the dataset's
+/// dictionaries, strict (`bad_rules` carries the offending index).
+fn parse_inline_rules(
+    ds: &Dataset,
+    rules: &[String],
+) -> Result<Vec<(String, cfd_model::Cfd)>, ServeError> {
+    let text = rules.join("\n");
+    let parsed = parse_rules_with("rules", &text, false, |line| parse_cfd(&ds.rel, line))
+        .map_err(|e| ServeError::new("bad_rules", e.to_string()))?;
+    if parsed.is_empty() {
+        return Err(ServeError::new(
+            "bad_rules",
+            "no rules left after skipping blank/comment lines",
+        ));
+    }
+    Ok(parsed)
+}
+
+/// Allocates a job, admission-checks it (`build` resolves the dataset
+/// and validates options), queues it, and answers — synchronously when
+/// asked, with a `{job, queued}` ticket otherwise.
+fn submit(
+    state: &Arc<State>,
+    tx: &Sender<String>,
+    kind: JobKind,
+    sync: bool,
+    build: impl FnOnce(&State) -> Result<JobSpec, ServeError>,
+) -> Result<(Json, bool), (&'static str, ServeError)> {
+    let spec = build(state).map_err(|e| (kind.name(), e))?;
+    let dataset = match &spec {
+        JobSpec::Discover { ds, .. } | JobSpec::Check { ds, .. } | JobSpec::Repair { ds, .. } => {
+            ds.name.clone()
+        }
+    };
+    let id = state.next_job.fetch_add(1, Ordering::SeqCst);
+    let job = Job::new(id, kind, dataset, sync, tx.clone());
+    state
+        .jobs
+        .lock()
+        .expect("jobs lock")
+        .insert(id, job.clone());
+    if let Err(e) = state.queue.submit(job.clone(), spec) {
+        state.jobs.lock().expect("jobs lock").remove(&id);
+        state.metrics.add("serve.jobs_rejected", 1);
+        return Err((kind.name(), e));
+    }
+    state.metrics.add("serve.jobs_submitted", 1);
+    if !sync {
+        return Ok((
+            ok_reply(
+                kind.name(),
+                [
+                    ("job", Json::from(id)),
+                    ("queued", Json::from(true)),
+                    ("state", Json::from("queued")),
+                ],
+            ),
+            false,
+        ));
+    }
+    match job.wait() {
+        JobOutcome::Done(result) => Ok((
+            ok_reply(kind.name(), [("job", Json::from(id)), ("result", result)]),
+            false,
+        )),
+        JobOutcome::Failed(e) => Err((kind.name(), e)),
+        JobOutcome::Cancelled => Err((
+            kind.name(),
+            ServeError::new("cancelled", format!("job {id} was cancelled")),
+        )),
+    }
+}
+
+/// Cancels a job: flag first (a running job stops at its next
+/// checkpoint), then the queued-job fast path.
+fn cancel(state: &Arc<State>, job_id: u64) -> Result<(Json, bool), ServeError> {
+    let job = state
+        .jobs
+        .lock()
+        .expect("jobs lock")
+        .get(&job_id)
+        .cloned()
+        .ok_or_else(|| ServeError::new("unknown_job", format!("no job {job_id}")))?;
+    job.cancel.store(true, Ordering::Relaxed);
+    if state.queue.take_pending(job_id).is_some() {
+        state.metrics.add("serve.jobs_cancelled", 1);
+        job.finish(JobOutcome::Cancelled);
+    }
+    Ok((
+        ok_reply(
+            "cancel",
+            [
+                ("job", Json::from(job_id)),
+                ("state", Json::from(job.state_name())),
+            ],
+        ),
+        false,
+    ))
+}
+
+/// The `stats` reply: server gauges (also written into the metrics
+/// registry as `serve.*` gauges) plus the full metrics snapshot.
+fn stats(state: &Arc<State>) -> Json {
+    let datasets = state.registry.len();
+    let registry_bytes = state.registry.total_bytes();
+    let queue_depth = state.queue.depth();
+    let running = state.queue.running();
+    let jobs_total = state.jobs.lock().expect("jobs lock").len();
+    let clients = state.clients.lock().expect("clients lock").len();
+    state
+        .metrics
+        .set_gauge("serve.registry_datasets", datasets as u64);
+    state
+        .metrics
+        .set_gauge("serve.registry_bytes", registry_bytes as u64);
+    state
+        .metrics
+        .set_gauge("serve.queue_depth", queue_depth as u64);
+    state
+        .metrics
+        .set_gauge("serve.jobs_running", running as u64);
+    state.metrics.set_gauge("serve.clients", clients as u64);
+    let snapshot = state.metrics.snapshot();
+    ok_reply(
+        "stats",
+        [
+            (
+                "server",
+                Json::obj([
+                    ("datasets", Json::from(datasets)),
+                    ("registry_bytes", Json::from(registry_bytes)),
+                    ("registry_budget", Json::from(state.registry.budget())),
+                    ("queue_depth", Json::from(queue_depth)),
+                    ("jobs_running", Json::from(running)),
+                    ("jobs_total", Json::from(jobs_total)),
+                    ("workers", Json::from(state.workers)),
+                ]),
+            ),
+            ("metrics", snapshot.to_json()),
+        ],
+    )
+}

@@ -49,7 +49,7 @@ pub mod plan;
 pub mod repair;
 pub mod report;
 
-pub use plan::{validate, validate_with, CoverPlan, ValidateOptions};
+pub use plan::{validate, validate_indexed, validate_with, CoverPlan, ValidateOptions};
 pub use repair::suggest_repairs_for_cover;
 pub use report::{RuleReport, ValidationReport};
 

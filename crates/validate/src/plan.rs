@@ -187,13 +187,29 @@ impl CoverPlan {
     /// `rel` must be the relation the plan was compiled for.
     pub fn validate(&self, rel: &Relation, opts: &ValidateOptions) -> ValidationReport {
         let index = RelationIndex::new(rel);
+        self.validate_indexed(rel, &index, opts)
+    }
+
+    /// [`CoverPlan::validate`] against a caller-owned
+    /// [`RelationIndex`] — a resident server shares one index per
+    /// registered dataset across every `check`/`repair`/measure job,
+    /// so the per-column value regions that drive constant-filtered
+    /// rules are built once per dataset instead of once per request.
+    /// The report is identical to [`CoverPlan::validate`]'s: the index
+    /// caches pure per-column regions, never scan state.
+    pub fn validate_indexed(
+        &self,
+        rel: &Relation,
+        index: &RelationIndex,
+        opts: &ValidateOptions,
+    ) -> ValidationReport {
         let units: Vec<Unit> = (0..self.families.len())
             .map(Unit::Family)
             .chain(self.const_rules.iter().map(|&r| Unit::ConstRule(r)))
             .collect();
         let chunks = run_sharded(opts.threads, &units, |unit| match unit {
-            Unit::ConstRule(r) => vec![eval_const_rule(rel, &index, &self.rules[*r], opts.limit)],
-            Unit::Family(f) => self.eval_family(rel, &index, *f, opts.limit),
+            Unit::ConstRule(r) => vec![eval_const_rule(rel, index, &self.rules[*r], opts.limit)],
+            Unit::Family(f) => self.eval_family(rel, index, *f, opts.limit),
         });
         let mut rules: Vec<RuleReport> = chunks.into_iter().flatten().collect();
         rules.sort_unstable_by_key(|r| r.rule);
@@ -340,9 +356,43 @@ pub fn validate_with<'a, I>(
 where
     I: IntoIterator<Item = &'a Cfd>,
 {
+    validate_maybe_indexed(rel, cfds, None, opts, ctrl)
+}
+
+/// [`validate_with`] against a caller-owned [`RelationIndex`] — the
+/// per-dataset column cache a resident server (`cfd serve`) shares
+/// across concurrent jobs. Reports are byte-identical to
+/// [`validate_with`]'s; only the per-column region builds are
+/// amortized.
+pub fn validate_indexed<'a, I>(
+    rel: &Relation,
+    cfds: I,
+    index: &RelationIndex,
+    opts: &ValidateOptions,
+    ctrl: &Control<'_>,
+) -> ValidationReport
+where
+    I: IntoIterator<Item = &'a Cfd>,
+{
+    validate_maybe_indexed(rel, cfds, Some(index), opts, ctrl)
+}
+
+fn validate_maybe_indexed<'a, I>(
+    rel: &Relation,
+    cfds: I,
+    index: Option<&RelationIndex>,
+    opts: &ValidateOptions,
+    ctrl: &Control<'_>,
+) -> ValidationReport
+where
+    I: IntoIterator<Item = &'a Cfd>,
+{
     let _sp = cfd_obs::span!("validate.run");
     let plan = CoverPlan::compile_with(rel, cfds, opts.threads);
-    let report = plan.validate(rel, opts);
+    let report = match index {
+        Some(ix) => plan.validate_indexed(rel, ix, opts),
+        None => plan.validate(rel, opts),
+    };
     ctrl.metric_add("validate.rules", plan.n_rules() as u64);
     ctrl.metric_add("validate.families", plan.families.len() as u64);
     ctrl.metric_add(

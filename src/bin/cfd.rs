@@ -9,6 +9,9 @@
 //! cfd repair   <data.csv> <rules.txt> <out.csv> [--lenient]
 //! cfd stats    <data.csv>
 //! cfd watch    <initial.csv> <rules.txt> [--shards N] [--lenient]
+//! cfd serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!              [--registry-budget-mb N] [--max-line-kb N]
+//! cfd client   <HOST:PORT>
 //! cfd algos
 //! ```
 //!
@@ -53,11 +56,27 @@
 //! cfd discover clean.csv --k 20 > rules.txt
 //! tail -f updates.log | cfd watch clean.csv rules.txt --shards 4
 //! ```
+//!
+//! `serve` keeps datasets resident and answers many clients over one
+//! process: register a CSV once, then submit discover/check/repair
+//! jobs, stream their progress, cancel them by id, and read server
+//! stats — newline-delimited JSON over TCP (grammar in DESIGN.md §12).
+//! `client` is the matching scripted client:
+//!
+//! ```sh
+//! cfd serve --addr 127.0.0.1:4617 &
+//! cfd client 127.0.0.1:4617 <<'EOF'
+//! {"op": "register", "name": "tax", "path": "tax.csv"}
+//! {"op": "discover", "dataset": "tax", "algo": "ctane", "sync": true}
+//! {"op": "shutdown"}
+//! EOF
+//! ```
 
 use cfd_suite::model::csv::relation_from_csv_path;
 use cfd_suite::model::tableau::group_into_tableaux;
-use cfd_suite::model::{ingest_csv_path, IngestOptions};
 use cfd_suite::prelude::*;
+use cfd_suite::serve::session::{attach_rule_texts, load_rules_file_with, ObsSession};
+use cfd_suite::serve::{ServeOptions, Server};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -72,6 +91,9 @@ fn usage() -> ExitCode {
          cfd repair <data.csv> <rules.txt> <out.csv> [--lenient]\n  \
          cfd stats <data.csv>\n  \
          cfd watch <initial.csv> <rules.txt> [--shards N] [--lenient] [--trace] [--metrics-out FILE]\n  \
+         cfd serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+         \x20          [--registry-budget-mb N] [--max-line-kb N] [--trace] [--metrics-out FILE]\n  \
+         cfd client <HOST:PORT>\n  \
          cfd algos\n\
          \n\
          algorithms (cfd algos): {}\n\
@@ -80,6 +102,8 @@ fn usage() -> ExitCode {
          \x20 and check; output is identical at any thread count;\n\
          \x20 --min-confidence mines approximate covers with ctane/tane/cfdminer;\n\
          \x20 rule files are strict — --lenient skips unparseable lines instead;\n\
+         \x20 serve hosts a dataset registry + job queue over newline-delimited JSON/TCP,\n\
+         \x20 client pipes a scripted session to it (stdin -> requests, stdout <- replies);\n\
          \x20 --trace prints a span-time summary to stderr, --metrics-out FILE\n\
          \x20 writes the run's counters/gauges/histograms as JSON)",
         Algo::all().map(|a| a.name()).join("|")
@@ -100,72 +124,10 @@ enum Format {
     Json,
 }
 
-/// The CLI side of `--trace` / `--metrics-out`: installs the tracing
-/// subscriber up front, owns the metrics [`Registry`] a run emits into
-/// (attach it via [`ObsSession::control`] or
-/// [`StreamEngine::metrics_with`]), and on [`ObsSession::finish`]
-/// prints the span summary to stderr and writes the metrics snapshot
-/// JSON. Shared by `discover`, `check` and `watch` — started *before*
-/// the CSV load, so `ingest.*` spans and counters from the chunked
-/// loader land in the same session as the algorithm's own spans.
-///
-/// [`Registry`]: cfd_obs::Registry
-/// [`StreamEngine::metrics_with`]: cfd_suite::stream::StreamEngine::metrics_with
-struct ObsSession {
-    registry: std::sync::Arc<cfd_obs::Registry>,
-    trace: bool,
-    metrics_out: Option<String>,
-}
-
-impl ObsSession {
-    fn start(a: &Args) -> ObsSession {
-        if a.trace {
-            cfd_obs::install_tracing();
-        }
-        ObsSession {
-            registry: std::sync::Arc::new(cfd_obs::Registry::new()),
-            trace: a.trace,
-            metrics_out: a.metrics_out.clone(),
-        }
-    }
-
-    /// A run handle with the registry attached as metrics sink.
-    fn control(&self) -> Control<'_> {
-        Control::default().metrics_with(&*self.registry)
-    }
-
-    /// Loads a CSV through the chunked (and, with `threads > 1`,
-    /// parallel) ingestion pipeline, spans/metrics flowing into this
-    /// session. Memory stays O(chunk + longest record) on the reader
-    /// side regardless of file size.
-    fn load_csv(&self, path: &str, threads: usize) -> Result<Relation> {
-        let opts = IngestOptions::default().threads(threads);
-        ingest_csv_path(path, &opts, &self.control())
-    }
-
-    /// Prints the span summary (stderr, `# trace …` lines, heaviest
-    /// first) and writes the metrics snapshot to `--metrics-out`.
-    fn finish(&self) -> Result<()> {
-        if self.trace {
-            cfd_obs::shutdown_tracing();
-            let (spans, lost) = cfd_obs::drain_spans();
-            for s in cfd_obs::summarize(&spans) {
-                eprintln!(
-                    "# trace {}: count={} total={}us max={}us threads={}",
-                    s.name, s.count, s.total_us, s.max_us, s.threads
-                );
-            }
-            if lost > 0 {
-                eprintln!("# trace: {lost} older span records overwritten (ring full)");
-            }
-        }
-        if let Some(path) = &self.metrics_out {
-            let snap = self.registry.snapshot();
-            std::fs::write(path, format!("{}\n", snap.to_json())).map_err(Error::from)?;
-            eprintln!("# metrics written to {path}");
-        }
-        Ok(())
-    }
+/// One [`ObsSession`] per CLI invocation (`cfd serve` keeps one for
+/// the whole server lifetime instead; see `cfd_serve::session`).
+fn obs_session(a: &Args) -> ObsSession {
+    ObsSession::start(a.trace, a.metrics_out.clone())
 }
 
 struct Args {
@@ -185,6 +147,11 @@ struct Args {
     top_k: Option<usize>,
     trace: bool,
     metrics_out: Option<String>,
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    registry_budget_mb: usize,
+    max_line_kb: usize,
 }
 
 /// Parses flags, reporting the offending flag/value on failure (the
@@ -207,6 +174,11 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, String> {
         top_k: None,
         trace: false,
         metrics_out: None,
+        addr: "127.0.0.1:4617".to_string(),
+        workers: 2,
+        queue_depth: 32,
+        registry_budget_mb: 1024,
+        max_line_kb: 64,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -245,6 +217,14 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, String> {
                     }
                 }
             }
+            "--addr" => a.addr = value("--addr")?.clone(),
+            "--workers" => a.workers = number("--workers", value("--workers")?)?,
+            "--queue-depth" => a.queue_depth = number("--queue-depth", value("--queue-depth")?)?,
+            "--registry-budget-mb" => {
+                a.registry_budget_mb =
+                    number("--registry-budget-mb", value("--registry-budget-mb")?)?
+            }
+            "--max-line-kb" => a.max_line_kb = number("--max-line-kb", value("--max-line-kb")?)?,
             "--constants-only" => a.constants_only = true,
             "--tableau" => a.tableau = true,
             "--lenient" => a.lenient = true,
@@ -262,7 +242,7 @@ fn discover(a: &Args) -> Result<ExitCode> {
     if a.tableau && a.format == Format::Json {
         return Ok(arg_error("--tableau conflicts with --format json"));
     }
-    let obs = ObsSession::start(a);
+    let obs = obs_session(a);
     let rel = obs.load_csv(&a.positional[0], a.threads)?;
     let mut opts = DiscoverOptions::new(a.k);
     opts.max_lhs = a.max_lhs;
@@ -336,48 +316,15 @@ fn discover(a: &Args) -> Result<ExitCode> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// The one strict/lenient rule-file loop (blank/`#` lines skipped,
-/// `[support=N conf=F]` annotations stripped — approximate `discover`
-/// output loads unchanged), parameterized over the parser so
-/// `check`/`repair` (dictionary lookups) and `watch` (interning) share
-/// the policy and its wording. Strict by default: the first
-/// unparseable line aborts with its line number. With `lenient`, bad
-/// lines are skipped with a warning — the pre-strictness behavior.
-fn load_rules_with(
-    path: &str,
-    lenient: bool,
-    mut parse: impl FnMut(&str) -> Result<Cfd>,
-) -> Result<Vec<(String, Cfd)>> {
-    use cfd_suite::model::measure::split_annotation;
-    let rules_text = std::fs::read_to_string(path)?;
-    let mut rules: Vec<(String, Cfd)> = Vec::new();
-    for (no, line) in rules_text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let parsed = split_annotation(line).and_then(|(rule, _)| Ok((rule, parse(rule)?)));
-        match parsed {
-            Ok((rule, cfd)) => rules.push((rule.to_string(), cfd)),
-            Err(e) if lenient => eprintln!("# skipping line {}: {e}", no + 1),
-            Err(e) => {
-                return Err(Error::Parse(format!(
-                    "{path}:{}: unparseable rule: {e} (pass --lenient to skip bad lines)",
-                    no + 1
-                )))
-            }
-        }
-    }
-    Ok(rules)
-}
-
 /// Rule loading for `check`/`repair`: constants must occur in `rel`.
+/// The strict/lenient policy lives in `cfd_serve::session`, shared
+/// with `watch` (interning parser) and the server's inline rules.
 fn load_rules(rel: &Relation, path: &str, lenient: bool) -> Result<Vec<(String, Cfd)>> {
-    load_rules_with(path, lenient, |line| parse_cfd(rel, line))
+    load_rules_file_with(path, lenient, |line| parse_cfd(rel, line))
 }
 
 fn check(a: &Args) -> Result<ExitCode> {
-    let obs = ObsSession::start(a);
+    let obs = obs_session(a);
     let rel = obs.load_csv(&a.positional[0], a.threads)?;
     let rules = load_rules(&rel, &a.positional[1], a.lenient)?;
     eprintln!(
@@ -408,24 +355,10 @@ fn check(a: &Args) -> Result<ExitCode> {
                 2,
                 ("rules_file".into(), Json::from(a.positional[1].as_str())),
             );
-            // attach each rule's wire text to its report object
-            if let Some(Json::Arr(rule_docs)) =
-                pairs.iter_mut().find(|(k, _)| k == "rules").map(|(_, v)| v)
-            {
-                for rd in rule_docs.iter_mut() {
-                    if let Json::Obj(fields) = rd {
-                        let idx = fields
-                            .iter()
-                            .find(|(k, _)| k == "rule")
-                            .and_then(|(_, v)| v.as_f64())
-                            .map(|n| n as usize);
-                        if let Some(i) = idx {
-                            fields.insert(1, ("text".into(), Json::from(rules[i].0.as_str())));
-                        }
-                    }
-                }
-            }
         }
+        // attach each rule's wire text to its report object (shared
+        // with the server's check results)
+        attach_rule_texts(&mut doc, &rules);
         println!("{doc}");
         return Ok(if report.satisfied() {
             ExitCode::SUCCESS
@@ -527,14 +460,14 @@ fn watch(a: &Args) -> Result<ExitCode> {
     use cfd_suite::prelude::StreamEngine;
     use std::io::BufRead;
 
-    let obs = ObsSession::start(a);
+    let obs = obs_session(a);
     let mut rel = obs.load_csv(&a.positional[0], 1)?;
-    let loaded = load_rules_with(&a.positional[1], a.lenient, |line| {
+    let loaded = load_rules_file_with(&a.positional[1], a.lenient, |line| {
         parse_cfd_interning(&mut rel, line)
     })?;
     let (texts, cfds): (Vec<String>, Vec<Cfd>) = loaded.into_iter().unzip();
     let (engine, warm) = StreamEngine::warm(&rel, cfds, a.shards);
-    let mut engine = engine.metrics_with(obs.registry.clone());
+    let mut engine = engine.metrics_with(obs.registry().clone());
     eprintln!(
         "# watching {} rules over {} ({} tuples, {} shards)",
         engine.rules().len(),
@@ -686,6 +619,99 @@ fn watch(a: &Args) -> Result<ExitCode> {
     }
 }
 
+/// Binds and runs the resident service. The first stdout line is
+/// `SERVE <addr>` (the resolved address — pass `--addr host:0` for an
+/// ephemeral port), so scripts can wait for readiness and learn the
+/// port in one read. Runs until a client sends `{"op": "shutdown"}`.
+fn serve(a: &Args) -> Result<ExitCode> {
+    let opts = ServeOptions {
+        addr: a.addr.clone(),
+        workers: a.workers,
+        queue_depth: a.queue_depth,
+        registry_budget: a.registry_budget_mb << 20,
+        max_line: a.max_line_kb << 10,
+    };
+    let server = Server::bind(&opts).map_err(Error::from)?;
+    // the server's registry is the session's: ingest/job/serve metrics
+    // from every connection land in one place, flushed at shutdown
+    let obs = ObsSession::with_registry(server.metrics(), a.trace, a.metrics_out.clone());
+    let addr = server.local_addr();
+    println!("SERVE {addr}");
+    use std::io::Write as _;
+    std::io::stdout().flush().map_err(Error::from)?;
+    eprintln!(
+        "# cfd serve: listening on {addr} ({} workers, queue depth {}, registry {} MiB, \
+         lines capped at {} KiB)",
+        opts.workers.max(1),
+        opts.queue_depth.max(1),
+        a.registry_budget_mb,
+        a.max_line_kb,
+    );
+    server.run().map_err(Error::from)?;
+    obs.finish()?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// A scripted client: pumps stdin lines (blank/`#` skipped) to the
+/// server and prints every reply/event line to stdout. Exits 0 when
+/// every reply was `"ok": true`, 1 otherwise — so a scripted session
+/// doubles as a smoke test.
+fn client(a: &Args) -> Result<ExitCode> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let addr = &a.positional[0];
+    // retry briefly: the usual caller just forked `cfd serve`
+    let mut attempt = 0;
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) if attempt < 25 => {
+                attempt += 1;
+                let _ = e;
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            Err(e) => return Err(Error::from(e)),
+        }
+    };
+    let mut write_half = stream.try_clone().map_err(Error::from)?;
+    let pump = std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if write_half.write_all(line.as_bytes()).is_err()
+                || write_half.write_all(b"\n").is_err()
+                || write_half.flush().is_err()
+            {
+                break;
+            }
+        }
+        // half-close: the server keeps streaming until its side is done
+        let _ = write_half.shutdown(std::net::Shutdown::Write);
+    });
+    let mut failed = false;
+    for line in BufReader::new(stream).lines() {
+        let line = line.map_err(Error::from)?;
+        if let Ok(doc) = Json::parse(&line) {
+            if doc.get("ok").and_then(Json::as_bool) == Some(false) {
+                failed = true;
+            }
+        }
+        println!("{line}");
+    }
+    let _ = pump.join();
+    std::io::stdout().flush().map_err(Error::from)?;
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn stats(a: &Args) -> Result<ExitCode> {
     let rel = relation_from_csv_path(&a.positional[0])?;
     println!("file:    {}", a.positional[0]);
@@ -724,10 +750,10 @@ fn main() -> ExitCode {
         Err(msg) => return arg_error(&msg),
     };
     let need = match cmd.as_str() {
-        "discover" | "stats" => 1,
+        "discover" | "stats" | "client" => 1,
         "check" | "watch" => 2,
         "repair" => 3,
-        "algos" => 0,
+        "algos" | "serve" => 0,
         _ => return usage(),
     };
     if args.positional.len() != need {
@@ -742,6 +768,8 @@ fn main() -> ExitCode {
         "repair" => repair(&args),
         "stats" => stats(&args),
         "watch" => watch(&args),
+        "serve" => serve(&args),
+        "client" => client(&args),
         "algos" => return algos(),
         _ => unreachable!(),
     };

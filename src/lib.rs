@@ -22,7 +22,11 @@
 //!   `cfd repair`);
 //! * [`stream`] — the incremental violation-detection engine for
 //!   streaming tuple batches (`cfd watch`), warm-started through the
-//!   kernel.
+//!   kernel;
+//! * [`serve`] — the resident multi-client service (`cfd serve`):
+//!   dataset registry with shared column indexes, bounded job queue
+//!   with cancellation, and newline-delimited JSON streaming of
+//!   progress and results over TCP.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +57,7 @@ pub use cfd_itemset as itemset;
 pub use cfd_model as model;
 pub use cfd_obs as obs;
 pub use cfd_partition as partition;
+pub use cfd_serve as serve;
 pub use cfd_stream as stream;
 pub use cfd_validate as validate;
 
@@ -72,9 +77,10 @@ pub mod prelude {
         CfdClass, Error, Json, PVal, Pattern, Relation, RelationBuilder, Result, RuleMeasure,
         Schema,
     };
+    pub use cfd_serve::{ServeOptions, Server};
     pub use cfd_stream::{BatchDelta, RuleStats, StreamEngine};
     pub use cfd_validate::{
-        detect_violations, satisfies_cover, suggest_repairs_for_cover, validate, validate_with,
-        CoverPlan, RuleReport, ValidateOptions, ValidationReport,
+        detect_violations, satisfies_cover, suggest_repairs_for_cover, validate, validate_indexed,
+        validate_with, CoverPlan, RuleReport, ValidateOptions, ValidationReport,
     };
 }

@@ -1,0 +1,257 @@
+//! End-to-end tests of `cfd serve` / `cfd client` as real child
+//! processes: the resident server's results must match the one-shot
+//! CLI byte for byte (modulo wall-clock timings), and the scripted
+//! client must report protocol failures through its exit code.
+
+use cfd_suite::prelude::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const CUST_CSV: &str = "\
+CC,AC,PN,NM,STR,CT,ZIP
+01,908,1111111,Mike,Tree Ave.,MH,07974
+01,908,1111111,Rick,Tree Ave.,MH,07974
+01,212,2222222,Joe,5th Ave,NYC,01202
+01,908,2222222,Jim,Elm Str.,MH,07974
+44,131,3333333,Ben,High St.,EDI,EH4 1DT
+44,131,4444444,Ian,High St.,EDI,EH4 1DT
+44,908,4444444,Ian,Port PI,MH,W1B 1JH
+01,212,5555555,Sean,3rd Str.,NYC,01202
+";
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cfd"))
+}
+
+/// Forks `cfd serve` on an ephemeral port and parses the `SERVE <addr>`
+/// line it prints once the socket is bound.
+fn start_server() -> (Child, String) {
+    let mut child = bin()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cfd serve");
+    let stdout = child.stdout.take().expect("serve stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read SERVE line");
+    let addr = line
+        .trim()
+        .strip_prefix("SERVE ")
+        .unwrap_or_else(|| panic!("first stdout line is not SERVE: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+struct Wire {
+    w: TcpStream,
+    r: BufReader<TcpStream>,
+}
+
+impl Wire {
+    fn connect(addr: &str) -> Wire {
+        let s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        let r = BufReader::new(s.try_clone().expect("clone socket"));
+        Wire { w: s, r }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.w.write_all(line.as_bytes()).expect("send");
+        self.w.write_all(b"\n").expect("send");
+    }
+
+    /// Next reply, skipping job-event lines.
+    fn reply(&mut self) -> Json {
+        loop {
+            let mut line = String::new();
+            let n = self.r.read_line(&mut line).expect("read reply");
+            assert!(n > 0, "server closed the connection unexpectedly");
+            let doc = Json::parse(line.trim()).expect("server sent invalid JSON");
+            if doc.get("ok").is_some() {
+                return doc;
+            }
+        }
+    }
+}
+
+fn assert_ok(doc: &Json) {
+    assert_eq!(
+        doc.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "expected ok reply, got {doc}"
+    );
+}
+
+/// Drops the `command` / `dataset` / `rules_file` keys `cfd check
+/// --format json` injects in front of the report document.
+fn strip_cli_keys(doc: Json) -> Json {
+    match doc {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| !matches!(k.as_str(), "command" | "dataset" | "rules_file"))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+#[test]
+fn resident_server_matches_one_shot_cli_byte_for_byte() {
+    let dir = std::env::temp_dir().join(format!("cfd-serve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv = dir.join("cust.csv");
+    let rules_path = dir.join("rules.txt");
+    std::fs::write(&csv, CUST_CSV).expect("write csv");
+
+    // one-shot CLI runs first: discover (text for the rules file, JSON
+    // for the comparison document), then check
+    let out = bin()
+        .args(["discover", csv.to_str().unwrap(), "--k", "2"])
+        .output()
+        .expect("cfd discover");
+    assert!(out.status.success());
+    let rules_text = String::from_utf8(out.stdout).expect("utf8 rules");
+    std::fs::write(&rules_path, &rules_text).expect("write rules");
+    let out = bin()
+        .args([
+            "discover",
+            csv.to_str().unwrap(),
+            "--k",
+            "2",
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("cfd discover --format json");
+    assert!(out.status.success());
+    let cli_discover =
+        Json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("discover json");
+    let out = bin()
+        .args([
+            "check",
+            csv.to_str().unwrap(),
+            rules_path.to_str().unwrap(),
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("cfd check --format json");
+    assert!(out.status.success());
+    let cli_check = strip_cli_keys(
+        Json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("check json"),
+    );
+
+    // the same work through the resident server
+    let (mut child, addr) = start_server();
+    let mut w = Wire::connect(&addr);
+    w.send(&format!(
+        "{{\"op\":\"register\",\"name\":\"cust\",\"path\":{}}}",
+        Json::from(csv.to_str().unwrap())
+    ));
+    assert_ok(&w.reply());
+
+    w.send("{\"op\":\"discover\",\"dataset\":\"cust\",\"k\":2,\"sync\":true}");
+    let rep = w.reply();
+    assert_ok(&rep);
+    let got = rep.get("result").expect("discover result");
+    // timings are wall-clock; everything else must match exactly
+    for key in ["rules", "counts"] {
+        assert_eq!(
+            got.get(key).expect(key).to_string(),
+            cli_discover.get(key).expect(key).to_string(),
+            "server and one-shot CLI disagree on {key:?}"
+        );
+    }
+
+    let rule_lines = Json::arr(
+        rules_text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(Json::from),
+    );
+    w.send(&format!(
+        "{{\"op\":\"check\",\"dataset\":\"cust\",\"rules\":{rule_lines},\"sync\":true}}"
+    ));
+    let rep = w.reply();
+    assert_ok(&rep);
+    assert_eq!(
+        rep.get("result").expect("check result").to_string(),
+        cli_check.to_string(),
+        "server check report differs from one-shot CLI"
+    );
+
+    w.send("{\"op\":\"stats\"}");
+    let rep = w.reply();
+    assert_ok(&rep);
+    assert!(rep.get("server").is_some() && rep.get("metrics").is_some());
+
+    w.send("{\"op\":\"shutdown\"}");
+    let rep = w.reply();
+    assert_ok(&rep);
+    let status = child.wait().expect("serve exit");
+    assert!(status.success(), "cfd serve exited with {status}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_subcommand_scripts_a_session_and_reports_failures() {
+    // a clean session exits 0
+    let (mut server, addr) = start_server();
+    let mut client = bin()
+        .args(["client", &addr])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cfd client");
+    client
+        .stdin
+        .take()
+        .expect("client stdin")
+        .write_all(
+            b"# comment lines and blanks are skipped\n\n\
+              {\"op\":\"ping\"}\n{\"op\":\"shutdown\"}\n",
+        )
+        .expect("write session");
+    let out = client.wait_with_output().expect("client exit");
+    assert!(out.status.success(), "clean session must exit 0");
+    let lines: Vec<Json> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| Json::parse(l).expect("client echoes JSON lines"))
+        .collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines
+        .iter()
+        .all(|d| d.get("ok").and_then(Json::as_bool) == Some(true)));
+    assert!(server.wait().expect("serve exit").success());
+
+    // a session with a protocol error exits nonzero
+    let (mut server, addr) = start_server();
+    let mut client = bin()
+        .args(["client", &addr])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cfd client");
+    client
+        .stdin
+        .take()
+        .expect("client stdin")
+        .write_all(b"{\"op\":\"frobnicate\"}\n{\"op\":\"shutdown\"}\n")
+        .expect("write session");
+    let out = client.wait_with_output().expect("client exit");
+    assert!(
+        !out.status.success(),
+        "a failed reply must flip the client's exit code"
+    );
+    assert!(server.wait().expect("serve exit").success());
+}
