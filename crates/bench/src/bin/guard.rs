@@ -16,7 +16,7 @@
 //! kernel (54 ms → 2.5 s, see DESIGN.md §10) — moves a ratio by an
 //! order of magnitude, which is exactly where the alarm is set.
 //!
-//! Five workloads pin the serving paths that have regressed or nearly
+//! Six workloads pin the serving paths that have regressed or nearly
 //! regressed before:
 //!
 //! * `validate_kernel` — the `cfd check` path: a 20k-row tax instance
@@ -25,6 +25,10 @@
 //!   1000-row tax instance through the partition-store engine.
 //! * `stream_batch` — the `cfd watch` path: steady-state insert+delete
 //!   batches through a warm `StreamEngine`.
+//! * `remine_drift` — the `cfd watch --remine` path: a drift batch
+//!   pushes a planted FD under θ and one full self-healing cycle
+//!   (trigger, projection, seeded mine, atomic apply, kernel
+//!   re-measure) repairs the cover.
 //! * `ingest_chunked` — the CSV loading path every command pays first:
 //!   a ~150k-row tax CSV through the chunked zero-copy scanner and
 //!   dictionary encoder (serial; thread scaling is the ingest bench's
@@ -44,6 +48,7 @@
 use cfd_core::api::{Algo, Control, DiscoverOptions, Discoverer};
 use cfd_core::FastCfd;
 use cfd_datagen::tax::TaxGenerator;
+use cfd_model::attrset::AttrSet;
 use cfd_model::{Cfd, Json, Relation};
 use cfd_stream::StreamEngine;
 use cfd_validate::{validate, ValidateOptions};
@@ -146,6 +151,56 @@ fn run_stream(engine: &mut StreamEngine, batch: &[Vec<u32>]) -> u64 {
         n += (delta.raised.len() + delta.cleared.len()) as u64;
     }
     n
+}
+
+/// The `cfd watch --remine` workload: a warm tax stream whose planted
+/// `[AC] -> CT` rule is pushed under θ by a batch of conflicting
+/// inserts (CT codes shifted against matching ACs), then healed by one
+/// full re-mining cycle. Each round pays the whole self-healing path —
+/// engine warm, drift batch, trigger, neighborhood projection,
+/// seeded mine, atomic apply, kernel re-measure.
+fn remine_workload() -> (Relation, Vec<Cfd>, Vec<Vec<u32>>) {
+    const WARM: usize = 3_000;
+    const DRIFT: usize = 600;
+    let rel = TaxGenerator::new(WARM + DRIFT).seed(13).generate();
+    let warm_rows: Vec<u32> = (0..WARM as u32).collect();
+    let warm = rel.restrict(&warm_rows);
+    let ac = rel.schema().attr_id("AC").expect("tax has AC");
+    let ct = rel.schema().attr_id("CT").expect("tax has CT");
+    let rules = vec![Cfd::fd(AttrSet::singleton(ac), ct)];
+    // conflicting inserts: each drift row keeps its AC but takes the
+    // CT of a row half the window away, so matching groups disagree
+    let batch: Vec<Vec<u32>> = (WARM as u32..(WARM + DRIFT) as u32)
+        .map(|t| {
+            (0..rel.arity())
+                .map(|a| {
+                    if a == ct {
+                        rel.code(t - WARM as u32 / 2, a)
+                    } else {
+                        rel.code(t, a)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (warm, rules, batch)
+}
+
+fn run_remine(warm: &Relation, rules: &[Cfd], batch: &[Vec<u32>]) -> u64 {
+    use cfd_stream::{remine, RemineOptions};
+    let (mut engine, _) = StreamEngine::warm(warm, rules.to_vec(), 1);
+    engine.insert_coded(batch.to_vec());
+    let opts = RemineOptions {
+        theta: 0.95,
+        expand: 1,
+        k: 1,
+        max_lhs: None,
+        threads: 1,
+    };
+    let delta = remine(&mut engine, &opts, &Control::default())
+        .expect("default Control is never cancelled")
+        .expect("the drift batch must trigger re-mining");
+    (delta.retired.len() + delta.replacement.len() + delta.post_measures.len()) as u64
 }
 
 /// The ingestion workload: a ~150k-row tax CSV (generated once,
@@ -276,6 +331,14 @@ fn measure() -> (f64, Vec<Measured>) {
     let ms = best_of_ms(3, || run_stream(&mut engine, &batch));
     out.push(Measured {
         name: "stream_batch",
+        ms,
+        ratio: ms / calib_ms,
+    });
+
+    let (warm, rules, batch) = remine_workload();
+    let ms = best_of_ms(3, || run_remine(&warm, &rules, &batch));
+    out.push(Measured {
+        name: "remine_drift",
         ms,
         ratio: ms / calib_ms,
     });

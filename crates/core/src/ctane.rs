@@ -329,6 +329,31 @@ impl Ctane {
         ctrl: &Control<'_>,
         stats: &mut SearchStats,
     ) -> Result<(CanonicalCover, Vec<RuleMeasure>), Cancelled> {
+        let mut store: PartitionStore<Pattern> = PartitionStore::new(self.cache_budget);
+        self.run_measured_seeded(rel, col_index, &mut store, ctrl, stats)
+    }
+
+    /// [`Ctane::run_measured_indexed`] against a caller-owned
+    /// [`PartitionStore`] — the warm-start entry point. Entries already
+    /// in `store` (seeded from a stream engine's group indexes, or left
+    /// over from a previous run on the same relation) are consulted
+    /// before the level-1 partitions are built and by the approximate
+    /// validity test before any rebuild; the working set the walk pins
+    /// always wins over stale entries because
+    /// [`PartitionStore::insert_pinned`] replaces by key. The cover is
+    /// byte-identical to a cold run: cached partitions trade
+    /// recomputation only, never search decisions. The caller's store
+    /// keeps its own byte budget (`self.cache_budget` is ignored here),
+    /// and `stats.store` reports only this run's hits and misses even
+    /// when the store carries counts from earlier runs.
+    pub fn run_measured_seeded(
+        &self,
+        rel: &Relation,
+        col_index: &RelationIndex,
+        store: &mut PartitionStore<Pattern>,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Vec<RuleMeasure>), Cancelled> {
         let n = rel.n_rows();
         let arity = rel.arity();
         let theta = self.min_confidence;
@@ -340,7 +365,7 @@ impl Ctane {
         if n == 0 || n < self.k {
             return Ok((CanonicalCover::from_cfds(out), Vec::new()));
         }
-        let mut store: PartitionStore<Pattern> = PartitionStore::new(self.cache_budget);
+        let stats_at_entry = store.stats();
         let mut scratch = RefineScratch::for_relation(rel);
 
         // C⁺(∅) = L1: every (A, _) plus every k-frequent (A, a)
@@ -361,7 +386,39 @@ impl Ctane {
         init_candidates.sort_unstable();
         let uni = Universe::new(init_candidates, arity);
 
-        // level 1 elements
+        // level 1 elements: the store is consulted before building —
+        // a warm store (seeded from a stream engine, or retained from
+        // an earlier run on this same relation) already holds these
+        // exact partitions, and re-pinning one skips the rebuild
+        fn intern_level1(
+            store: &mut PartitionStore<Pattern>,
+            level: &mut Vec<Element>,
+            stats: &mut SearchStats,
+            pattern: Pattern,
+            cplus: Bits,
+            build: impl FnOnce() -> StrippedPartition,
+        ) {
+            let cached = store.get(&pattern).map(|p| (p.n_classes(), p.n_rows()));
+            let (n_classes, n_rows) = match cached {
+                Some(counts) => {
+                    store.pin(&pattern);
+                    counts
+                }
+                None => {
+                    let part = build();
+                    stats.partitions += 1;
+                    let counts = (part.n_classes(), part.n_rows());
+                    store.insert_pinned(pattern.clone(), 1, part);
+                    counts
+                }
+            };
+            level.push(Element {
+                cplus,
+                n_classes,
+                n_rows,
+                pattern,
+            });
+        }
         let mut level: Vec<Element> = Vec::new();
         for a in 0..arity {
             let vidx = col_index.column(rel, a);
@@ -370,27 +427,25 @@ impl Ctane {
                 let region = vidx.region(c);
                 if region.len() >= self.k {
                     let pattern = Pattern::from_pairs([(a, PVal::Const(c))]);
-                    let part = StrippedPartition::from_single_class(region);
-                    stats.partitions += 1;
-                    level.push(Element {
-                        cplus: uni.cond1(&pattern),
-                        n_classes: part.n_classes(),
-                        n_rows: part.n_rows(),
-                        pattern: pattern.clone(),
-                    });
-                    store.insert_pinned(pattern, 1, part);
+                    intern_level1(
+                        store,
+                        &mut level,
+                        stats,
+                        pattern.clone(),
+                        uni.cond1(&pattern),
+                        || StrippedPartition::from_single_class(region),
+                    );
                 }
             }
             let pattern = Pattern::from_pairs([(a, PVal::Var)]);
-            let part = StrippedPartition::from_value_index(vidx);
-            stats.partitions += 1;
-            level.push(Element {
-                cplus: uni.cond1(&pattern),
-                n_classes: part.n_classes(),
-                n_rows: part.n_rows(),
-                pattern: pattern.clone(),
-            });
-            store.insert_pinned(pattern, 1, part);
+            intern_level1(
+                store,
+                &mut level,
+                stats,
+                pattern.clone(),
+                uni.cond1(&pattern),
+                || StrippedPartition::from_value_index(vidx),
+            );
         }
 
         // counts of the level below (the ∅ element at level 0)
@@ -457,7 +512,7 @@ impl Ctane {
                                 (true, 0)
                             } else if approx {
                                 let keep = parent_keep(
-                                    &mut store,
+                                    store,
                                     rel,
                                     col_index,
                                     &parent_pat,
@@ -589,7 +644,7 @@ impl Ctane {
                 level: &level,
                 index: &index,
                 order: &order,
-                store: &store,
+                store: &*store,
                 ell,
                 last_level,
             };
@@ -606,7 +661,7 @@ impl Ctane {
             )?;
             let mut next: Vec<Element> = Vec::new();
             for g in produced {
-                commit(&mut store, &mut next, g, ell);
+                commit(store, &mut next, g, ell);
             }
 
             if next.is_empty() {
@@ -631,7 +686,16 @@ impl Ctane {
             level = next;
             ell += 1;
         }
-        stats.store = store.stats().into();
+        // report this run's traffic only: a shared store keeps
+        // cumulative counters across runs
+        let after = store.stats();
+        stats.store = cfd_partition::StoreStats {
+            hits: after.hits - stats_at_entry.hits,
+            misses: after.misses - stats_at_entry.misses,
+            evictions: after.evictions - stats_at_entry.evictions,
+            ..after
+        }
+        .into();
 
         Ok(CanonicalCover::from_measured(
             out.into_iter().zip(meas).collect(),

@@ -20,9 +20,11 @@
 use crate::protocol::{event, ServeError};
 use crate::registry::Dataset;
 use crate::session::attach_rule_texts;
-use cfd_core::api::{Algo, DiscoverError, DiscoverOptions, Discoverer};
+use cfd_core::api::{Algo, DiscoverError, DiscoverOptions, Discoverer, SearchStats};
 use cfd_core::Ctane;
-use cfd_model::{Cfd, Control, Json};
+use cfd_model::{CanonicalCover, Cfd, Control, Json, Relation, RuleMeasure};
+use cfd_partition::RelationIndex;
+use cfd_stream::{CoverDelta, RemineOptions, StreamEngine};
 use cfd_validate::ValidateOptions;
 use std::collections::VecDeque;
 use std::sync::atomic::AtomicBool;
@@ -38,6 +40,9 @@ pub enum JobKind {
     Check,
     /// Repair suggestion (edits are returned, never applied).
     Repair,
+    /// Drift-triggered scoped re-mining of a cover over a registered
+    /// dataset.
+    Remine,
 }
 
 impl JobKind {
@@ -47,6 +52,7 @@ impl JobKind {
             JobKind::Discover => "discover",
             JobKind::Check => "check",
             JobKind::Repair => "repair",
+            JobKind::Remine => "remine",
         }
     }
 }
@@ -246,6 +252,87 @@ pub enum JobSpec {
         /// Parsed rules with their wire texts.
         rules: Vec<(String, Cfd)>,
     },
+    /// One [`cfd_stream::remine()`] cycle: warm a streaming engine over
+    /// the dataset with the cover, then re-mine whatever drifted.
+    Remine {
+        /// Target dataset.
+        ds: Arc<Dataset>,
+        /// Parsed rules with their wire texts.
+        rules: Vec<(String, Cfd)>,
+        /// Cycle knobs (θ, expansion budget, support, threads).
+        opts: RemineOptions,
+    },
+}
+
+/// CTANE against a dataset's shared pinned [`PartitionStore`]: the
+/// default discover path for CTANE jobs without a per-job
+/// `cache_budget`. Same `Discoverer` contract (covers are
+/// byte-identical to a cold run — the store trades recomputation
+/// only), but stripped partitions survive the job inside the dataset,
+/// so the next CTANE job on it starts warm.
+///
+/// [`PartitionStore`]: cfd_partition::PartitionStore
+struct SeededCtane<'a> {
+    ds: &'a Dataset,
+}
+
+impl SeededCtane<'_> {
+    /// Mirrors `Ctane::configured`: shared knobs from the options.
+    fn configured(&self, opts: &DiscoverOptions) -> Ctane {
+        let mut ctane = Ctane::new(opts.k)
+            .min_confidence(opts.min_confidence)
+            .threads(opts.threads.max(1));
+        if let Some(max_lhs) = opts.max_lhs {
+            ctane = ctane.max_lhs(max_lhs);
+        }
+        ctane
+    }
+}
+
+impl Discoverer for SeededCtane<'_> {
+    fn algo(&self) -> Algo {
+        Algo::Ctane
+    }
+
+    fn run(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<CanonicalCover, DiscoverError> {
+        Ok(self.run_measured(rel, opts, ctrl, stats)?.0)
+    }
+
+    fn run_measured(
+        &self,
+        rel: &Relation,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Option<Vec<RuleMeasure>>), DiscoverError> {
+        let index = RelationIndex::new(rel);
+        self.run_measured_indexed(rel, &index, opts, ctrl, stats)
+    }
+
+    fn run_measured_indexed(
+        &self,
+        rel: &Relation,
+        index: &RelationIndex,
+        opts: &DiscoverOptions,
+        ctrl: &Control<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(CanonicalCover, Option<Vec<RuleMeasure>>), DiscoverError> {
+        let mut store = self.ds.store.lock().expect("dataset store lock");
+        let out = self
+            .configured(opts)
+            .run_measured_seeded(rel, index, &mut store, ctrl, stats);
+        // release the run's pins so entries stay resident for the next
+        // job but become evictable under the dataset's byte budget
+        store.unpin_all();
+        let (cover, measures) = out?;
+        Ok((cover, Some(measures)))
+    }
 }
 
 /// Runs a spec under `ctrl`, returning the result document. This is
@@ -259,11 +346,14 @@ pub fn run_spec(spec: &JobSpec, ctrl: &Control<'_>) -> JobOutcome {
             opts,
             cache_budget,
         } => {
-            // CTANE's partition-store budget is a per-job resource
-            // (the store is private to the run); every other algorithm
-            // ignores it, which submission already noted.
-            let disc: Box<dyn Discoverer> = match (algo, cache_budget) {
+            // CTANE without an explicit budget warm-starts from the
+            // dataset's shared pinned store; an explicit
+            // `cache_budget_mb` keeps the old per-job private store
+            // (its budget is a per-job resource). Every other
+            // algorithm ignores both.
+            let disc: Box<dyn Discoverer + '_> = match (algo, cache_budget) {
                 (Algo::Ctane, Some(bytes)) => Box::new(Ctane::new(opts.k).cache_budget(*bytes)),
+                (Algo::Ctane, None) => Box::new(SeededCtane { ds }),
                 _ => algo.discoverer(),
             };
             match disc.discover_indexed(&ds.rel, Some(&ds.index), opts, ctrl) {
@@ -311,7 +401,64 @@ pub fn run_spec(spec: &JobSpec, ctrl: &Control<'_>) -> JobOutcome {
                 ("violations_after", Json::from(after)),
             ]))
         }
+        JobSpec::Remine { ds, rules, opts } => {
+            if ctrl.check().is_err() {
+                return JobOutcome::Cancelled;
+            }
+            let cfds: Vec<Cfd> = rules.iter().map(|(_, c)| c.clone()).collect();
+            let (mut engine, _) = StreamEngine::warm(&ds.rel, cfds, opts.threads.max(1));
+            match cfd_stream::remine(&mut engine, opts, ctrl) {
+                Err(_) => JobOutcome::Cancelled,
+                Ok(None) => JobOutcome::Done(Json::obj([
+                    ("triggered", Json::from(false)),
+                    ("rules", Json::from(engine.rules().len())),
+                ])),
+                Ok(Some(delta)) => JobOutcome::Done(remine_result(&engine, &delta)),
+            }
+        }
     }
+}
+
+/// Serializes one [`CoverDelta`] as the `remine` job's result
+/// document: neighborhood (attribute names), retired and added rules
+/// with their measures, and the kernel-validated post-state.
+fn remine_result(engine: &StreamEngine, delta: &CoverDelta) -> Json {
+    let schema = engine.schema();
+    let neighborhood = Json::arr(
+        delta
+            .neighborhood
+            .iter()
+            .map(|&a| Json::from(schema.name(a))),
+    );
+    let rule_doc = |text: &str, m: &RuleMeasure| {
+        Json::obj([
+            ("text", Json::from(text)),
+            ("support", Json::from(m.support)),
+            ("removals", Json::from(m.violations)),
+            ("confidence", Json::from(m.confidence())),
+        ])
+    };
+    let retired = Json::arr(delta.retired.iter().map(|r| rule_doc(&r.text, &r.measure)));
+    let added = Json::arr(
+        delta
+            .replacement_texts
+            .iter()
+            .zip(&delta.replacement_measures)
+            .map(|(t, m)| rule_doc(t, m)),
+    );
+    let min_confidence = delta
+        .post_measures
+        .iter()
+        .map(RuleMeasure::confidence)
+        .fold(1.0_f64, f64::min);
+    Json::obj([
+        ("triggered", Json::from(true)),
+        ("neighborhood", neighborhood),
+        ("retired", retired),
+        ("added", added),
+        ("rules", Json::from(engine.rules().len())),
+        ("min_confidence", Json::from(min_confidence)),
+    ])
 }
 
 struct QueueInner {

@@ -151,6 +151,28 @@ pub enum Request {
         /// Reply with the report instead of a job ticket.
         sync: bool,
     },
+    /// Submit a re-mining job: warm a streaming engine over the
+    /// dataset with the given cover, run one drift-triggered
+    /// [`cfd_stream::remine()`] cycle, and return the cover delta
+    /// (retired/replacement rules with measures). A cover with no
+    /// drifted rule answers `{"triggered": false}`.
+    Remine {
+        /// Target dataset.
+        dataset: String,
+        /// Rule texts in the `cfd check` wire format.
+        rules: Vec<String>,
+        /// Drift threshold and re-discovery confidence floor θ ∈ (0, 1].
+        theta: f64,
+        /// Neighborhood expansion budget (attributes added to the
+        /// drifted rules' own LHS∪RHS).
+        expand: usize,
+        /// Support threshold for re-discovered rules.
+        k: usize,
+        /// Worker threads (mining and the post-apply validation pass).
+        threads: usize,
+        /// Reply with the cover delta instead of a job ticket.
+        sync: bool,
+    },
     /// Submit a repair-suggestion job (edits are returned, never
     /// applied server-side).
     Repair {
@@ -325,6 +347,24 @@ impl Request {
                 threads: opt_usize_field(doc, "threads")?.unwrap_or(1),
                 sync: opt_bool_field(doc, "sync")?,
             }),
+            "remine" => {
+                let theta = match doc.get("theta") {
+                    None => 0.95,
+                    Some(v) => match v.as_f64() {
+                        Some(t) if t > 0.0 && t <= 1.0 => t,
+                        _ => return Err(bad("field \"theta\" must be a number in (0, 1]")),
+                    },
+                };
+                Ok(Request::Remine {
+                    dataset: str_field(doc, "dataset")?,
+                    rules: rules_field(doc)?,
+                    theta,
+                    expand: opt_usize_field(doc, "expand")?.unwrap_or(1),
+                    k: opt_usize_field(doc, "k")?.unwrap_or(1),
+                    threads: opt_usize_field(doc, "threads")?.unwrap_or(1),
+                    sync: opt_bool_field(doc, "sync")?,
+                })
+            }
             "repair" => Ok(Request::Repair {
                 dataset: str_field(doc, "dataset")?,
                 rules: rules_field(doc)?,
@@ -486,6 +526,59 @@ mod tests {
             }
             other => panic!("wrong request: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_remine_with_defaults_and_rejects_bad_theta() {
+        let r = Request::parse("{\"op\": \"remine\", \"dataset\": \"tax\", \"rules\": [\"r\"]}")
+            .unwrap();
+        match r {
+            Request::Remine {
+                dataset,
+                rules,
+                theta,
+                expand,
+                k,
+                threads,
+                sync,
+            } => {
+                assert_eq!(dataset, "tax");
+                assert_eq!(rules, vec!["r".to_string()]);
+                assert_eq!(theta, 0.95);
+                assert_eq!((expand, k, threads, sync), (1, 1, 1, false));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        let r = Request::parse(
+            "{\"op\": \"remine\", \"dataset\": \"tax\", \"rules\": [\"r\"], \"theta\": 0.8, \
+             \"expand\": 2, \"k\": 3, \"threads\": 4, \"sync\": true}",
+        )
+        .unwrap();
+        match r {
+            Request::Remine {
+                theta,
+                expand,
+                k,
+                threads,
+                sync,
+                ..
+            } => assert_eq!((theta, expand, k, threads, sync), (0.8, 2, 3, 4, true)),
+            other => panic!("wrong request: {other:?}"),
+        }
+        // θ outside (0, 1] is a shape error
+        let (_, e) = Request::parse(
+            "{\"op\": \"remine\", \"dataset\": \"t\", \"rules\": [\"r\"], \"theta\": 0.0}",
+        )
+        .unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        let (_, e) = Request::parse(
+            "{\"op\": \"remine\", \"dataset\": \"t\", \"rules\": [\"r\"], \"theta\": 1.5}",
+        )
+        .unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        // rules stay required
+        let (_, e) = Request::parse("{\"op\": \"remine\", \"dataset\": \"t\"}").unwrap_err();
+        assert_eq!(e.code, "bad_request");
     }
 
     #[test]

@@ -5,10 +5,17 @@
 //! [`RelationIndex`] — the lazily-built per-column value-region cache
 //! that discovery *and* validation consult — behind one `Arc`, so N
 //! concurrent jobs on the same dataset share both without copying and
-//! without re-deriving per-column partitions per request. (The mutable
-//! per-run [`cfd_partition::PartitionStore`] stays private to each
-//! job; sharing it would serialize jobs on its lock. DESIGN.md §12
-//! spells out the split.)
+//! without re-deriving per-column partitions per request. Each dataset
+//! also pins a shared [`PartitionStore`] keyed by pattern: CTANE jobs
+//! without an explicit per-job `cache_budget` warm-start from it
+//! through `run_measured_seeded`, so the second discovery job on a
+//! dataset reuses the first job's stripped partitions instead of
+//! recomputing them (its per-run stats report the hits). The store
+//! sits behind a `Mutex` — two concurrent CTANE jobs on the *same*
+//! dataset serialize on it, which is the deliberate trade for
+//! cross-job reuse; a job that passes `cache_budget_mb` keeps the old
+//! private store and never touches the lock. DESIGN.md §12 and §13
+//! spell out the split.
 //!
 //! Admission control is by resident bytes: the registry carries a
 //! budget and [`DatasetRegistry::insert`] rejects a dataset that would
@@ -17,13 +24,19 @@
 //! of growing without bound.
 
 use crate::protocol::ServeError;
-use cfd_model::{Json, Relation};
-use cfd_partition::RelationIndex;
+use cfd_model::{Json, Pattern, Relation};
+use cfd_partition::{PartitionStore, RelationIndex};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-/// A registered dataset: the relation, its shared column index, and
-/// the byte size it is accounted at.
+/// Byte budget of each dataset's shared partition store. Entries past
+/// it are evicted coldest-first between jobs (pins are released when a
+/// job finishes), so a dataset's resident cache stays bounded no
+/// matter how many discovery jobs run against it.
+pub const DATASET_STORE_BUDGET: usize = 64 << 20;
+
+/// A registered dataset: the relation, its shared column index, the
+/// shared partition store, and the byte size it is accounted at.
 pub struct Dataset {
     /// Registry name.
     pub name: String,
@@ -33,6 +46,9 @@ pub struct Dataset {
     /// per column, on first use by any job ([`RelationIndex`] is
     /// internally synchronized), then reused by every later job.
     pub index: RelationIndex,
+    /// Shared pattern-keyed partition store CTANE jobs warm-start
+    /// from (see the module docs for the locking trade-off).
+    pub store: Mutex<PartitionStore<Pattern>>,
     /// `rel.memory_bytes()` at registration — what the budget charges.
     pub bytes: usize,
 }
@@ -57,6 +73,7 @@ impl Dataset {
             name: name.into(),
             rel,
             index,
+            store: Mutex::new(PartitionStore::new(DATASET_STORE_BUDGET).retain_across_runs()),
             bytes,
         }
     }

@@ -348,6 +348,29 @@ fn dispatch(state: &Arc<State>, tx: &Sender<String>, line: &str) -> (Json, bool)
             let rules = parse_inline_rules(&ds, &rules)?;
             Ok(JobSpec::Repair { ds, rules })
         }),
+        Request::Remine {
+            dataset,
+            rules,
+            theta,
+            expand,
+            k,
+            threads,
+            sync,
+        } => submit(state, tx, JobKind::Remine, sync, move |st| {
+            let ds = st.registry.get(&dataset)?;
+            let rules = parse_inline_rules(&ds, &rules)?;
+            Ok(JobSpec::Remine {
+                ds,
+                rules,
+                opts: cfd_stream::RemineOptions {
+                    theta,
+                    expand,
+                    k,
+                    max_lhs: None,
+                    threads: threads.max(1),
+                },
+            })
+        }),
         Request::Cancel { job } => cancel(state, job).map_err(|e| ("cancel", e)),
         Request::Status { job } => {
             let found = state.jobs.lock().expect("jobs lock").get(&job).cloned();
@@ -451,9 +474,10 @@ fn submit(
 ) -> Result<(Json, bool), (&'static str, ServeError)> {
     let spec = build(state).map_err(|e| (kind.name(), e))?;
     let dataset = match &spec {
-        JobSpec::Discover { ds, .. } | JobSpec::Check { ds, .. } | JobSpec::Repair { ds, .. } => {
-            ds.name.clone()
-        }
+        JobSpec::Discover { ds, .. }
+        | JobSpec::Check { ds, .. }
+        | JobSpec::Repair { ds, .. }
+        | JobSpec::Remine { ds, .. } => ds.name.clone(),
     };
     let id = state.next_job.fetch_add(1, Ordering::SeqCst);
     let job = Job::new(id, kind, dataset, sync, tx.clone());

@@ -474,6 +474,182 @@ fn protocol_errors_are_structured_and_nonfatal() {
     shutdown(&mut w, handle);
 }
 
+/// The per-dataset partition store survives jobs: a second identical
+/// CTANE discovery on the same registration warm-starts from the first
+/// job's stripped partitions (its per-run store counters show the
+/// reuse), and the covers stay byte-identical.
+#[test]
+fn second_ctane_job_warm_starts_from_the_dataset_store() {
+    let (addr, handle) = spawn_server(ServeOptions::default());
+    let tax_path = tax_csv(600, 7, 11, "store");
+    let mut w = Wire::connect(addr);
+    w.send(&Json::obj([
+        ("op", Json::from("register")),
+        ("name", Json::from("tax")),
+        ("path", Json::from(tax_path.to_str().expect("utf8 path"))),
+    ]));
+    assert_ok(&w.reply());
+
+    // the dataset store retains lattice levels across jobs: the cold
+    // run misses on every level-1 lookup and leaves its window behind
+    // as cache; the warm run re-pins those entries as hits
+    let discover = || {
+        Json::obj([
+            ("op", Json::from("discover")),
+            ("dataset", Json::from("tax")),
+            ("algo", Json::from("ctane")),
+            ("min_confidence", Json::from(0.9)),
+            ("max_lhs", Json::from(3usize)),
+            ("sync", Json::from(true)),
+        ])
+    };
+    let store_counters = |rep: &Json| {
+        let store = rep
+            .get("result")
+            .and_then(|r| r.get("stats"))
+            .and_then(|s| s.get("store"))
+            .expect("store counters")
+            .clone();
+        (
+            store.get("hits").and_then(Json::as_f64).expect("hits") as u64,
+            store.get("misses").and_then(Json::as_f64).expect("misses") as u64,
+        )
+    };
+    w.send(&discover());
+    let cold = w.reply();
+    assert_ok(&cold);
+    let (cold_hits, cold_misses) = store_counters(&cold);
+    assert!(cold_misses > 0, "cold run looked nothing up");
+
+    w.send(&discover());
+    let warm = w.reply();
+    assert_ok(&warm);
+    let (warm_hits, warm_misses) = store_counters(&warm);
+    assert!(warm_hits > 0, "second job never hit the shared store");
+    assert!(
+        warm_hits > cold_hits,
+        "second job saw no cross-job hits ({warm_hits} vs {cold_hits})"
+    );
+    assert!(
+        warm_misses < cold_misses,
+        "warm run recomputed as much as the cold one ({warm_misses} vs {cold_misses} misses)"
+    );
+    // reuse must not change the answer
+    assert_eq!(
+        rules_and_counts(cold.get("result").expect("result")),
+        rules_and_counts(warm.get("result").expect("result"))
+    );
+
+    shutdown(&mut w, handle);
+    let _ = std::fs::remove_file(&tax_path);
+}
+
+/// The `remine` verb end to end: a drifted cover is healed (retired +
+/// replaced, post-state kernel-validated at θ), a clean cover answers
+/// `triggered: false`, and bad requests get structured errors.
+#[test]
+fn remine_job_heals_a_drifted_cover() {
+    // [A] -> B holds on the first four rows and is violated by the
+    // last four: live confidence 0.5, well under θ = 0.95
+    const DRIFT_CSV: &str = "\
+A,B,C
+a1,b1,c1
+a1,b1,c1
+a2,b2,c1
+a2,b2,c1
+a1,b9,c2
+a1,b9,c2
+a2,b8,c2
+a2,b8,c2
+";
+    let (addr, handle) = spawn_server(ServeOptions::default());
+    let mut w = Wire::connect(addr);
+    w.send(&Json::obj([
+        ("op", Json::from("register")),
+        ("name", Json::from("drift")),
+        ("csv", Json::from(DRIFT_CSV)),
+    ]));
+    assert_ok(&w.reply());
+
+    w.send(&Json::obj([
+        ("op", Json::from("remine")),
+        ("dataset", Json::from("drift")),
+        ("rules", Json::arr([Json::from("(A -> B, (_ || _))")])),
+        ("theta", Json::from(0.95)),
+        ("expand", Json::from(1usize)),
+        ("sync", Json::from(true)),
+    ]));
+    let rep = w.reply();
+    assert_ok(&rep);
+    let result = rep.get("result").expect("result");
+    assert_eq!(result.get("triggered").and_then(Json::as_bool), Some(true));
+    let retired = result
+        .get("retired")
+        .and_then(Json::as_array)
+        .expect("retired");
+    assert_eq!(retired.len(), 1);
+    assert_eq!(
+        retired[0].get("confidence").and_then(Json::as_f64),
+        Some(0.5)
+    );
+    let added = result.get("added").and_then(Json::as_array).expect("added");
+    assert!(!added.is_empty(), "nothing replaced the drifted rule");
+    assert!(
+        added.iter().any(|r| r
+            .get("text")
+            .and_then(Json::as_str)
+            .is_some_and(|t| t.contains("[A, C] -> B"))),
+        "expected the C-qualified replacement in {result}"
+    );
+    let min_conf = result
+        .get("min_confidence")
+        .and_then(Json::as_f64)
+        .expect("min_confidence");
+    assert!(min_conf >= 0.95, "post-state under θ: {min_conf}");
+
+    // a cover that holds at θ does not trigger
+    w.send(&Json::obj([
+        ("op", Json::from("remine")),
+        ("dataset", Json::from("drift")),
+        (
+            "rules",
+            Json::arr([Json::from("([A, C] -> B, (_, _ || _))")]),
+        ),
+        ("sync", Json::from(true)),
+    ]));
+    let rep = w.reply();
+    assert_ok(&rep);
+    assert_eq!(
+        rep.get("result")
+            .and_then(|r| r.get("triggered"))
+            .and_then(Json::as_bool),
+        Some(false)
+    );
+
+    // structured errors: unknown dataset, unparseable rule, bad theta
+    w.send(&Json::obj([
+        ("op", Json::from("remine")),
+        ("dataset", Json::from("nope")),
+        ("rules", Json::arr([Json::from("(A -> B, (_ || _))")])),
+    ]));
+    assert_eq!(error_code(&w.reply()), "unknown_dataset");
+    w.send(&Json::obj([
+        ("op", Json::from("remine")),
+        ("dataset", Json::from("drift")),
+        ("rules", Json::arr([Json::from("garbage")])),
+    ]));
+    assert_eq!(error_code(&w.reply()), "bad_rules");
+    w.send(&Json::obj([
+        ("op", Json::from("remine")),
+        ("dataset", Json::from("drift")),
+        ("rules", Json::arr([Json::from("(A -> B, (_ || _))")])),
+        ("theta", Json::from(2.0)),
+    ]));
+    assert_eq!(error_code(&w.reply()), "bad_request");
+
+    shutdown(&mut w, handle);
+}
+
 /// The registry byte budget rejects registrations instead of growing
 /// without bound.
 #[test]

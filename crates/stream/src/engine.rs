@@ -361,6 +361,89 @@ impl StreamEngine {
         out
     }
 
+    /// The compiled per-rule states across all shards, in no
+    /// particular order (callers sort by rule id when it matters).
+    pub(crate) fn rule_states(&self) -> impl Iterator<Item = &RuleState> {
+        self.shards.iter().flatten()
+    }
+
+    /// The attached metrics sink, if any — shared with
+    /// [`crate::remine`] so re-mining counters land next to the
+    /// `stream.*` batch counters.
+    pub(crate) fn metrics_sink(&self) -> Option<&Arc<dyn MetricsSink>> {
+        self.metrics.as_ref()
+    }
+
+    /// Atomically swaps part of the cover: rules named in `retired`
+    /// are dropped, `replacement` rules (codes referring to the
+    /// engine's dictionaries) are appended, and every surviving rule is
+    /// recompiled into fresh per-rule indexes via the same
+    /// [`cfd_validate::CoverPlan`] bulk warm path
+    /// [`warm`](StreamEngine::warm) uses — no per-tuple replay. The new
+    /// state is fully built before anything is installed, so a panic
+    /// mid-build leaves no half-swapped cover, and no batch can observe
+    /// a partial rule set.
+    ///
+    /// Rule ids are reassigned: kept rules keep their relative order
+    /// and take ids `0..kept`, replacements follow. The returned delta
+    /// reports `cleared` as the retired rules' live violations (under
+    /// their *old* ids) and `raised` as the replacements' live
+    /// violations (under their *new* ids); kept rules' violations
+    /// persist verbatim, only renumbered.
+    pub fn apply_cover_delta(&mut self, retired: &[RuleId], replacement: Vec<Cfd>) -> BatchDelta {
+        let retired_set: cfd_model::FxHashSet<RuleId> = retired.iter().copied().collect();
+        let cleared: Vec<(RuleId, Violation)> = self
+            .live_violations()
+            .into_iter()
+            .filter(|(r, _)| retired_set.contains(r))
+            .collect();
+        let mut new_rules: Vec<Cfd> = self
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !retired_set.contains(i))
+            .map(|(_, c)| c.clone())
+            .collect();
+        let n_kept = new_rules.len();
+        new_rules.extend(replacement);
+
+        let live = self.materialize();
+        let live_ids = self.live_ids();
+        let n_shards = self.shards.len().max(1).min(new_rules.len().max(1));
+        let mut shards: Vec<Vec<RuleState>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for (i, cfd) in new_rules.iter().enumerate() {
+            shards[i % n_shards].push(RuleState::compile(i, cfd));
+        }
+        let plan = cfd_validate::CoverPlan::compile(&live, &new_rules);
+        let work = live.n_rows() * new_rules.len();
+        if shards.len() <= 1 || work < Self::MIN_PARALLEL_WORK {
+            for shard in shards.iter_mut() {
+                rebuild_shard(shard, &live, &plan, &live_ids);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for shard in shards.iter_mut() {
+                    scope.spawn(|| rebuild_shard(shard, &live, &plan, &live_ids));
+                }
+            });
+        }
+        // install: three plain moves, nothing can fail past this point
+        self.rule_texts = new_rules.iter().map(|c| c.display(&live)).collect();
+        self.rules = new_rules;
+        self.shards = shards;
+
+        let raised: Vec<(RuleId, Violation)> = self
+            .live_violations()
+            .into_iter()
+            .filter(|&(r, _)| r >= n_kept)
+            .collect();
+        if let Some(m) = &self.metrics {
+            m.add("stream.recompiles", 1);
+            m.set_gauge("stream.rules", self.rules.len() as u64);
+        }
+        BatchDelta { raised, cleared }
+    }
+
     /// Materializes the live tuples as a [`Relation`] (insertion order,
     /// dictionaries shared with the engine). Batch-scanning it with
     /// [`cfd_validate::detect_violations`] and mapping dense row
@@ -390,6 +473,22 @@ fn warm_shard(shard: &mut [RuleState], rel: &Relation, plan: &cfd_validate::Cove
     for rule in shard.iter_mut() {
         let gids = plan.family_of(rule.rule).map(|f| plan.group_ids(f).gids());
         rule.warm_from(rel, gids);
+    }
+}
+
+/// Bulk-builds one shard's rule indexes against the dense materialized
+/// live instance, then remaps dense row ids back to engine row ids —
+/// the cover-swap counterpart of [`warm_shard`].
+fn rebuild_shard(
+    shard: &mut [RuleState],
+    live: &Relation,
+    plan: &cfd_validate::CoverPlan,
+    live_ids: &[RowId],
+) {
+    for rule in shard.iter_mut() {
+        let gids = plan.family_of(rule.rule).map(|f| plan.group_ids(f).gids());
+        rule.warm_from(live, gids);
+        rule.remap_ids(live_ids);
     }
 }
 

@@ -47,10 +47,12 @@
 
 pub mod delta;
 pub mod engine;
+pub mod remine;
 mod rule;
 
 pub use delta::{BatchDelta, RuleId};
 pub use engine::StreamEngine;
+pub use remine::{remine, CoverDelta, RemineOptions};
 pub use rule::RuleStats;
 
 /// Engine-assigned tuple identifier: monotone per insert, never reused,

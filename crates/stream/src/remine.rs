@@ -1,0 +1,590 @@
+//! Scoped re-discovery under streaming drift — the self-healing loop
+//! that closes `cfd watch`'s detect-only gap (DESIGN.md §13).
+//!
+//! A [`StreamEngine`] keeps per-rule g1 confidence current at all
+//! times; when a rule's live confidence falls below the watch θ the
+//! rule has *drifted* — the data changed under it and the cover no
+//! longer describes the stream. [`remine`] repairs the cover in place:
+//!
+//! 1. **Trigger** (`remine.trigger`): collect the rules whose live
+//!    [`RuleStats`](crate::RuleStats) confidence is below θ (vacuous
+//!    rules with zero matching support are skipped — nothing matches,
+//!    so nothing drifted).
+//! 2. **Project** (`remine.project`): take the drifted rules'
+//!    attribute *neighborhood* — the union of their LHS∪RHS attributes
+//!    plus up to `expand` co-occurring attributes from rules sharing
+//!    an attribute with that core — and project the materialized live
+//!    instance onto it. The projection shares the engine's
+//!    dictionaries, so codes carry over; only attribute ids are
+//!    renumbered.
+//! 3. **Mine** (`remine.mine`): run the level-wise approximate miners
+//!    (CTANE, or TANE when the retired rules are all plain FDs) under
+//!    the watch θ, warm-starting the lattice from a
+//!    [`PartitionStore`] seeded with the engine's live group indexes:
+//!    each variable rule's group map *is* the stripped partition of
+//!    its LHS pattern over the projection, so the walk's approximate
+//!    validity tests hit the cache exactly where the old rules lived.
+//!    Seeds trade recomputation only — the cover is byte-identical to
+//!    a cold run at any thread count.
+//! 4. **Apply** (`remine.apply`): retire every rule whose attributes
+//!    fall inside the neighborhood (the scoped mine re-derives that
+//!    area's cover wholesale) and install the re-mined rules through
+//!    [`StreamEngine::apply_cover_delta`] — the atomic cover swap that
+//!    rebuilds per-rule indexes via the shared
+//!    [`cfd_validate::CoverPlan`] warm path.
+//!
+//! The returned [`CoverDelta`] carries the retired and replacement
+//! rules plus `post_measures`: the *kernel-validated* measure of every
+//! rule in the live cover after the swap, recomputed by
+//! [`cfd_validate::measure_cover`] — every entry meets θ, because
+//! kept rules were not drifted and replacements carry the miner's θ
+//! guarantee (measures on the projection equal measures on the live
+//! instance: same rows, same codes).
+
+use crate::delta::{BatchDelta, RuleId};
+use crate::engine::StreamEngine;
+use cfd_core::Ctane;
+use cfd_fd::Tane;
+use cfd_model::attrset::AttrSet;
+use cfd_model::pattern::Pattern;
+use cfd_model::progress::{Cancelled, Control, SearchStats};
+use cfd_model::relation::TupleId;
+use cfd_model::schema::AttrId;
+use cfd_model::{Cfd, RuleMeasure};
+use cfd_partition::{PartitionStore, RelationIndex, StrippedPartition};
+
+/// Knobs of one re-mining cycle.
+#[derive(Clone, Copy, Debug)]
+pub struct RemineOptions {
+    /// Drift threshold *and* re-discovery confidence floor: a rule
+    /// whose live g1 confidence drops below θ triggers the cycle, and
+    /// replacement rules are mined with `min_confidence = θ`.
+    pub theta: f64,
+    /// Maximum number of attributes added to the drifted rules' own
+    /// LHS∪RHS when forming the projection neighborhood (smallest
+    /// co-occurring attribute ids first — deterministic).
+    pub expand: usize,
+    /// Support threshold for re-discovered rules (CTANE's `k`).
+    pub k: usize,
+    /// Optional LHS size cap for re-discovery.
+    pub max_lhs: Option<usize>,
+    /// Worker threads for mining and the post-apply validation pass.
+    /// The outcome is byte-identical at any thread count.
+    pub threads: usize,
+}
+
+impl Default for RemineOptions {
+    fn default() -> RemineOptions {
+        RemineOptions {
+            theta: 0.95,
+            expand: 1,
+            k: 1,
+            max_lhs: None,
+            threads: 1,
+        }
+    }
+}
+
+/// A retired rule, as the cover held it before the swap.
+#[derive(Clone, Debug)]
+pub struct RetiredRule {
+    /// The rule's id before the swap.
+    pub rule: RuleId,
+    /// Display form (the paper's syntax).
+    pub text: String,
+    /// Live measure at trigger time.
+    pub measure: RuleMeasure,
+}
+
+/// The outcome of one re-mining cycle: what was retired, what replaced
+/// it, and the kernel-validated state of the cover afterwards.
+#[derive(Clone, Debug)]
+pub struct CoverDelta {
+    /// The projected attribute neighborhood, ascending.
+    pub neighborhood: Vec<AttrId>,
+    /// Rules retired by the swap (every rule whose LHS∪RHS fell inside
+    /// the neighborhood, drifted or not — the scoped mine re-derives
+    /// that area's cover wholesale).
+    pub retired: Vec<RetiredRule>,
+    /// Replacement rules, codes referring to the engine's dictionaries.
+    pub replacement: Vec<Cfd>,
+    /// Display forms of `replacement`, aligned.
+    pub replacement_texts: Vec<String>,
+    /// Miner-reported measures of `replacement`, aligned (computed on
+    /// the projection; equal to live-instance measures by construction).
+    pub replacement_measures: Vec<RuleMeasure>,
+    /// Kernel-validated ([`cfd_validate::measure_cover`]) measure of
+    /// every rule in the live cover *after* the swap, in rule-id order.
+    /// Every entry's confidence meets θ.
+    pub post_measures: Vec<RuleMeasure>,
+    /// Violation transitions of the swap (see
+    /// [`StreamEngine::apply_cover_delta`] for the id convention).
+    pub batch: BatchDelta,
+}
+
+/// Rules whose live confidence has drifted below `theta`. Vacuous
+/// rules (zero matching live support) are not drifted: their
+/// confidence is 1.0 by convention and there is no data to re-mine.
+pub fn drifted_rules(engine: &StreamEngine, theta: f64) -> Vec<RuleId> {
+    engine
+        .stats()
+        .iter()
+        .filter(|s| s.matched() > 0 && s.confidence() < theta)
+        .map(|s| s.rule)
+        .collect()
+}
+
+/// Runs one re-mining cycle: trigger → project → mine → apply.
+/// Returns `Ok(None)` when no rule has drifted (the engine is left
+/// untouched). Cancellation via `ctrl` aborts during the mining phase
+/// with the engine still untouched — the apply step itself is atomic
+/// and uncancellable.
+pub fn remine(
+    engine: &mut StreamEngine,
+    opts: &RemineOptions,
+    ctrl: &Control<'_>,
+) -> Result<Option<CoverDelta>, Cancelled> {
+    assert!(
+        opts.theta > 0.0 && opts.theta <= 1.0,
+        "theta must be within (0, 1]"
+    );
+    let stats = {
+        let _sp = cfd_obs::span!("remine.trigger");
+        engine.stats()
+    };
+    let drifted: Vec<RuleId> = stats
+        .iter()
+        .filter(|s| s.matched() > 0 && s.confidence() < opts.theta)
+        .map(|s| s.rule)
+        .collect();
+    if drifted.is_empty() {
+        return Ok(None);
+    }
+    if let Some(m) = engine.metrics_sink() {
+        m.add("remine.triggered", 1);
+    }
+
+    let nb_set = neighborhood(engine, &drifted, opts.expand);
+    // retire every rule fully inside the neighborhood: the scoped mine
+    // re-derives that area's cover, so keeping old rules there would
+    // duplicate or contradict it
+    let retired_ids: Vec<RuleId> = engine
+        .rules()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.lhs_attrs().with(c.rhs_attr()).is_subset(nb_set))
+        .map(|(i, _)| i)
+        .collect();
+    debug_assert!(drifted.iter().all(|r| retired_ids.contains(r)));
+
+    // project the live instance onto the neighborhood (shared
+    // dictionaries: codes carry over, only attribute ids renumber)
+    let (proj, nb, dense_of) = {
+        let _sp = cfd_obs::span!("remine.project");
+        let live = engine.materialize();
+        let proj = live
+            .project(nb_set)
+            .expect("neighborhood attrs come from the engine's own schema");
+        let nb: Vec<AttrId> = nb_set.iter().collect();
+        let mut dense_of: Vec<TupleId> = vec![TupleId::MAX; engine.n_total()];
+        for (i, &id) in engine.live_ids().iter().enumerate() {
+            dense_of[id as usize] = i as TupleId;
+        }
+        (proj, nb, dense_of)
+    };
+
+    // mine the neighborhood under θ, warm-started from the engine's
+    // live group indexes
+    let fd_only = retired_ids.iter().all(|&r| engine.rules()[r].is_plain_fd());
+    let (cover, measures) = {
+        let _sp = cfd_obs::span!("remine.mine");
+        let proj_index = RelationIndex::new(&proj);
+        let mut search = SearchStats::default();
+        if fd_only {
+            let mut store: PartitionStore<AttrSet> = PartitionStore::new(usize::MAX);
+            seed_fd_store(engine, &nb, nb_set, &dense_of, &mut store);
+            Tane::new()
+                .with_shared_knobs(opts.max_lhs, opts.theta, opts.threads)
+                .run_measured_seeded(&proj, &proj_index, &mut store, ctrl, &mut search)?
+        } else {
+            let mut store: PartitionStore<Pattern> = PartitionStore::new(usize::MAX);
+            seed_pattern_store(engine, &nb, nb_set, &dense_of, &mut store);
+            let mut miner = Ctane::new(opts.k)
+                .min_confidence(opts.theta)
+                .threads(opts.threads);
+            if let Some(m) = opts.max_lhs {
+                miner = miner.max_lhs(m);
+            }
+            miner.run_measured_seeded(&proj, &proj_index, &mut store, ctrl, &mut search)?
+        }
+    };
+
+    // map the mined cover back to engine attribute ids (codes are
+    // already the engine's — the projection shares its dictionaries)
+    let mut replacement: Vec<Cfd> = Vec::with_capacity(cover.len());
+    for cfd in cover.iter() {
+        let lhs = Pattern::from_pairs(cfd.lhs().iter().map(|(a, v)| (nb[a], v)));
+        replacement.push(Cfd::new(lhs, nb[cfd.rhs_attr()], cfd.rhs_val()));
+    }
+
+    let retired: Vec<RetiredRule> = retired_ids
+        .iter()
+        .map(|&r| RetiredRule {
+            rule: r,
+            text: engine.rule_text(r).to_string(),
+            measure: stats[r].measure,
+        })
+        .collect();
+
+    let batch = {
+        let _sp = cfd_obs::span!("remine.apply");
+        engine.apply_cover_delta(&retired_ids, replacement.clone())
+    };
+    if let Some(m) = engine.metrics_sink() {
+        m.add("remine.rules_retired", retired.len() as u64);
+        m.add("remine.rules_added", replacement.len() as u64);
+    }
+
+    // kernel-validated acceptance: every surviving rule meets θ
+    let live = engine.materialize();
+    let post_measures = cfd_validate::measure_cover(&live, engine.rules(), opts.threads);
+    debug_assert!(post_measures
+        .iter()
+        .all(|m| m.support == 0 || m.confidence() >= opts.theta));
+    let replacement_texts = replacement.iter().map(|c| c.display(&live)).collect();
+
+    Ok(Some(CoverDelta {
+        neighborhood: nb,
+        retired,
+        replacement,
+        replacement_texts,
+        replacement_measures: measures,
+        post_measures,
+        batch,
+    }))
+}
+
+/// The drifted rules' attribute neighborhood: the union of their
+/// LHS∪RHS attributes, expanded by up to `expand` more. Expansion
+/// prefers attributes that co-occur (in any rule of the cover) with an
+/// attribute of that core — they are the ones the cover already links
+/// to the drifted area — and falls back to the remaining schema
+/// attributes, so a replacement rule can pick up a determinant the old
+/// cover never mentioned. Smallest attribute ids win within each tier —
+/// deterministic regardless of rule or shard order.
+fn neighborhood(engine: &StreamEngine, drifted: &[RuleId], expand: usize) -> AttrSet {
+    let attrs_of = |c: &Cfd| c.lhs_attrs().with(c.rhs_attr());
+    let mut core = AttrSet::EMPTY;
+    for &r in drifted {
+        core = core.union(attrs_of(&engine.rules()[r]));
+    }
+    let mut candidates = AttrSet::EMPTY;
+    for c in engine.rules() {
+        let a = attrs_of(c);
+        if a.intersects(core) {
+            candidates = candidates.union(a);
+        }
+    }
+    let mut nb = core;
+    let mut budget = expand;
+    for a in candidates.difference(core).iter() {
+        if budget == 0 {
+            break;
+        }
+        nb.insert(a);
+        budget -= 1;
+    }
+    let all = AttrSet::full(engine.schema().arity());
+    for a in all.difference(nb).iter() {
+        if budget == 0 {
+            break;
+        }
+        nb.insert(a);
+        budget -= 1;
+    }
+    nb
+}
+
+/// Builds the stripped partition of one variable rule's LHS pattern
+/// over the projection, from the engine's live group index: each group
+/// (rows matching the LHS constants, keyed by wildcard codes) is one
+/// equivalence class. Classes are emitted smallest-dense-id first so
+/// the partition is deterministic regardless of hash-map iteration
+/// order, and group members — ascending engine ids — map to ascending
+/// dense ids because the live-id ranking is monotone.
+fn seed_classes(
+    groups: &cfd_model::FxHashMap<Vec<u32>, std::collections::BTreeMap<crate::RowId, u32>>,
+    dense_of: &[TupleId],
+) -> StrippedPartition {
+    let mut classes: Vec<Vec<TupleId>> = groups
+        .values()
+        .map(|members| members.keys().map(|&t| dense_of[t as usize]).collect())
+        .collect();
+    classes.sort_unstable_by_key(|c| c[0]);
+    let mut part = StrippedPartition::empty();
+    for class in &classes {
+        part.push_class(class);
+    }
+    part
+}
+
+/// Seeds a CTANE pattern store with the live partitions of every
+/// variable rule whose LHS attributes fall inside the neighborhood
+/// (constant-RHS rules keep no row sets and cannot seed). Entries go
+/// in unpinned at level = pattern size, so the walk's level window and
+/// byte budget govern them like any other cached partition.
+fn seed_pattern_store(
+    engine: &StreamEngine,
+    nb: &[AttrId],
+    nb_set: AttrSet,
+    dense_of: &[TupleId],
+    store: &mut PartitionStore<Pattern>,
+) {
+    let pos_of = |a: AttrId| nb.iter().position(|&b| b == a).expect("a ∈ nb") as AttrId;
+    for state in engine.rule_states() {
+        let Some(groups) = state.groups() else {
+            continue;
+        };
+        let cfd = &engine.rules()[state.rule];
+        if !cfd.lhs_attrs().is_subset(nb_set) || cfd.lhs().is_empty() {
+            continue;
+        }
+        let pattern = Pattern::from_pairs(cfd.lhs().iter().map(|(a, v)| (pos_of(a), v)));
+        if store.peek(&pattern).is_some() {
+            continue; // two rules sharing an LHS pattern seed it once
+        }
+        let level = pattern.len() as u32;
+        let part = seed_classes(groups, dense_of);
+        store.insert_pinned(pattern, level, part);
+    }
+    // seeds are cache, not working set: leave them all evictable
+    store.unpin_all();
+}
+
+/// The TANE counterpart of [`seed_pattern_store`]: only all-wildcard
+/// rules (plain FDs) have an attribute-set partition to contribute.
+fn seed_fd_store(
+    engine: &StreamEngine,
+    nb: &[AttrId],
+    nb_set: AttrSet,
+    dense_of: &[TupleId],
+    store: &mut PartitionStore<AttrSet>,
+) {
+    let pos_of = |a: AttrId| nb.iter().position(|&b| b == a).expect("a ∈ nb") as AttrId;
+    for state in engine.rule_states() {
+        let Some(groups) = state.groups() else {
+            continue;
+        };
+        let cfd = &engine.rules()[state.rule];
+        if !cfd.is_plain_fd() || !cfd.lhs_attrs().is_subset(nb_set) || cfd.lhs().is_empty() {
+            continue;
+        }
+        let mut attrs = AttrSet::EMPTY;
+        for a in cfd.lhs_attrs().iter() {
+            attrs.insert(pos_of(a));
+        }
+        if store.peek(&attrs).is_some() {
+            continue;
+        }
+        let level = attrs.len() as u32;
+        let part = seed_classes(groups, dense_of);
+        store.insert_pinned(attrs, level, part);
+    }
+    store.unpin_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StreamEngine;
+    use cfd_model::cfd::parse_cfd;
+    use cfd_model::relation::relation_from_rows;
+    use cfd_model::{Schema, Violation};
+    use cfd_validate::detect_violations;
+
+    /// A relation where A → B holds on the warm window but only
+    /// [A, C] → B survives the drift batch.
+    fn warm_rel() -> cfd_model::Relation {
+        let schema = Schema::new(["A", "B", "C"]).unwrap();
+        relation_from_rows(
+            schema,
+            &[
+                vec!["a1", "b1", "c1"],
+                vec!["a1", "b1", "c1"],
+                vec!["a2", "b2", "c1"],
+                vec!["a2", "b2", "c1"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn drift_engine(shards: usize) -> StreamEngine {
+        let rel = warm_rel();
+        let rules = vec![parse_cfd(&rel, "(A -> B, (_ || _))").unwrap()];
+        let (mut engine, delta) = StreamEngine::warm(&rel, rules, shards);
+        assert!(delta.is_empty());
+        // drift: within A = a1, B now splits by C — A → B collapses
+        // to 4/8 confidence, while [A, C] → B holds exactly
+        engine
+            .insert_batch(&[
+                vec!["a1", "b9", "c2"],
+                vec!["a1", "b9", "c2"],
+                vec!["a2", "b8", "c2"],
+                vec!["a2", "b8", "c2"],
+            ])
+            .unwrap();
+        engine
+    }
+
+    /// Asserts the engine's live violation set still reconciles with a
+    /// batch scan of the materialized live instance — the invariant the
+    /// atomic cover swap must preserve.
+    fn reconcile(engine: &StreamEngine) {
+        let mat = engine.materialize();
+        let ids = engine.live_ids();
+        let mut want: Vec<(usize, Violation)> = detect_violations(&mat, engine.rules())
+            .into_iter()
+            .map(|(r, v)| {
+                (
+                    r,
+                    match v {
+                        Violation::Single(t) => Violation::Single(ids[t as usize]),
+                        Violation::Pair(a, b) => Violation::Pair(ids[a as usize], ids[b as usize]),
+                    },
+                )
+            })
+            .collect();
+        want.sort_unstable();
+        assert_eq!(engine.live_violations(), want);
+    }
+
+    #[test]
+    fn clean_engine_does_not_trigger() {
+        let rel = warm_rel();
+        let rules = vec![parse_cfd(&rel, "(A -> B, (_ || _))").unwrap()];
+        let (mut engine, _) = StreamEngine::warm(&rel, rules, 1);
+        let opts = RemineOptions::default();
+        let out = remine(&mut engine, &opts, &Control::default()).unwrap();
+        assert!(out.is_none());
+        assert_eq!(engine.rules().len(), 1);
+    }
+
+    #[test]
+    fn drift_retires_and_replaces_the_rule() {
+        let mut engine = drift_engine(1);
+        assert_eq!(drifted_rules(&engine, 0.95), vec![0]);
+        let opts = RemineOptions {
+            theta: 0.95,
+            expand: 1,
+            ..RemineOptions::default()
+        };
+        let delta = remine(&mut engine, &opts, &Control::default())
+            .unwrap()
+            .expect("drift triggers");
+        // the neighborhood expanded to C (the only attr left)
+        assert_eq!(delta.neighborhood, vec![0, 1, 2]);
+        assert_eq!(delta.retired.len(), 1);
+        assert_eq!(delta.retired[0].rule, 0);
+        assert!(delta.retired[0].measure.confidence() < 0.95);
+        // [A, C] → B is re-discovered (alongside whatever else meets θ)
+        let ac_b = engine
+            .rules()
+            .iter()
+            .any(|c| c.is_plain_fd() && c.lhs_attrs().contains(0) && c.lhs_attrs().contains(2));
+        assert!(
+            ac_b,
+            "expected a [A, C] determinant: {:?}",
+            delta.replacement_texts
+        );
+        // kernel-validated: every surviving rule meets θ
+        assert_eq!(delta.post_measures.len(), engine.rules().len());
+        for m in &delta.post_measures {
+            assert!(m.support == 0 || m.confidence() >= 0.95);
+        }
+        // the swapped engine still reconciles with a batch scan …
+        reconcile(&engine);
+        // … and keeps absorbing traffic incrementally
+        engine.insert_batch(&[vec!["a3", "b3", "c3"]]).unwrap();
+        reconcile(&engine);
+    }
+
+    #[test]
+    fn remine_is_thread_and_shard_invariant() {
+        let opts1 = RemineOptions {
+            threads: 1,
+            ..RemineOptions::default()
+        };
+        let opts4 = RemineOptions {
+            threads: 4,
+            ..RemineOptions::default()
+        };
+        let mut base = drift_engine(1);
+        let d1 = remine(&mut base, &opts1, &Control::default())
+            .unwrap()
+            .unwrap();
+        for (shards, opts) in [(1, opts4), (2, opts1), (4, opts4)] {
+            let mut engine = drift_engine(shards);
+            let d = remine(&mut engine, &opts, &Control::default())
+                .unwrap()
+                .unwrap();
+            assert_eq!(d.replacement_texts, d1.replacement_texts);
+            assert_eq!(d.neighborhood, d1.neighborhood);
+            assert_eq!(d.post_measures, d1.post_measures);
+            assert_eq!(engine.rules(), base.rules());
+        }
+    }
+
+    #[test]
+    fn kept_rules_outside_the_neighborhood_survive() {
+        let schema = Schema::new(["A", "B", "C", "D", "E"]).unwrap();
+        let rel = relation_from_rows(
+            schema,
+            &[
+                vec!["a1", "b1", "c1", "d1", "e1"],
+                vec!["a1", "b1", "c1", "d1", "e1"],
+                vec!["a2", "b2", "c1", "d2", "e2"],
+                vec!["a2", "b2", "c1", "d2", "e2"],
+            ],
+        )
+        .unwrap();
+        let rules = vec![
+            parse_cfd(&rel, "(A -> B, (_ || _))").unwrap(),
+            parse_cfd(&rel, "(D -> E, (_ || _))").unwrap(),
+        ];
+        let (mut engine, _) = StreamEngine::warm(&rel, rules, 2);
+        // drift A → B only; D → E stays exact
+        engine
+            .insert_batch(&[
+                vec!["a1", "b9", "c2", "d1", "e1"],
+                vec!["a1", "b9", "c2", "d1", "e1"],
+            ])
+            .unwrap();
+        let opts = RemineOptions {
+            expand: 1,
+            ..RemineOptions::default()
+        };
+        let delta = remine(&mut engine, &opts, &Control::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(delta.retired.len(), 1, "{:?}", delta.retired);
+        // D → E survives the swap with its index intact
+        assert!(engine
+            .rules()
+            .iter()
+            .any(|c| c.is_plain_fd() && c.lhs_attrs().contains(3) && c.rhs_attr() == 4));
+        reconcile(&engine);
+    }
+
+    #[test]
+    fn cancellation_leaves_the_engine_untouched() {
+        use std::sync::atomic::AtomicBool;
+        let mut engine = drift_engine(1);
+        let before = engine.rules().to_vec();
+        let cancel = AtomicBool::new(true);
+        let ctrl = Control::default().cancel_with(&cancel);
+        let opts = RemineOptions::default();
+        assert!(remine(&mut engine, &opts, &ctrl).is_err());
+        assert_eq!(engine.rules(), &before[..]);
+        reconcile(&engine);
+    }
+}

@@ -280,6 +280,39 @@ impl RuleState {
         }
     }
 
+    /// The live group member maps of a variable-RHS rule, keyed by the
+    /// codes on the LHS wildcard attributes (`None` for constant rules,
+    /// which keep no matching-row sets) — the partition classes
+    /// [`crate::remine`] seeds warm-start lattices from.
+    pub(crate) fn groups(&self) -> Option<&FxHashMap<Vec<u32>, BTreeMap<RowId, u32>>> {
+        match &self.index {
+            Index::VarRhs { groups, .. } => Some(groups),
+            Index::ConstRhs { .. } => None,
+        }
+    }
+
+    /// Rewrites every stored row id through `map` (dense materialized
+    /// row → engine row id). `map` must be strictly increasing, so
+    /// group witnesses — and therefore every violation the rule
+    /// reports — land on the same tuples they would under per-row
+    /// insertion. Used by the cover-swap warm path, which bulk-builds
+    /// indexes against the dense materialized live instance.
+    pub(crate) fn remap_ids(&mut self, map: &[RowId]) {
+        match &mut self.index {
+            Index::ConstRhs { dissenters, .. } => {
+                *dissenters = dissenters.iter().map(|&t| map[t as usize]).collect();
+            }
+            Index::VarRhs { groups, .. } => {
+                for members in groups.values_mut() {
+                    *members = members
+                        .iter()
+                        .map(|(&t, &c)| (map[t as usize], c))
+                        .collect();
+                }
+            }
+        }
+    }
+
     /// The rule's current live violations, in ascending order.
     pub(crate) fn live_violations(&self, out: &mut Vec<(RuleId, Violation)>) {
         match &self.index {

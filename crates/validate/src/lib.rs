@@ -49,7 +49,9 @@ pub mod plan;
 pub mod repair;
 pub mod report;
 
-pub use plan::{validate, validate_indexed, validate_with, CoverPlan, ValidateOptions};
+pub use plan::{
+    measure_cover, validate, validate_indexed, validate_with, CoverPlan, ValidateOptions,
+};
 pub use repair::suggest_repairs_for_cover;
 pub use report::{RuleReport, ValidationReport};
 

@@ -344,6 +344,23 @@ where
     validate_with(rel, cfds, opts, &Control::default())
 }
 
+/// Kernel-measured [`RuleMeasure`] per rule of `cfds`, in input order.
+/// This is the acceptance check `cfd_stream::remine` runs after an
+/// atomic cover swap (every surviving rule's confidence must meet the
+/// watch θ): one validation pass with a zero violation-sample cap —
+/// counters stay exact; only the per-violation sample is skipped.
+pub fn measure_cover<'a, I>(rel: &Relation, cfds: I, threads: usize) -> Vec<RuleMeasure>
+where
+    I: IntoIterator<Item = &'a Cfd>,
+{
+    let opts = ValidateOptions { threads, limit: 0 };
+    validate(rel, cfds, &opts)
+        .rules
+        .into_iter()
+        .map(|r| r.measure)
+        .collect()
+}
+
 /// [`validate`] with run instrumentation: emits the kernel's counters
 /// (`validate.*`; DESIGN.md §10) into the metrics sink attached to
 /// `ctrl`, if any. The report is identical to [`validate`]'s.

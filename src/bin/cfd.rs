@@ -90,7 +90,8 @@ fn usage() -> ExitCode {
          \x20           [--trace] [--metrics-out FILE]\n  \
          cfd repair <data.csv> <rules.txt> <out.csv> [--lenient]\n  \
          cfd stats <data.csv>\n  \
-         cfd watch <initial.csv> <rules.txt> [--shards N] [--lenient] [--trace] [--metrics-out FILE]\n  \
+         cfd watch <initial.csv> <rules.txt> [--shards N] [--lenient] [--trace] [--metrics-out FILE]\n\
+         \x20          [--remine] [--remine-theta F] [--remine-expand N] [--threads N]\n  \
          cfd serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20          [--registry-budget-mb N] [--max-line-kb N] [--trace] [--metrics-out FILE]\n  \
          cfd client <HOST:PORT>\n  \
@@ -102,6 +103,10 @@ fn usage() -> ExitCode {
          \x20 and check; output is identical at any thread count;\n\
          \x20 --min-confidence mines approximate covers with ctane/tane/cfdminer;\n\
          \x20 rule files are strict — --lenient skips unparseable lines instead;\n\
+         \x20 watch --remine re-mines drifted rules in place: when a rule's live\n\
+         \x20 confidence drops below --remine-theta, its attribute neighborhood\n\
+         \x20 (LHS u RHS plus --remine-expand extra attributes) is re-discovered\n\
+         \x20 under theta and the cover is atomically repaired (REMINE lines);\n\
          \x20 serve hosts a dataset registry + job queue over newline-delimited JSON/TCP,\n\
          \x20 client pipes a scripted session to it (stdin -> requests, stdout <- replies);\n\
          \x20 --trace prints a span-time summary to stderr, --metrics-out FILE\n\
@@ -145,6 +150,9 @@ struct Args {
     format: Format,
     min_confidence: f64,
     top_k: Option<usize>,
+    remine: bool,
+    remine_theta: f64,
+    remine_expand: usize,
     trace: bool,
     metrics_out: Option<String>,
     addr: String,
@@ -172,6 +180,9 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, String> {
         format: Format::Text,
         min_confidence: 1.0,
         top_k: None,
+        remine: false,
+        remine_theta: 0.95,
+        remine_expand: 1,
         trace: false,
         metrics_out: None,
         addr: "127.0.0.1:4617".to_string(),
@@ -225,6 +236,21 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, String> {
                     number("--registry-budget-mb", value("--registry-budget-mb")?)?
             }
             "--max-line-kb" => a.max_line_kb = number("--max-line-kb", value("--max-line-kb")?)?,
+            "--remine" => a.remine = true,
+            "--remine-theta" => {
+                let v = value("--remine-theta")?;
+                a.remine_theta = v.parse::<f64>().map_err(|_| {
+                    format!("invalid value {v:?} for --remine-theta: expected a number in (0, 1]")
+                })?;
+                if !(a.remine_theta > 0.0 && a.remine_theta <= 1.0) {
+                    return Err(format!(
+                        "invalid value {v:?} for --remine-theta: expected a number in (0, 1]"
+                    ));
+                }
+            }
+            "--remine-expand" => {
+                a.remine_expand = number("--remine-expand", value("--remine-expand")?)?
+            }
             "--constants-only" => a.constants_only = true,
             "--tableau" => a.tableau = true,
             "--lenient" => a.lenient = true,
@@ -455,6 +481,65 @@ fn repair(a: &Args) -> Result<ExitCode> {
 /// `--lenient`. EOF applies any staged batch and prints final
 /// statistics. Exit code 0 when the final live instance satisfies
 /// every rule, 1 otherwise.
+/// Runs one `--remine` cycle after an applied batch: trigger on any
+/// rule whose live confidence fell below `--remine-theta`, re-discover
+/// its attribute neighborhood, swap the cover atomically, and narrate
+/// the delta as `REMINE` lines (`REMINE-` retired, `REMINE+` added,
+/// then the kernel-validated post-state).
+fn remine_cycle(engine: &mut cfd_suite::prelude::StreamEngine, a: &Args) {
+    use cfd_suite::model::progress::Control;
+    use cfd_suite::prelude::{remine, RemineOptions};
+    let ropts = RemineOptions {
+        theta: a.remine_theta,
+        expand: a.remine_expand,
+        k: 1,
+        max_lhs: None,
+        threads: a.threads,
+    };
+    let Ok(outcome) = remine(engine, &ropts, &Control::default()) else {
+        unreachable!("default Control is never cancelled")
+    };
+    let Some(delta) = outcome else { return };
+    let names: Vec<&str> = delta
+        .neighborhood
+        .iter()
+        .map(|&at| engine.schema().name(at))
+        .collect();
+    println!(
+        "REMINE retired={} added={} theta={} neighborhood=[{}]",
+        delta.retired.len(),
+        delta.replacement.len(),
+        a.remine_theta,
+        names.join(", "),
+    );
+    for r in &delta.retired {
+        println!(
+            "REMINE- {} confidence={:.4}",
+            r.text,
+            r.measure.confidence()
+        );
+    }
+    for (text, m) in delta
+        .replacement_texts
+        .iter()
+        .zip(&delta.replacement_measures)
+    {
+        println!("REMINE+ {text} confidence={:.4}", m.confidence());
+    }
+    let min_conf = delta
+        .post_measures
+        .iter()
+        .filter(|m| m.support > 0)
+        .map(|m| m.confidence())
+        .fold(1.0, f64::min);
+    println!(
+        "REMINE verified rules={} min_confidence={:.4} live_violations={}",
+        engine.rules().len(),
+        min_conf,
+        engine.live_violations().len()
+    );
+}
+
 fn watch(a: &Args) -> Result<ExitCode> {
     use cfd_suite::model::cfd::parse_cfd_interning;
     use cfd_suite::prelude::StreamEngine;
@@ -465,7 +550,7 @@ fn watch(a: &Args) -> Result<ExitCode> {
     let loaded = load_rules_file_with(&a.positional[1], a.lenient, |line| {
         parse_cfd_interning(&mut rel, line)
     })?;
-    let (texts, cfds): (Vec<String>, Vec<Cfd>) = loaded.into_iter().unzip();
+    let cfds: Vec<Cfd> = loaded.into_iter().map(|(_, c)| c).collect();
     let (engine, warm) = StreamEngine::warm(&rel, cfds, a.shards);
     let mut engine = engine.metrics_with(obs.registry().clone());
     eprintln!(
@@ -476,24 +561,30 @@ fn watch(a: &Args) -> Result<ExitCode> {
         engine.n_shards(),
     );
 
+    // rule texts come from the engine (not the rules file): a --remine
+    // swap retires and adds rules mid-session, and the engine's cached
+    // display strings are the only ones that stay in sync
     let print_delta = |engine: &StreamEngine, delta: &cfd_suite::prelude::BatchDelta| {
         for &(r, v) in &delta.raised {
             match v {
                 Violation::Single(t) => {
                     let vals = engine.row_values(t).unwrap_or_default();
-                    println!("RAISED {} tuple {t}: {vals:?}", texts[r]);
+                    println!("RAISED {} tuple {t}: {vals:?}", engine.rule_text(r));
                 }
                 Violation::Pair(t1, t2) => {
                     let v2 = engine.row_values(t2).unwrap_or_default();
-                    println!("RAISED {} tuples {t1} and {t2}: {v2:?}", texts[r]);
+                    println!(
+                        "RAISED {} tuples {t1} and {t2}: {v2:?}",
+                        engine.rule_text(r)
+                    );
                 }
             }
         }
         for &(r, v) in &delta.cleared {
             match v {
-                Violation::Single(t) => println!("CLEARED {} tuple {t}", texts[r]),
+                Violation::Single(t) => println!("CLEARED {} tuple {t}", engine.rule_text(r)),
                 Violation::Pair(t1, t2) => {
-                    println!("CLEARED {} tuples {t1} and {t2}", texts[r])
+                    println!("CLEARED {} tuples {t1} and {t2}", engine.rule_text(r))
                 }
             }
         }
@@ -506,7 +597,7 @@ fn watch(a: &Args) -> Result<ExitCode> {
                 s.matched(),
                 s.violations,
                 s.confidence(),
-                texts[s.rule]
+                engine.rule_text(s.rule)
             );
         }
         println!(
@@ -578,6 +669,9 @@ fn watch(a: &Args) -> Result<ExitCode> {
                     engine.n_live(),
                     engine.live_violations().len(),
                 );
+            }
+            if a.remine {
+                remine_cycle(engine, a);
             }
         }
         deletes.clear();

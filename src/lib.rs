@@ -78,7 +78,7 @@ pub mod prelude {
         Schema,
     };
     pub use cfd_serve::{ServeOptions, Server};
-    pub use cfd_stream::{BatchDelta, RuleStats, StreamEngine};
+    pub use cfd_stream::{remine, BatchDelta, CoverDelta, RemineOptions, RuleStats, StreamEngine};
     pub use cfd_validate::{
         detect_violations, satisfies_cover, suggest_repairs_for_cover, validate, validate_indexed,
         validate_with, CoverPlan, RuleReport, ValidateOptions, ValidationReport,
