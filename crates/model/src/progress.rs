@@ -3,10 +3,10 @@
 //! Discovery over a large instance can run for minutes; a server or UI
 //! embedding it needs to cancel a run, observe its progress, and read
 //! search counters afterwards. This module provides the shared
-//! substrate: a [`Control`] handle (cancellation flag + progress sink +
-//! optional [`MetricsSink`]) that algorithms poll at coarse
-//! checkpoints, and [`SearchStats`], the machine-readable counters
-//! every algorithm fills in best-effort.
+//! substrate: a [`Control`] handle (cancellation flag + optional
+//! deadline + progress sink + optional [`MetricsSink`]) that algorithms
+//! poll at coarse checkpoints, and [`SearchStats`], the
+//! machine-readable counters every algorithm fills in best-effort.
 //!
 //! The high-level API that consumes these (the `Discoverer` trait,
 //! `DiscoverOptions`, the `Algo` registry) lives in `cfd-core`; this
@@ -104,6 +104,7 @@ pub struct Control<'a> {
     cancel: Option<&'a AtomicBool>,
     progress: Option<&'a (dyn Fn(Progress) + Sync)>,
     metrics: Option<&'a dyn MetricsSink>,
+    deadline: Option<Instant>,
 }
 
 impl<'a> Control<'a> {
@@ -111,6 +112,20 @@ impl<'a> Control<'a> {
     /// `Ordering::Relaxed` suffices), [`Control::check`] fails.
     pub fn cancel_with(mut self, flag: &'a AtomicBool) -> Control<'a> {
         self.cancel = Some(flag);
+        self
+    }
+
+    /// Attaches a deadline: once `Instant::now()` passes it,
+    /// [`Control::check`] fails at the next checkpoint. The deadline is
+    /// polled at the *same* coarse checkpoints as the cancellation flag,
+    /// so timeout latency is bounded by the largest single unit of work
+    /// — there is no extra timer thread. A run that misses its deadline
+    /// still surfaces as [`Cancelled`]; the embedding layer (e.g. the
+    /// serve worker pool) distinguishes "cancelled by the user" from
+    /// "timed out" by inspecting [`Control::deadline_exceeded`] and the
+    /// flag after the run returns.
+    pub fn deadline_with(mut self, deadline: Instant) -> Control<'a> {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -139,12 +154,25 @@ impl<'a> Control<'a> {
         self.cancel.is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
-    /// Checkpoint: `Err(Cancelled)` once the flag is set. Each call
-    /// counts into the `control.checks` metric, so a metrics snapshot
-    /// shows how responsive a run would have been to cancellation.
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True iff a deadline is attached and has already passed. Reads
+    /// the clock only when a deadline is set, so un-deadlined runs pay
+    /// one branch per checkpoint.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Checkpoint: `Err(Cancelled)` once the flag is set or the
+    /// deadline has passed. Each call counts into the `control.checks`
+    /// metric, so a metrics snapshot shows how responsive a run would
+    /// have been to cancellation.
     pub fn check(&self) -> Result<(), Cancelled> {
         self.metric_add("control.checks", 1);
-        if self.cancelled() {
+        if self.cancelled() || self.deadline_exceeded() {
             Err(Cancelled)
         } else {
             Ok(())
@@ -220,6 +248,7 @@ impl std::fmt::Debug for Control<'_> {
             .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
             .field("progress", &self.progress.is_some())
             .field("metrics", &self.metrics.is_some())
+            .field("deadline", &self.deadline)
             .finish()
     }
 }
@@ -403,6 +432,22 @@ mod tests {
         assert!(c.check().is_ok());
         flag.store(true, Ordering::Relaxed);
         assert_eq!(c.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn deadline_trips_check_once_passed() {
+        let now = Instant::now();
+        let live = Control::default().deadline_with(now + Duration::from_secs(3600));
+        assert!(!live.deadline_exceeded());
+        assert!(live.check().is_ok());
+        let expired = Control::default().deadline_with(now - Duration::from_millis(1));
+        assert!(expired.deadline_exceeded());
+        assert_eq!(expired.check(), Err(Cancelled));
+        // an expired deadline does not set the cancellation *flag* view
+        assert!(!expired.cancelled());
+        // no deadline attached: never exceeded
+        assert!(!Control::default().deadline_exceeded());
+        assert_eq!(Control::default().deadline(), None);
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! polled at the algorithm's own checkpoints) and how per-job metrics
 //! and progress reach the server's registry and the subscribed client.
 
-use crate::protocol::{event, ServeError};
-use crate::registry::Dataset;
+use crate::protocol::{error_json, event, ServeError};
+use crate::registry::{lock_unpoisoned, Dataset};
 use crate::session::attach_rule_texts;
 use cfd_core::api::{Algo, DiscoverError, DiscoverOptions, Discoverer, SearchStats};
 use cfd_core::Ctane;
@@ -29,7 +29,8 @@ use cfd_validate::ValidateOptions;
 use std::collections::VecDeque;
 use std::sync::atomic::AtomicBool;
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
 
 /// What kind of work a job carries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +90,12 @@ pub struct Job {
     pub sync: bool,
     /// The flag `cancel` sets and [`Control::check`] polls.
     pub cancel: AtomicBool,
+    /// Per-job deadline budget (request `timeout_ms`, else the
+    /// server-wide default). The clock starts when a worker *picks the
+    /// job up*, not at submission — queue wait does not count.
+    pub timeout: Option<Duration>,
+    /// The submitting session's id (fault-point scoping).
+    pub session: u64,
     phase: Mutex<Phase>,
     done_cv: Condvar,
     subscriber: Mutex<Option<Sender<String>>>,
@@ -104,12 +111,28 @@ impl Job {
         sync: bool,
         subscriber: Sender<String>,
     ) -> Arc<Job> {
+        Job::with_limits(id, kind, dataset, sync, subscriber, None, 0)
+    }
+
+    /// [`Job::new`] plus the robustness knobs: a deadline budget and
+    /// the submitting session's id.
+    pub fn with_limits(
+        id: u64,
+        kind: JobKind,
+        dataset: String,
+        sync: bool,
+        subscriber: Sender<String>,
+        timeout: Option<Duration>,
+        session: u64,
+    ) -> Arc<Job> {
         Arc::new(Job {
             id,
             kind,
             dataset,
             sync,
             cancel: AtomicBool::new(false),
+            timeout,
+            session,
             phase: Mutex::new(Phase::Queued),
             done_cv: Condvar::new(),
             subscriber: Mutex::new(Some(subscriber)),
@@ -120,14 +143,14 @@ impl Job {
     /// the client is gone — a job never fails because its watcher
     /// hung up).
     pub fn send_event(&self, kind: &str, fields: Vec<(String, Json)>) {
-        if let Some(tx) = self.subscriber.lock().expect("subscriber lock").as_ref() {
+        if let Some(tx) = lock_unpoisoned(&self.subscriber).as_ref() {
             let _ = tx.send(event(kind, self.id, fields).to_string());
         }
     }
 
     /// Marks the job running and announces it.
     pub fn set_running(&self) {
-        *self.phase.lock().expect("job lock") = Phase::Running;
+        *lock_unpoisoned(&self.phase) = Phase::Running;
         self.send_event(
             "started",
             vec![("kind".into(), Json::from(self.kind.name()))],
@@ -140,7 +163,7 @@ impl Job {
     /// alive.
     pub fn finish(&self, outcome: JobOutcome) {
         {
-            let mut phase = self.phase.lock().expect("job lock");
+            let mut phase = lock_unpoisoned(&self.phase);
             if matches!(*phase, Phase::Finished(_)) {
                 return;
             }
@@ -152,37 +175,33 @@ impl Job {
                 JobOutcome::Done(result) => {
                     self.send_event("done", vec![("result".into(), result.clone())])
                 }
-                JobOutcome::Failed(e) => self.send_event(
-                    "failed",
-                    vec![(
-                        "error".into(),
-                        Json::obj([
-                            ("code", Json::from(e.code)),
-                            ("message", Json::from(e.message.as_str())),
-                        ]),
-                    )],
-                ),
+                JobOutcome::Failed(e) => {
+                    self.send_event("failed", vec![("error".into(), error_json(e))])
+                }
                 JobOutcome::Cancelled => self.send_event("cancelled", Vec::new()),
             }
         }
-        *self.subscriber.lock().expect("subscriber lock") = None;
+        *lock_unpoisoned(&self.subscriber) = None;
     }
 
     /// Blocks until the job reaches a terminal state (the sync-mode
     /// wait), returning the outcome.
     pub fn wait(&self) -> JobOutcome {
-        let mut phase = self.phase.lock().expect("job lock");
+        let mut phase = lock_unpoisoned(&self.phase);
         loop {
             if let Phase::Finished(outcome) = &*phase {
                 return outcome.clone();
             }
-            phase = self.done_cv.wait(phase).expect("job lock");
+            phase = self
+                .done_cv
+                .wait(phase)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Wire name of the current state.
     pub fn state_name(&self) -> &'static str {
-        match &*self.phase.lock().expect("job lock") {
+        match &*lock_unpoisoned(&self.phase) {
             Phase::Queued => "queued",
             Phase::Running => "running",
             Phase::Finished(JobOutcome::Done(_)) => "done",
@@ -201,16 +220,10 @@ impl Job {
             ("state".to_string(), Json::from(self.state_name())),
         ];
         if with_result {
-            if let Phase::Finished(outcome) = &*self.phase.lock().expect("job lock") {
+            if let Phase::Finished(outcome) = &*lock_unpoisoned(&self.phase) {
                 match outcome {
                     JobOutcome::Done(result) => fields.push(("result".to_string(), result.clone())),
-                    JobOutcome::Failed(e) => fields.push((
-                        "error".to_string(),
-                        Json::obj([
-                            ("code", Json::from(e.code)),
-                            ("message", Json::from(e.message.as_str())),
-                        ]),
-                    )),
+                    JobOutcome::Failed(e) => fields.push(("error".to_string(), error_json(e))),
                     JobOutcome::Cancelled => {}
                 }
             }
@@ -323,7 +336,9 @@ impl Discoverer for SeededCtane<'_> {
         ctrl: &Control<'_>,
         stats: &mut SearchStats,
     ) -> Result<(CanonicalCover, Option<Vec<RuleMeasure>>), DiscoverError> {
-        let mut store = self.ds.store.lock().expect("dataset store lock");
+        // lock_store recovers from poisoning (a panicked job restarts
+        // the cache cold) — one panic must not wedge the dataset
+        let mut store = self.ds.lock_store();
         let out = self
             .configured(opts)
             .run_measured_seeded(rel, index, &mut store, ctrl, stats);
@@ -495,7 +510,7 @@ impl JobQueue {
     /// Enqueues a job, or rejects it: `shutting_down` once closed,
     /// `queue_full` past the depth cap.
     pub fn submit(&self, job: Arc<Job>, spec: JobSpec) -> Result<(), ServeError> {
-        let mut q = self.inner.lock().expect("queue lock");
+        let mut q = lock_unpoisoned(&self.inner);
         if q.closed {
             return Err(ServeError::new(
                 "shutting_down",
@@ -521,7 +536,7 @@ impl JobQueue {
     /// closed *and* drained. The popped job counts as running until
     /// [`JobQueue::done`].
     pub fn pop(&self) -> Option<(Arc<Job>, JobSpec)> {
-        let mut q = self.inner.lock().expect("queue lock");
+        let mut q = lock_unpoisoned(&self.inner);
         loop {
             if let Some(item) = q.pending.pop_front() {
                 q.running += 1;
@@ -530,13 +545,13 @@ impl JobQueue {
             if q.closed {
                 return None;
             }
-            q = self.work_cv.wait(q).expect("queue lock");
+            q = self.work_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Marks one popped job finished.
     pub fn done(&self) {
-        let mut q = self.inner.lock().expect("queue lock");
+        let mut q = lock_unpoisoned(&self.inner);
         q.running -= 1;
         if q.pending.is_empty() && q.running == 0 {
             drop(q);
@@ -548,7 +563,7 @@ impl JobQueue {
     /// picked up yet — the fast path of `cancel`. Returns the job when
     /// it was still pending.
     pub fn take_pending(&self, job_id: u64) -> Option<Arc<Job>> {
-        let mut q = self.inner.lock().expect("queue lock");
+        let mut q = lock_unpoisoned(&self.inner);
         let at = q.pending.iter().position(|(j, _)| j.id == job_id)?;
         let (job, _) = q.pending.remove(at)?;
         if q.pending.is_empty() && q.running == 0 {
@@ -561,28 +576,48 @@ impl JobQueue {
     /// Stops admission and wakes idle workers so they can exit once
     /// the backlog drains.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        lock_unpoisoned(&self.inner).closed = true;
         self.work_cv.notify_all();
+    }
+
+    /// The shutdown snapshot, atomically: stops admission, removes
+    /// every still-pending job (returned for deterministic
+    /// cancellation — queued work is *flushed*, not drained), and
+    /// reports how many jobs were running at that instant (the ones
+    /// the shutdown drain will wait for). Workers are woken so they
+    /// exit once the running set finishes.
+    pub fn close_and_flush(&self) -> (Vec<Arc<Job>>, usize) {
+        let (flushed, running) = {
+            let mut q = lock_unpoisoned(&self.inner);
+            q.closed = true;
+            let flushed: Vec<Arc<Job>> = q.pending.drain(..).map(|(job, _)| job).collect();
+            (flushed, q.running)
+        };
+        self.work_cv.notify_all();
+        if running == 0 {
+            self.idle_cv.notify_all();
+        }
+        (flushed, running)
     }
 
     /// Blocks until nothing is pending or running — the shutdown
     /// drain (cancelled jobs exit at their next checkpoint, so this
     /// terminates).
     pub fn wait_idle(&self) {
-        let mut q = self.inner.lock().expect("queue lock");
+        let mut q = lock_unpoisoned(&self.inner);
         while !(q.pending.is_empty() && q.running == 0) {
-            q = self.idle_cv.wait(q).expect("queue lock");
+            q = self.idle_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Pending jobs right now (`stats` gauge).
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").pending.len()
+        lock_unpoisoned(&self.inner).pending.len()
     }
 
     /// Running jobs right now (`stats` gauge).
     pub fn running(&self) -> usize {
-        self.inner.lock().expect("queue lock").running
+        lock_unpoisoned(&self.inner).running
     }
 }
 
@@ -625,6 +660,34 @@ mod tests {
         assert_eq!(q.pop().unwrap().0.id, 1);
         q.done();
         assert!(q.pop().is_none());
+        q.wait_idle();
+    }
+
+    #[test]
+    fn close_and_flush_reports_the_shutdown_snapshot() {
+        let q = JobQueue::new(8);
+        let (j1, _r1) = ticket(1);
+        let (j2, _r2) = ticket(2);
+        let (j3, _r3) = ticket(3);
+        q.submit(j1, noop_spec()).unwrap();
+        q.submit(j2, noop_spec()).unwrap();
+        q.submit(j3, noop_spec()).unwrap();
+        // one job is mid-run when shutdown arrives
+        let popped = q.pop().unwrap();
+        assert_eq!(popped.0.id, 1);
+        let (flushed, running) = q.close_and_flush();
+        assert_eq!(running, 1, "job 1 was running at the snapshot");
+        let ids: Vec<u64> = flushed.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![2, 3], "queued jobs are flushed in order");
+        assert_eq!(q.depth(), 0);
+        // the running job finishes; wait_idle returns; workers stop
+        q.done();
+        q.wait_idle();
+        assert!(q.pop().is_none());
+        // an empty queue reports (nothing flushed, nothing running)
+        let q = JobQueue::new(2);
+        let (flushed, running) = q.close_and_flush();
+        assert!(flushed.is_empty() && running == 0);
         q.wait_idle();
     }
 

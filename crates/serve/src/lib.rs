@@ -21,6 +21,13 @@
 //!   events, and final `Discovery`/`ValidationReport` documents to
 //!   many concurrent sockets.
 //!
+//! A fourth module, [`faultpoint`], is the chaos-testing harness: named
+//! fault-injection points threaded through the stack (free when
+//! disarmed) that the `inject` op and the `CFD_FAULTS` environment
+//! variable can arm to simulate dead sockets, torn frames, stalls, and
+//! panics. The failure-mode contract — which error code a client sees
+//! for each trigger, and which are retryable — is DESIGN.md §14.
+//!
 //! Results are *identical to the one-shot CLI*: jobs run through the
 //! same `discover_indexed`/`validate_indexed` entry points the CLI's
 //! code paths reduce to, and discovery output is independent of thread
@@ -57,12 +64,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faultpoint;
 pub mod jobs;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod session;
 
+pub use faultpoint::FaultAction;
 pub use jobs::{Job, JobKind, JobOutcome, JobQueue, JobSpec};
 pub use protocol::{LineRead, Request, ServeError, DEFAULT_MAX_LINE};
 pub use registry::{Dataset, DatasetRegistry};

@@ -28,13 +28,19 @@ pub const DEFAULT_MAX_LINE: usize = 64 * 1024;
 
 /// A structured protocol error: a stable machine-readable `code` plus
 /// a human-readable message. The codes are part of the wire contract
-/// (DESIGN.md §12 lists them all).
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// (DESIGN.md §12 lists them all; §14 classifies each by trigger and
+/// retryability). Transient overload errors (`queue_full`,
+/// `registry_budget`) additionally carry a computed `retry_after_ms`
+/// hint so clients can back off intelligently instead of guessing.
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServeError {
     /// Stable error code (`bad_json`, `unknown_dataset`, `queue_full`, …).
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,
+    /// For transient overload errors: how long the server suggests
+    /// waiting before a retry. `None` for every non-retryable code.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ServeError {
@@ -43,7 +49,14 @@ impl ServeError {
         ServeError {
             code,
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attaches a retry hint (transient overload errors only).
+    pub fn retry_after(mut self, ms: u64) -> ServeError {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -62,14 +75,21 @@ pub fn error_reply(op: Option<&str>, err: &ServeError) -> Json {
     if let Some(op) = op {
         fields.push(("op".to_string(), Json::from(op)));
     }
-    fields.push((
-        "error".to_string(),
-        Json::obj([
-            ("code", Json::from(err.code)),
-            ("message", Json::from(err.message.as_str())),
-        ]),
-    ));
+    fields.push(("error".to_string(), error_json(err)));
     Json::Obj(fields)
+}
+
+/// The `{"code", "message"[, "retry_after_ms"]}` error object embedded
+/// in replies, `failed` events, and `status` rows.
+pub fn error_json(err: &ServeError) -> Json {
+    let mut detail = vec![
+        ("code".to_string(), Json::from(err.code)),
+        ("message".to_string(), Json::from(err.message.as_str())),
+    ];
+    if let Some(ms) = err.retry_after_ms {
+        detail.push(("retry_after_ms".to_string(), Json::from(ms)));
+    }
+    Json::Obj(detail)
 }
 
 /// The `{"ok": true, "op": …, …}` reply skeleton: `fields` ride after
@@ -112,6 +132,9 @@ pub struct DiscoverRequest {
     /// Block the connection until the job finishes and carry the
     /// result in the reply (progress events still stream).
     pub sync: bool,
+    /// Per-job deadline in milliseconds (overrides the server-wide
+    /// `--job-timeout-ms` default; `None` inherits it).
+    pub timeout_ms: Option<u64>,
 }
 
 /// A parsed protocol request — one variant per op.
@@ -128,6 +151,8 @@ pub enum Request {
         path: Option<String>,
         /// Inline CSV text.
         csv: Option<String>,
+        /// Pinned datasets are never evicted under budget pressure.
+        pin: bool,
     },
     /// List registered datasets.
     Datasets,
@@ -150,6 +175,8 @@ pub enum Request {
         threads: usize,
         /// Reply with the report instead of a job ticket.
         sync: bool,
+        /// Per-job deadline in milliseconds.
+        timeout_ms: Option<u64>,
     },
     /// Submit a re-mining job: warm a streaming engine over the
     /// dataset with the given cover, run one drift-triggered
@@ -172,6 +199,8 @@ pub enum Request {
         threads: usize,
         /// Reply with the cover delta instead of a job ticket.
         sync: bool,
+        /// Per-job deadline in milliseconds.
+        timeout_ms: Option<u64>,
     },
     /// Submit a repair-suggestion job (edits are returned, never
     /// applied server-side).
@@ -182,6 +211,8 @@ pub enum Request {
         rules: Vec<String>,
         /// Reply with the edits instead of a job ticket.
         sync: bool,
+        /// Per-job deadline in milliseconds.
+        timeout_ms: Option<u64>,
     },
     /// Cancel a job by id (sets its cancellation flag; a queued job is
     /// removed immediately, a running one stops at its next
@@ -199,6 +230,24 @@ pub enum Request {
     Jobs,
     /// Server-wide metrics snapshot plus registry/queue gauges.
     Stats,
+    /// Test-only: arm (or clear) a fault-injection schedule. Rejected
+    /// unless the server was started with fault injection enabled.
+    Inject {
+        /// Fault point name (`None` with `clear` disarms everything).
+        point: Option<String>,
+        /// Action name (`io_error`, `short_read`, `delay`, `panic`).
+        action: Option<String>,
+        /// Delay parameter for `delay`, in milliseconds.
+        delay_ms: Option<u64>,
+        /// Matching hits to skip before the first firing.
+        skip: u64,
+        /// Number of firings before the fault disarms itself.
+        times: u64,
+        /// Arm for every session, not just the submitting one.
+        global: bool,
+        /// Disarm all faults instead of arming one.
+        clear: bool,
+    },
     /// Drain the queue and stop the server.
     Shutdown,
 }
@@ -234,6 +283,19 @@ fn opt_usize_field(obj: &Json, key: &str) -> Result<Option<usize>, ServeError> {
             Some(n) if n >= 0.0 && n.fract() == 0.0 => Ok(Some(n as usize)),
             _ => Err(bad(format!("field {key:?} must be a non-negative integer"))),
         },
+    }
+}
+
+fn opt_u64_field(obj: &Json, key: &str) -> Result<Option<u64>, ServeError> {
+    Ok(opt_usize_field(obj, key)?.map(|n| n as u64))
+}
+
+/// A millisecond deadline: absent or positive (0 would be a job that
+/// can never run).
+fn timeout_field(obj: &Json) -> Result<Option<u64>, ServeError> {
+    match opt_u64_field(obj, "timeout_ms")? {
+        Some(0) => Err(bad("field \"timeout_ms\" must be a positive integer")),
+        other => Ok(other),
     }
 }
 
@@ -303,10 +365,16 @@ impl Request {
                 let name = str_field(doc, "name")?;
                 let path = opt_str_field(doc, "path")?;
                 let csv = opt_str_field(doc, "csv")?;
+                let pin = opt_bool_field(doc, "pin")?;
                 match (&path, &csv) {
                     (Some(_), Some(_)) => Err(bad("register takes \"path\" or \"csv\", not both")),
                     (None, None) => Err(bad("register needs a \"path\" or a \"csv\" body")),
-                    _ => Ok(Request::Register { name, path, csv }),
+                    _ => Ok(Request::Register {
+                        name,
+                        path,
+                        csv,
+                        pin,
+                    }),
                 }
             }
             "datasets" => Ok(Request::Datasets),
@@ -338,6 +406,7 @@ impl Request {
                     opts,
                     cache_budget,
                     sync: opt_bool_field(doc, "sync")?,
+                    timeout_ms: timeout_field(doc)?,
                 }))
             }
             "check" => Ok(Request::Check {
@@ -346,6 +415,7 @@ impl Request {
                 limit: opt_usize_field(doc, "limit")?.unwrap_or(20),
                 threads: opt_usize_field(doc, "threads")?.unwrap_or(1),
                 sync: opt_bool_field(doc, "sync")?,
+                timeout_ms: timeout_field(doc)?,
             }),
             "remine" => {
                 let theta = match doc.get("theta") {
@@ -363,12 +433,14 @@ impl Request {
                     k: opt_usize_field(doc, "k")?.unwrap_or(1),
                     threads: opt_usize_field(doc, "threads")?.unwrap_or(1),
                     sync: opt_bool_field(doc, "sync")?,
+                    timeout_ms: timeout_field(doc)?,
                 })
             }
             "repair" => Ok(Request::Repair {
                 dataset: str_field(doc, "dataset")?,
                 rules: rules_field(doc)?,
                 sync: opt_bool_field(doc, "sync")?,
+                timeout_ms: timeout_field(doc)?,
             }),
             "cancel" => Ok(Request::Cancel {
                 job: job_field(doc)?,
@@ -378,6 +450,25 @@ impl Request {
             }),
             "jobs" => Ok(Request::Jobs),
             "stats" => Ok(Request::Stats),
+            "inject" => {
+                let clear = opt_bool_field(doc, "clear")?;
+                let point = opt_str_field(doc, "point")?;
+                let action = opt_str_field(doc, "action")?;
+                if !clear && (point.is_none() || action.is_none()) {
+                    return Err(bad(
+                        "inject needs \"point\" and \"action\" (or \"clear\": true)",
+                    ));
+                }
+                Ok(Request::Inject {
+                    point,
+                    action,
+                    delay_ms: opt_u64_field(doc, "delay_ms")?,
+                    skip: opt_u64_field(doc, "skip")?.unwrap_or(0),
+                    times: opt_u64_field(doc, "times")?.unwrap_or(1),
+                    global: opt_bool_field(doc, "global")?,
+                    clear,
+                })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServeError::new(
                 "unknown_op",
@@ -395,8 +486,19 @@ pub enum LineRead {
     /// The line exceeded the cap; its bytes were discarded and the
     /// reader is positioned at the start of the next line.
     TooLong,
-    /// End of stream.
+    /// End of stream with no buffered data — a clean disconnect.
     Eof,
+    /// End of stream *mid-line*: the connection died before the line's
+    /// terminator arrived. The partial bytes are discarded — a torn
+    /// frame is a disconnect, never a phantom request.
+    Partial,
+    /// The underlying stream's read timeout fired. `mid_line` says
+    /// whether bytes of an unfinished line had already arrived (a
+    /// stalled frame — slow-loris) as opposed to a fully idle wait.
+    TimedOut {
+        /// True when the timeout interrupted an unfinished line.
+        mid_line: bool,
+    },
 }
 
 /// Reads one `\n`-terminated line, buffering at most `cap` bytes. A
@@ -404,17 +506,42 @@ pub enum LineRead {
 /// ever holding more than the cap in memory, so a hostile client
 /// cannot make the server allocate its line — the caller answers with
 /// a `line_too_long` error and keeps the connection.
+///
+/// A protocol line is only a request once its `\n` arrives: EOF with
+/// partial buffered data is reported as [`LineRead::Partial`] (a
+/// dropped connection mid-line), never as a line. Read timeouts on the
+/// underlying stream surface as [`LineRead::TimedOut`] rather than an
+/// error, carrying whether the wait interrupted an unfinished line —
+/// the caller distinguishes an idle session (reap after the idle
+/// budget) from a stalled frame (slow-loris, disconnect). Bytes of an
+/// unfinished line are *not* preserved across a timeout return, so
+/// callers must treat `TimedOut { mid_line: true }` as fatal to the
+/// connection.
 pub fn read_line_capped<R: BufRead>(r: &mut R, cap: usize) -> std::io::Result<LineRead> {
     let mut buf: Vec<u8> = Vec::new();
     let mut over = false;
     loop {
-        let chunk = r.fill_buf()?;
+        let chunk = match r.fill_buf() {
+            Ok(c) => c,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(LineRead::TimedOut {
+                    mid_line: !buf.is_empty() || over,
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
         if chunk.is_empty() {
-            // EOF: a final unterminated line still counts
             return Ok(match (buf.is_empty(), over) {
-                (_, true) => LineRead::TooLong,
                 (true, false) => LineRead::Eof,
-                (false, false) => LineRead::Line(String::from_utf8_lossy(&buf).into_owned()),
+                // EOF mid-line: the unterminated tail (oversized or
+                // not) is a torn frame, not a request
+                _ => LineRead::Partial,
             });
         }
         let (take, done) = match chunk.iter().position(|&b| b == b'\n') {
@@ -541,6 +668,7 @@ mod tests {
                 k,
                 threads,
                 sync,
+                timeout_ms: None,
             } => {
                 assert_eq!(dataset, "tax");
                 assert_eq!(rules, vec!["r".to_string()]);
@@ -611,17 +739,74 @@ mod tests {
         );
         assert_eq!(read_line_capped(&mut r, 5).unwrap(), LineRead::TooLong);
 
-        // unterminated trailing line at EOF
+        // a connection dropped mid-line (EOF with partial buffered
+        // data) is a torn frame — a clean disconnect, never a phantom
+        // request built from the tail bytes
         let mut r = BufReader::new("tail".as_bytes());
-        assert_eq!(
-            read_line_capped(&mut r, 10).unwrap(),
-            LineRead::Line("tail".into())
-        );
-        // oversized unterminated trailing line
+        assert_eq!(read_line_capped(&mut r, 10).unwrap(), LineRead::Partial);
+        let mut r = BufReader::new("{\"op\": \"shutdown\"}".as_bytes());
+        assert_eq!(read_line_capped(&mut r, 64).unwrap(), LineRead::Partial);
+        // …same for an oversized unterminated tail
         let data = "y".repeat(20);
         let mut r = BufReader::with_capacity(4, data.as_bytes());
-        assert_eq!(read_line_capped(&mut r, 10).unwrap(), LineRead::TooLong);
+        assert_eq!(read_line_capped(&mut r, 10).unwrap(), LineRead::Partial);
         assert_eq!(read_line_capped(&mut r, 10).unwrap(), LineRead::Eof);
+        // a terminated line followed by a torn one: the request still
+        // arrives, then the disconnect is reported
+        let mut r = BufReader::new("whole\npart".as_bytes());
+        assert_eq!(
+            read_line_capped(&mut r, 10).unwrap(),
+            LineRead::Line("whole".into())
+        );
+        assert_eq!(read_line_capped(&mut r, 10).unwrap(), LineRead::Partial);
+    }
+
+    /// A reader whose `Read` returns `WouldBlock` like a socket with a
+    /// read timeout: `data` first, then timeouts forever.
+    struct StallingReader {
+        data: Vec<u8>,
+        at: usize,
+    }
+
+    impl std::io::Read for StallingReader {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.at >= self.data.len() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "read timed out",
+                ));
+            }
+            let n = out.len().min(self.data.len() - self.at);
+            out[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn read_timeouts_surface_idle_vs_mid_line() {
+        // timeout with nothing buffered: an idle session
+        let mut r = BufReader::new(StallingReader {
+            data: b"full\n".to_vec(),
+            at: 0,
+        });
+        assert_eq!(
+            read_line_capped(&mut r, 10).unwrap(),
+            LineRead::Line("full".into())
+        );
+        assert_eq!(
+            read_line_capped(&mut r, 10).unwrap(),
+            LineRead::TimedOut { mid_line: false }
+        );
+        // timeout after a partial line: a stalled frame (slow-loris)
+        let mut r = BufReader::new(StallingReader {
+            data: b"stuck".to_vec(),
+            at: 0,
+        });
+        assert_eq!(
+            read_line_capped(&mut r, 10).unwrap(),
+            LineRead::TimedOut { mid_line: true }
+        );
     }
 
     #[test]
@@ -639,5 +824,79 @@ mod tests {
         let ev = event("progress", 3, vec![("phase".into(), Json::from("level"))]);
         assert_eq!(ev.get("event").and_then(Json::as_str), Some("progress"));
         assert_eq!(ev.get("job").and_then(Json::as_f64), Some(3.0));
+        // transient errors carry the retry hint; others omit the key
+        let busy = ServeError::new("queue_full", "busy").retry_after(250);
+        let rep = error_reply(Some("discover"), &busy);
+        assert_eq!(
+            rep.get("error")
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(Json::as_f64),
+            Some(250.0)
+        );
+        let plain = error_reply(None, &ServeError::new("bad_json", "nope"));
+        assert!(plain.get("error").unwrap().get("retry_after_ms").is_none());
+    }
+
+    #[test]
+    fn parses_timeouts_pin_and_inject() {
+        // timeout_ms rides on every job op; zero is rejected
+        let r = Request::parse("{\"op\": \"discover\", \"dataset\": \"t\", \"timeout_ms\": 1500}")
+            .unwrap();
+        match r {
+            Request::Discover(d) => assert_eq!(d.timeout_ms, Some(1500)),
+            other => panic!("wrong request: {other:?}"),
+        }
+        let (_, e) = Request::parse(
+            "{\"op\": \"check\", \"dataset\": \"t\", \"rules\": [\"r\"], \
+                            \"timeout_ms\": 0}",
+        )
+        .unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        match Request::parse("{\"op\": \"repair\", \"dataset\": \"t\", \"rules\": [\"r\"]}")
+            .unwrap()
+        {
+            Request::Repair { timeout_ms, .. } => assert_eq!(timeout_ms, None),
+            other => panic!("wrong request: {other:?}"),
+        }
+        // register pin flag
+        match Request::parse(
+            "{\"op\": \"register\", \"name\": \"t\", \"csv\": \"A\\n1\\n\", \
+                              \"pin\": true}",
+        )
+        .unwrap()
+        {
+            Request::Register { pin, .. } => assert!(pin),
+            other => panic!("wrong request: {other:?}"),
+        }
+        // inject: needs point+action unless clearing
+        match Request::parse(
+            "{\"op\": \"inject\", \"point\": \"job_run\", \"action\": \
+                              \"delay\", \"delay_ms\": 40, \"skip\": 2, \"times\": 3, \
+                              \"global\": true}",
+        )
+        .unwrap()
+        {
+            Request::Inject {
+                point,
+                action,
+                delay_ms,
+                skip,
+                times,
+                global,
+                clear,
+            } => {
+                assert_eq!(point.as_deref(), Some("job_run"));
+                assert_eq!(action.as_deref(), Some("delay"));
+                assert_eq!((delay_ms, skip, times), (Some(40), 2, 3));
+                assert!(global && !clear);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        match Request::parse("{\"op\": \"inject\", \"clear\": true}").unwrap() {
+            Request::Inject { clear, .. } => assert!(clear),
+            other => panic!("wrong request: {other:?}"),
+        }
+        let (_, e) = Request::parse("{\"op\": \"inject\", \"point\": \"job_run\"}").unwrap_err();
+        assert_eq!(e.code, "bad_request");
     }
 }

@@ -18,16 +18,22 @@
 //! spell out the split.
 //!
 //! Admission control is by resident bytes: the registry carries a
-//! budget and [`DatasetRegistry::insert`] rejects a dataset that would
-//! push [`Relation::memory_bytes`] totals past it with a structured
-//! `registry_budget` error — the server degrades predictably instead
-//! of growing without bound.
+//! budget and [`DatasetRegistry::insert`] admits against it — but it
+//! degrades gracefully before it rejects. A registration that would
+//! exceed the budget first evicts **idle, unpinned** datasets (no job
+//! holds their `Arc`, registered without `"pin": true`) in
+//! least-recently-used order; only when that still does not free
+//! enough room does the structured `registry_budget` error surface.
+//! Evictions are counted and reported (the `register` reply lists what
+//! was evicted; `stats` carries the running total), so capacity
+//! pressure is observable instead of silent.
 
 use crate::protocol::ServeError;
 use cfd_model::{Json, Pattern, Relation};
 use cfd_partition::{PartitionStore, RelationIndex};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Byte budget of each dataset's shared partition store. Entries past
 /// it are evicted coldest-first between jobs (pins are released when a
@@ -47,10 +53,16 @@ pub struct Dataset {
     /// internally synchronized), then reused by every later job.
     pub index: RelationIndex,
     /// Shared pattern-keyed partition store CTANE jobs warm-start
-    /// from (see the module docs for the locking trade-off).
+    /// from (see the module docs for the locking trade-off). Lock it
+    /// through [`Dataset::lock_store`], which recovers from poisoning.
     pub store: Mutex<PartitionStore<Pattern>>,
     /// `rel.memory_bytes()` at registration — what the budget charges.
     pub bytes: usize,
+    /// Pinned datasets are never evicted under budget pressure.
+    pub pinned: bool,
+    /// Monotonic use stamp (bumped by [`DatasetRegistry::get`]) — the
+    /// eviction order under budget pressure is ascending stamp (LRU).
+    last_used: AtomicU64,
 }
 
 impl std::fmt::Debug for Dataset {
@@ -75,6 +87,33 @@ impl Dataset {
             index,
             store: Mutex::new(PartitionStore::new(DATASET_STORE_BUDGET).retain_across_runs()),
             bytes,
+            pinned: false,
+            last_used: AtomicU64::new(0),
+        }
+    }
+
+    /// Marks the dataset never-evictable under budget pressure.
+    pub fn pinned(mut self) -> Dataset {
+        self.pinned = true;
+        self
+    }
+
+    /// Locks the shared partition store, recovering from poisoning: a
+    /// job that panicked mid-walk may have left the store's internals
+    /// inconsistent, so the poisoned contents are discarded and the
+    /// store restarts cold. The store is a pure cache — dropping it
+    /// costs recomputation, never correctness — which is what makes
+    /// this recovery safe (DESIGN.md §14 has the full poisoning
+    /// audit).
+    pub fn lock_store(&self) -> MutexGuard<'_, PartitionStore<Pattern>> {
+        match self.store.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.store.clear_poison();
+                let mut g = poisoned.into_inner();
+                *g = PartitionStore::new(DATASET_STORE_BUDGET).retain_across_runs();
+                g
+            }
         }
     }
 
@@ -85,6 +124,7 @@ impl Dataset {
             ("rows", Json::from(self.rel.n_rows())),
             ("arity", Json::from(self.rel.arity())),
             ("bytes", Json::from(self.bytes)),
+            ("pinned", Json::from(self.pinned)),
         ])
     }
 }
@@ -94,6 +134,24 @@ impl Dataset {
 pub struct DatasetRegistry {
     budget: usize,
     inner: Mutex<BTreeMap<String, Arc<Dataset>>>,
+    /// Monotonic clock for LRU stamps.
+    clock: AtomicU64,
+    /// Datasets evicted under budget pressure since start.
+    evictions: AtomicU64,
+}
+
+/// Locks a serve-internal mutex, recovering from poisoning. The state
+/// behind these mutexes (registry map, job queue, job table, client
+/// list, subscriber slots) is only mutated in short, non-panicking
+/// critical sections — no user or algorithm code ever runs under them
+/// — so on the rare poison (a panic elsewhere on the same thread while
+/// unwinding) the data is still structurally consistent and serving
+/// beats wedging. The one lock that *does* wrap panickable code, the
+/// per-dataset partition store, gets the stronger
+/// [`Dataset::lock_store`] treatment instead (discard and restart
+/// cold). DESIGN.md §14 carries the full audit.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl DatasetRegistry {
@@ -103,6 +161,8 @@ impl DatasetRegistry {
         DatasetRegistry {
             budget: budget_bytes,
             inner: Mutex::new(BTreeMap::new()),
+            clock: AtomicU64::new(1),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -111,11 +171,15 @@ impl DatasetRegistry {
         self.budget
     }
 
-    /// Registers `ds` under its name. Rejects duplicates
-    /// (`dataset_exists`) and datasets that would exceed the byte
-    /// budget (`registry_budget`) — both leave the registry unchanged.
-    pub fn insert(&self, ds: Dataset) -> Result<Arc<Dataset>, ServeError> {
-        let mut map = self.inner.lock().expect("registry lock");
+    /// Registers `ds` under its name, returning the shared handle plus
+    /// the names of any datasets evicted to make room. Rejects
+    /// duplicates (`dataset_exists`); under budget pressure it first
+    /// evicts idle unpinned datasets oldest-use-first, and only when
+    /// the dataset *still* does not fit fails with `registry_budget` —
+    /// in both failure cases the registry is left unchanged (nothing
+    /// is evicted for a registration that does not go through).
+    pub fn insert(&self, ds: Dataset) -> Result<(Arc<Dataset>, Vec<String>), ServeError> {
+        let mut map = lock_unpoisoned(&self.inner);
         if map.contains_key(&ds.name) {
             return Err(ServeError::new(
                 "dataset_exists",
@@ -123,31 +187,65 @@ impl DatasetRegistry {
             ));
         }
         let used: usize = map.values().map(|d| d.bytes).sum();
+        let mut evicted: Vec<String> = Vec::new();
         if used + ds.bytes > self.budget {
-            return Err(ServeError::new(
-                "registry_budget",
-                format!(
-                    "dataset {:?} needs {} bytes but only {} of the {}-byte budget remain \
-                     (unregister something first)",
-                    ds.name,
-                    ds.bytes,
-                    self.budget - used,
-                    self.budget
-                ),
-            ));
+            // idle = only the registry holds the Arc (no queued or
+            // running job, no connection mid-dispatch); unpinned only
+            let mut candidates: Vec<(u64, String, usize)> = map
+                .values()
+                .filter(|d| !d.pinned && Arc::strong_count(d) == 1)
+                .map(|d| (d.last_used.load(Ordering::Relaxed), d.name.clone(), d.bytes))
+                .collect();
+            candidates.sort();
+            let mut freeable = used;
+            for (_, name, bytes) in &candidates {
+                if freeable + ds.bytes <= self.budget {
+                    break;
+                }
+                freeable -= bytes;
+                evicted.push(name.clone());
+            }
+            if freeable + ds.bytes > self.budget {
+                return Err(ServeError::new(
+                    "registry_budget",
+                    format!(
+                        "dataset {:?} needs {} bytes but only {} of the {}-byte budget can be \
+                         freed (idle unpinned datasets already considered for eviction; \
+                         unregister something first)",
+                        ds.name,
+                        ds.bytes,
+                        self.budget.saturating_sub(freeable),
+                        self.budget
+                    ),
+                ));
+            }
+            for name in &evicted {
+                map.remove(name);
+            }
+            self.evictions
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
         }
         let ds = Arc::new(ds);
+        ds.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         map.insert(ds.name.clone(), ds.clone());
-        Ok(ds)
+        Ok((ds, evicted))
     }
 
-    /// Looks a dataset up by name (`unknown_dataset` when absent).
+    /// Looks a dataset up by name (`unknown_dataset` when absent),
+    /// bumping its LRU stamp.
     pub fn get(&self, name: &str) -> Result<Arc<Dataset>, ServeError> {
-        self.inner
-            .lock()
-            .expect("registry lock")
+        lock_unpoisoned(&self.inner)
             .get(name)
             .cloned()
+            .inspect(|ds| {
+                ds.last_used.store(
+                    self.clock.fetch_add(1, Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
+            })
             .ok_or_else(|| ServeError::new("unknown_dataset", format!("no dataset named {name:?}")))
     }
 
@@ -155,26 +253,19 @@ impl DatasetRegistry {
     /// the `Arc` finish against the old data; the bytes stop counting
     /// against the budget immediately.
     pub fn remove(&self, name: &str) -> Result<Arc<Dataset>, ServeError> {
-        self.inner
-            .lock()
-            .expect("registry lock")
+        lock_unpoisoned(&self.inner)
             .remove(name)
             .ok_or_else(|| ServeError::new("unknown_dataset", format!("no dataset named {name:?}")))
     }
 
     /// Total bytes currently charged against the budget.
     pub fn total_bytes(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("registry lock")
-            .values()
-            .map(|d| d.bytes)
-            .sum()
+        lock_unpoisoned(&self.inner).values().map(|d| d.bytes).sum()
     }
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("registry lock").len()
+        lock_unpoisoned(&self.inner).len()
     }
 
     /// True when nothing is registered.
@@ -182,11 +273,15 @@ impl DatasetRegistry {
         self.len() == 0
     }
 
+    /// Datasets evicted under budget pressure since server start
+    /// (`stats` gauge).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Registry rows in name order (the `datasets` reply).
     pub fn list(&self) -> Vec<Json> {
-        self.inner
-            .lock()
-            .expect("registry lock")
+        lock_unpoisoned(&self.inner)
             .values()
             .map(|d| d.to_json())
             .collect()
@@ -207,17 +302,21 @@ mod tests {
         let rel = small();
         let bytes = rel.memory_bytes();
         let reg = DatasetRegistry::new(bytes * 2 + bytes / 2);
-        reg.insert(Dataset::new("a", small())).unwrap();
+        reg.insert(Dataset::new("a", small()).pinned()).unwrap();
         assert_eq!(
             reg.insert(Dataset::new("a", small())).unwrap_err().code,
             "dataset_exists"
         );
-        reg.insert(Dataset::new("b", small())).unwrap();
-        // a third copy exceeds the 2.5x budget…
+        // hold "b"'s Arc so it counts as busy (a running job would)
+        let (_b, ev) = reg.insert(Dataset::new("b", small()).pinned()).unwrap();
+        assert!(ev.is_empty());
+        // a third copy exceeds the 2.5x budget and nothing is evictable
+        // (a pinned, b pinned + busy)…
         let err = reg.insert(Dataset::new("c", small())).unwrap_err();
         assert_eq!(err.code, "registry_budget");
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.total_bytes(), bytes * 2);
+        assert_eq!(reg.evictions(), 0);
         // …until something is unregistered
         reg.remove("a").unwrap();
         reg.insert(Dataset::new("c", small())).unwrap();
@@ -226,12 +325,61 @@ mod tests {
         let rows = reg.list();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get("name").and_then(Json::as_str), Some("b"));
+        assert_eq!(rows[0].get("pinned").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn budget_pressure_evicts_idle_unpinned_lru_first() {
+        let bytes = small().memory_bytes();
+        let reg = DatasetRegistry::new(bytes * 3);
+        reg.insert(Dataset::new("old", small())).unwrap();
+        reg.insert(Dataset::new("mid", small())).unwrap();
+        reg.insert(Dataset::new("hot", small())).unwrap();
+        // touch "old" so "mid" becomes the least recently used
+        reg.get("old").unwrap();
+        let (_d, evicted) = reg.insert(Dataset::new("d", small())).unwrap();
+        assert_eq!(evicted, vec!["mid".to_string()]);
+        assert_eq!(reg.evictions(), 1);
+        assert!(reg.get("mid").is_err(), "mid was evicted");
+        assert!(reg.get("old").is_ok() && reg.get("hot").is_ok());
+
+        // pinned and busy datasets are never eviction candidates, and a
+        // failed insert evicts nothing
+        let reg = DatasetRegistry::new(bytes * 2);
+        reg.insert(Dataset::new("pinned", small()).pinned())
+            .unwrap();
+        let (busy, _) = reg.insert(Dataset::new("busy", small())).unwrap();
+        let err = reg.insert(Dataset::new("newcomer", small())).unwrap_err();
+        assert_eq!(err.code, "registry_budget");
+        assert_eq!(reg.len(), 2, "failed insert must not evict anything");
+        drop(busy);
+        // with the job done (Arc released), "busy" is idle and evictable
+        let (_n, evicted) = reg.insert(Dataset::new("newcomer", small())).unwrap();
+        assert_eq!(evicted, vec!["busy".to_string()]);
+        assert_eq!(reg.evictions(), 1);
+    }
+
+    #[test]
+    fn poisoned_store_recovers_cold() {
+        let ds = Arc::new(Dataset::new("t", small()));
+        let ds2 = ds.clone();
+        // poison the store mutex by panicking while holding it
+        let _ = std::thread::spawn(move || {
+            let _guard = ds2.store.lock().unwrap();
+            panic!("injected: poison the store lock");
+        })
+        .join();
+        assert!(ds.store.lock().is_err(), "mutex is poisoned");
+        let store = ds.lock_store();
+        assert_eq!(store.stats().entries, 0, "recovered store starts cold");
+        drop(store);
+        assert!(ds.store.lock().is_ok(), "poison was cleared");
     }
 
     #[test]
     fn shared_index_answers_like_a_fresh_one() {
         let reg = DatasetRegistry::new(usize::MAX);
-        let ds = reg.insert(Dataset::new("t", small())).unwrap();
+        let (ds, _) = reg.insert(Dataset::new("t", small())).unwrap();
         let fresh = RelationIndex::new(&ds.rel);
         for a in 0..ds.rel.arity() {
             let shared = ds.index.column(&ds.rel, a);

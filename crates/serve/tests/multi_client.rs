@@ -161,12 +161,26 @@ fn rules_and_counts(doc: &Json) -> (String, String) {
     )
 }
 
-fn shutdown(wire: &mut Wire, handle: thread::JoinHandle<std::io::Result<()>>) {
+/// Issues `shutdown` and asserts the drain report: `jobs_drained`
+/// counts the jobs that were *running* at close (drained to
+/// completion), `jobs_flushed` the queued ones deterministically
+/// cancelled. Returns the pair for tests that assert exact counts.
+fn shutdown(wire: &mut Wire, handle: thread::JoinHandle<std::io::Result<()>>) -> (u64, u64) {
     wire.send(&Json::obj([("op", Json::from("shutdown"))]));
     let rep = wire.reply();
     assert_ok(&rep);
-    assert_eq!(rep.get("jobs_drained").and_then(Json::as_bool), Some(true));
+    let drained = rep
+        .get("jobs_drained")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("shutdown reply without numeric jobs_drained: {rep}"))
+        as u64;
+    let flushed = rep
+        .get("jobs_flushed")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("shutdown reply without numeric jobs_flushed: {rep}"))
+        as u64;
     handle.join().expect("server thread").expect("server run");
+    (drained, flushed)
 }
 
 /// The tentpole scenario: register two datasets once, then serve three
@@ -648,6 +662,63 @@ a2,b8,c2
     assert_eq!(error_code(&w.reply()), "bad_request");
 
     shutdown(&mut w, handle);
+}
+
+/// Shutdown under load is a *deterministic drain*: the job running at
+/// close completes (its result is never thrown away), queued jobs are
+/// flushed as cancelled (never silently lost, never started), and the
+/// reply reports both counts exactly.
+#[test]
+fn shutdown_under_load_drains_running_and_flushes_queued() {
+    let (addr, handle) = spawn_server(ServeOptions {
+        workers: 1,
+        queue_depth: 4,
+        ..ServeOptions::default()
+    });
+    let tax_path = tax_csv(600, 7, 13, "drain");
+    let mut w = Wire::connect(addr);
+    w.send(&Json::obj([
+        ("op", Json::from("register")),
+        ("name", Json::from("tax")),
+        ("path", Json::from(tax_path.to_str().expect("utf8 path"))),
+    ]));
+    assert_ok(&w.reply());
+    let discover = || {
+        Json::obj([
+            ("op", Json::from("discover")),
+            ("dataset", Json::from("tax")),
+            ("algo", Json::from("ctane")),
+            ("max_lhs", Json::from(3usize)),
+        ])
+    };
+    // j1 occupies the single worker; j2 and j3 sit in the queue
+    w.send(&discover());
+    let rep = w.reply();
+    assert_ok(&rep);
+    let j1 = job_id(&rep);
+    w.event("started", j1);
+    w.send(&discover());
+    let rep = w.reply();
+    assert_ok(&rep);
+    let j2 = job_id(&rep);
+    w.send(&discover());
+    let rep = w.reply();
+    assert_ok(&rep);
+    let j3 = job_id(&rep);
+
+    let (drained, flushed) = shutdown(&mut w, handle);
+    assert_eq!(
+        (drained, flushed),
+        (1, 2),
+        "one running job drained, two queued jobs flushed"
+    );
+    // the terminal events all preceded the shutdown reply: queued jobs
+    // were cancelled, the running one finished with a result
+    w.event("cancelled", j2);
+    w.event("cancelled", j3);
+    let done = w.event("done", j1);
+    assert!(done.get("result").is_some(), "drained job lost its result");
+    let _ = std::fs::remove_file(&tax_path);
 }
 
 /// The registry byte budget rejects registrations instead of growing

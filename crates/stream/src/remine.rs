@@ -587,4 +587,99 @@ mod tests {
         assert_eq!(engine.rules(), &before[..]);
         reconcile(&engine);
     }
+
+    /// A metrics sink that trips a cancellation flag after `after`
+    /// `control.checks` emissions — `check()` counts before it polls
+    /// the flag, so this cancels *exactly at* the `after`-th checkpoint
+    /// of a run, deterministically.
+    struct TripAfter<'a> {
+        after: u64,
+        seen: std::sync::atomic::AtomicU64,
+        flag: &'a std::sync::atomic::AtomicBool,
+    }
+
+    impl cfd_model::progress::MetricsSink for TripAfter<'_> {
+        fn add(&self, name: &'static str, delta: u64) {
+            use std::sync::atomic::Ordering;
+            if name == "control.checks"
+                && self.seen.fetch_add(delta, Ordering::Relaxed) + delta >= self.after
+            {
+                self.flag.store(true, Ordering::Relaxed);
+            }
+        }
+        fn set_gauge(&self, _name: &'static str, _value: u64) {}
+        fn observe(&self, _name: &'static str, _value: u64) {}
+    }
+
+    /// Cancellation at *every* checkpoint a full run passes through:
+    /// wherever mid-mine the run stops, the engine's cover and
+    /// violation index are exactly the pre-remine ones — the swap is
+    /// all-or-nothing, never a partially applied `CoverDelta`.
+    #[test]
+    fn mid_mine_cancellation_applies_no_partial_delta() {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        let opts = RemineOptions {
+            theta: 0.95,
+            expand: 1,
+            ..RemineOptions::default()
+        };
+        // count the checkpoints of an uncancelled run
+        struct CountChecks(AtomicU64);
+        impl cfd_model::progress::MetricsSink for CountChecks {
+            fn add(&self, name: &'static str, delta: u64) {
+                if name == "control.checks" {
+                    self.0.fetch_add(delta, Ordering::Relaxed);
+                }
+            }
+            fn set_gauge(&self, _name: &'static str, _value: u64) {}
+            fn observe(&self, _name: &'static str, _value: u64) {}
+        }
+        let counter = CountChecks(AtomicU64::new(0));
+        let mut engine = drift_engine(1);
+        remine(
+            &mut engine,
+            &opts,
+            &Control::default().metrics_with(&counter),
+        )
+        .unwrap()
+        .expect("drift triggers");
+        let total = counter.0.load(Ordering::Relaxed);
+        assert!(total > 1, "remine passed only {total} checkpoints");
+
+        for k in 1..=total {
+            let mut engine = drift_engine(1);
+            let before = engine.rules().to_vec();
+            let flag = AtomicBool::new(false);
+            let trip = TripAfter {
+                after: k,
+                seen: AtomicU64::new(0),
+                flag: &flag,
+            };
+            let ctrl = Control::default().cancel_with(&flag).metrics_with(&trip);
+            assert!(
+                remine(&mut engine, &opts, &ctrl).is_err(),
+                "checkpoint {k}/{total} did not stop the run"
+            );
+            assert_eq!(
+                engine.rules(),
+                &before[..],
+                "partial swap at checkpoint {k}"
+            );
+            reconcile(&engine);
+        }
+    }
+
+    /// An already-expired deadline aborts like a pre-set cancel flag:
+    /// before the swap, engine untouched.
+    #[test]
+    fn expired_deadline_aborts_before_the_swap() {
+        use std::time::{Duration, Instant};
+        let mut engine = drift_engine(1);
+        let before = engine.rules().to_vec();
+        let ctrl = Control::default().deadline_with(Instant::now() - Duration::from_millis(1));
+        let opts = RemineOptions::default();
+        assert!(remine(&mut engine, &opts, &ctrl).is_err());
+        assert_eq!(engine.rules(), &before[..]);
+        reconcile(&engine);
+    }
 }

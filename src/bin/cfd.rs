@@ -10,8 +10,9 @@
 //! cfd stats    <data.csv>
 //! cfd watch    <initial.csv> <rules.txt> [--shards N] [--lenient]
 //! cfd serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
-//!              [--registry-budget-mb N] [--max-line-kb N]
-//! cfd client   <HOST:PORT>
+//!              [--registry-budget-mb N] [--max-line-kb N] [--job-timeout-ms N]
+//!              [--io-timeout-ms N] [--idle-ms N] [--faults]
+//! cfd client   <HOST:PORT> [--io-timeout-ms N] [--retries N] [--backoff-ms N]
 //! cfd algos
 //! ```
 //!
@@ -91,10 +92,11 @@ fn usage() -> ExitCode {
          cfd repair <data.csv> <rules.txt> <out.csv> [--lenient]\n  \
          cfd stats <data.csv>\n  \
          cfd watch <initial.csv> <rules.txt> [--shards N] [--lenient] [--trace] [--metrics-out FILE]\n\
-         \x20          [--remine] [--remine-theta F] [--remine-expand N] [--threads N]\n  \
+         \x20          [--remine] [--remine-theta F] [--remine-expand N] [--remine-timeout-ms N] [--threads N]\n  \
          cfd serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
-         \x20          [--registry-budget-mb N] [--max-line-kb N] [--trace] [--metrics-out FILE]\n  \
-         cfd client <HOST:PORT>\n  \
+         \x20          [--registry-budget-mb N] [--max-line-kb N] [--job-timeout-ms N]\n\
+         \x20          [--io-timeout-ms N] [--idle-ms N] [--faults] [--trace] [--metrics-out FILE]\n  \
+         cfd client <HOST:PORT> [--io-timeout-ms N] [--retries N] [--backoff-ms N]\n  \
          cfd algos\n\
          \n\
          algorithms (cfd algos): {}\n\
@@ -107,8 +109,12 @@ fn usage() -> ExitCode {
          \x20 confidence drops below --remine-theta, its attribute neighborhood\n\
          \x20 (LHS u RHS plus --remine-expand extra attributes) is re-discovered\n\
          \x20 under theta and the cover is atomically repaired (REMINE lines);\n\
-         \x20 serve hosts a dataset registry + job queue over newline-delimited JSON/TCP,\n\
-         \x20 client pipes a scripted session to it (stdin -> requests, stdout <- replies);\n\
+         \x20 serve hosts a dataset registry + job queue over newline-delimited JSON/TCP\n\
+         \x20 (--job-timeout-ms caps each job, --io-timeout-ms/--idle-ms reap stalled or\n\
+         \x20 idle connections, --faults unlocks the test-only inject op);\n\
+         \x20 client pipes a scripted session to it in lockstep (stdin -> requests,\n\
+         \x20 stdout <- replies; --retries/--backoff-ms retry transient overload errors,\n\
+         \x20 --io-timeout-ms turns a silent server into a clean nonzero exit);\n\
          \x20 --trace prints a span-time summary to stderr, --metrics-out FILE\n\
          \x20 writes the run's counters/gauges/histograms as JSON)",
         Algo::all().map(|a| a.name()).join("|")
@@ -160,6 +166,13 @@ struct Args {
     queue_depth: usize,
     registry_budget_mb: usize,
     max_line_kb: usize,
+    job_timeout_ms: u64,
+    io_timeout_ms: u64,
+    idle_ms: u64,
+    faults: bool,
+    retries: usize,
+    backoff_ms: u64,
+    remine_timeout_ms: u64,
 }
 
 /// Parses flags, reporting the offending flag/value on failure (the
@@ -190,6 +203,13 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, String> {
         queue_depth: 32,
         registry_budget_mb: 1024,
         max_line_kb: 64,
+        job_timeout_ms: 0,
+        io_timeout_ms: 0,
+        idle_ms: 0,
+        faults: false,
+        retries: 0,
+        backoff_ms: 250,
+        remine_timeout_ms: 0,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -236,6 +256,20 @@ fn parse_args(argv: &[String]) -> std::result::Result<Args, String> {
                     number("--registry-budget-mb", value("--registry-budget-mb")?)?
             }
             "--max-line-kb" => a.max_line_kb = number("--max-line-kb", value("--max-line-kb")?)?,
+            "--job-timeout-ms" => {
+                a.job_timeout_ms = number("--job-timeout-ms", value("--job-timeout-ms")?)? as u64
+            }
+            "--io-timeout-ms" => {
+                a.io_timeout_ms = number("--io-timeout-ms", value("--io-timeout-ms")?)? as u64
+            }
+            "--idle-ms" => a.idle_ms = number("--idle-ms", value("--idle-ms")?)? as u64,
+            "--faults" => a.faults = true,
+            "--retries" => a.retries = number("--retries", value("--retries")?)?,
+            "--backoff-ms" => a.backoff_ms = number("--backoff-ms", value("--backoff-ms")?)? as u64,
+            "--remine-timeout-ms" => {
+                a.remine_timeout_ms =
+                    number("--remine-timeout-ms", value("--remine-timeout-ms")?)? as u64
+            }
             "--remine" => a.remine = true,
             "--remine-theta" => {
                 let v = value("--remine-theta")?;
@@ -496,8 +530,21 @@ fn remine_cycle(engine: &mut cfd_suite::prelude::StreamEngine, a: &Args) {
         max_lhs: None,
         threads: a.threads,
     };
-    let Ok(outcome) = remine(engine, &ropts, &Control::default()) else {
-        unreachable!("default Control is never cancelled")
+    let mut ctrl = Control::default();
+    let deadline = (a.remine_timeout_ms > 0)
+        .then(|| std::time::Instant::now() + std::time::Duration::from_millis(a.remine_timeout_ms));
+    if let Some(d) = deadline {
+        ctrl = ctrl.deadline_with(d);
+    }
+    let Ok(outcome) = remine(engine, &ropts, &ctrl) else {
+        // the deadline tripped mid-mine; the cover swap is atomic, so
+        // the engine still runs the pre-remine rules — keep watching
+        println!(
+            "REMINE timeout after {} ms (cover unchanged, rules={})",
+            a.remine_timeout_ms,
+            engine.rules().len()
+        );
+        return;
     };
     let Some(delta) = outcome else { return };
     let names: Vec<&str> = delta
@@ -718,12 +765,17 @@ fn watch(a: &Args) -> Result<ExitCode> {
 /// ephemeral port), so scripts can wait for readiness and learn the
 /// port in one read. Runs until a client sends `{"op": "shutdown"}`.
 fn serve(a: &Args) -> Result<ExitCode> {
+    let ms = |v: u64| (v > 0).then(|| std::time::Duration::from_millis(v));
     let opts = ServeOptions {
         addr: a.addr.clone(),
         workers: a.workers,
         queue_depth: a.queue_depth,
         registry_budget: a.registry_budget_mb << 20,
         max_line: a.max_line_kb << 10,
+        job_timeout: ms(a.job_timeout_ms),
+        io_timeout: ms(a.io_timeout_ms),
+        idle_timeout: ms(a.idle_ms),
+        fault_injection: a.faults,
     };
     let server = Server::bind(&opts).map_err(Error::from)?;
     // the server's registry is the session's: ingest/job/serve metrics
@@ -746,13 +798,51 @@ fn serve(a: &Args) -> Result<ExitCode> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// A scripted client: pumps stdin lines (blank/`#` skipped) to the
-/// server and prints every reply/event line to stdout. Exits 0 when
+/// What one blocking read from the server produced, with timeouts and
+/// hangups made explicit so the client can react instead of wedging.
+enum ClientRead {
+    Line(String),
+    Eof,
+    TimedOut,
+}
+
+/// Reads one reply/event line, classifying `WouldBlock`/`TimedOut`
+/// separately: with `--io-timeout-ms` a silent server is a structured
+/// failure, not an eternal hang.
+fn client_read(reader: &mut impl std::io::BufRead) -> std::io::Result<ClientRead> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => Ok(ClientRead::Eof),
+        Ok(_) => Ok(ClientRead::Line(line.trim_end().to_string())),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Ok(ClientRead::TimedOut)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// A scripted client: sends stdin lines (blank/`#` skipped) to the
+/// server *in lockstep* — each request waits for its reply (event lines
+/// stream through as they arrive) before the next is sent. Exits 0 when
 /// every reply was `"ok": true`, 1 otherwise — so a scripted session
 /// doubles as a smoke test.
+///
+/// Transient overload replies (`queue_full`, `registry_budget`) are
+/// retried up to `--retries` times with exponential backoff and jitter,
+/// seeded by the server's `retry_after_ms` hint (else `--backoff-ms`).
+/// With `--io-timeout-ms`, a server that stops responding mid-session
+/// is a clear error and a nonzero exit, not a hang.
 fn client(a: &Args) -> Result<ExitCode> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use std::io::{BufRead, BufReader, Write};
     use std::net::TcpStream;
+    use std::time::Duration;
 
     let addr = &a.positional[0];
     // retry briefly: the usual caller just forked `cfd serve`
@@ -763,43 +853,139 @@ fn client(a: &Args) -> Result<ExitCode> {
             Err(e) if attempt < 25 => {
                 attempt += 1;
                 let _ = e;
-                std::thread::sleep(std::time::Duration::from_millis(200));
+                std::thread::sleep(Duration::from_millis(200));
             }
             Err(e) => return Err(Error::from(e)),
         }
     };
+    if a.io_timeout_ms > 0 {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(a.io_timeout_ms)))
+            .map_err(Error::from)?;
+        stream
+            .set_write_timeout(Some(Duration::from_millis(a.io_timeout_ms)))
+            .map_err(Error::from)?;
+    }
     let mut write_half = stream.try_clone().map_err(Error::from)?;
-    let pump = std::thread::spawn(move || {
-        let stdin = std::io::stdin();
-        for line in stdin.lock().lines() {
-            let Ok(line) = line else { break };
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
+    let mut reader = BufReader::new(stream);
+    // fixed seed: jitter exists to spread a herd of clients, and these
+    // are independent processes — determinism per process keeps
+    // scripted sessions reproducible
+    let mut rng = StdRng::seed_from_u64(0xcfd_c11e47);
+    let mut failed = false;
+    let mut server_gone = false;
+    let stdin = std::io::stdin();
+    'script: for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim().to_string();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut attempts_left = a.retries;
+        let mut backoff = a.backoff_ms.max(1);
+        loop {
             if write_half.write_all(line.as_bytes()).is_err()
                 || write_half.write_all(b"\n").is_err()
                 || write_half.flush().is_err()
             {
-                break;
+                server_gone = true;
+                break 'script;
             }
-        }
-        // half-close: the server keeps streaming until its side is done
-        let _ = write_half.shutdown(std::net::Shutdown::Write);
-    });
-    let mut failed = false;
-    for line in BufReader::new(stream).lines() {
-        let line = line.map_err(Error::from)?;
-        if let Ok(doc) = Json::parse(&line) {
-            if doc.get("ok").and_then(Json::as_bool) == Some(false) {
+            // stream events through until this request's reply arrives
+            let reply = loop {
+                match client_read(&mut reader).map_err(Error::from)? {
+                    ClientRead::Eof => {
+                        server_gone = true;
+                        break 'script;
+                    }
+                    ClientRead::TimedOut => {
+                        eprintln!(
+                            "error: server stopped responding (no data for {} ms)",
+                            a.io_timeout_ms
+                        );
+                        std::io::stdout().flush().map_err(Error::from)?;
+                        return Ok(ExitCode::FAILURE);
+                    }
+                    ClientRead::Line(l) => {
+                        let doc = Json::parse(&l).ok();
+                        let is_event = doc.as_ref().is_some_and(|d| d.get("event").is_some());
+                        if is_event {
+                            println!("{l}");
+                        } else {
+                            break (l, doc);
+                        }
+                    }
+                }
+            };
+            let (text, doc) = reply;
+            let ok = doc
+                .as_ref()
+                .and_then(|d| d.get("ok"))
+                .and_then(Json::as_bool);
+            let code = doc
+                .as_ref()
+                .and_then(|d| d.get("error"))
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+                .map(str::to_string);
+            let transient = matches!(code.as_deref(), Some("queue_full" | "registry_budget"));
+            if ok == Some(false) && transient && attempts_left > 0 {
+                // prefer the server's own estimate of when capacity
+                // frees up; fall back to the local backoff schedule
+                let hint = doc
+                    .as_ref()
+                    .and_then(|d| d.get("error"))
+                    .and_then(|e| e.get("retry_after_ms"))
+                    .and_then(Json::as_f64)
+                    .map(|ms| ms as u64);
+                let base = hint.unwrap_or(backoff).max(1);
+                let jitter = rng.gen_range(0..=base / 4);
+                eprintln!(
+                    "# transient {} — retrying in {} ms ({} attempts left)",
+                    code.as_deref().unwrap_or("error"),
+                    base + jitter,
+                    attempts_left,
+                );
+                std::thread::sleep(Duration::from_millis(base + jitter));
+                attempts_left -= 1;
+                backoff = (backoff * 2).min(30_000);
+                continue;
+            }
+            if ok == Some(false) {
                 failed = true;
             }
+            println!("{text}");
+            break;
         }
-        println!("{line}");
     }
-    let _ = pump.join();
+    // half-close: the server keeps streaming (async job events) until
+    // its side is done
+    let _ = write_half.shutdown(std::net::Shutdown::Write);
+    loop {
+        match client_read(&mut reader).map_err(Error::from)? {
+            ClientRead::Eof => break,
+            ClientRead::TimedOut => {
+                eprintln!(
+                    "error: server stopped responding (no data for {} ms)",
+                    a.io_timeout_ms
+                );
+                std::io::stdout().flush().map_err(Error::from)?;
+                return Ok(ExitCode::FAILURE);
+            }
+            ClientRead::Line(l) => {
+                if let Ok(doc) = Json::parse(&l) {
+                    if doc.get("ok").and_then(Json::as_bool) == Some(false) {
+                        failed = true;
+                    }
+                }
+                println!("{l}");
+            }
+        }
+    }
     std::io::stdout().flush().map_err(Error::from)?;
-    Ok(if failed {
+    // a server that vanished mid-script (crash, injected disconnect)
+    // is a failure even if every completed reply was ok
+    Ok(if failed || server_gone {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -255,3 +255,104 @@ fn client_subcommand_scripts_a_session_and_reports_failures() {
     );
     assert!(server.wait().expect("serve exit").success());
 }
+
+#[test]
+fn client_io_timeout_turns_silence_into_a_clean_failure() {
+    // a fake server that accepts, reads the request, and never replies
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("fake addr").to_string();
+    let mute = std::thread::spawn(move || {
+        let (conn, _) = listener.accept().expect("accept");
+        let mut line = String::new();
+        let _ = BufReader::new(&conn).read_line(&mut line);
+        // hold the connection open well past the client's patience
+        std::thread::sleep(Duration::from_secs(5));
+        drop(conn);
+    });
+
+    let mut client = bin()
+        .args(["client", &addr, "--io-timeout-ms", "300"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cfd client");
+    client
+        .stdin
+        .take()
+        .expect("client stdin")
+        .write_all(b"{\"op\":\"ping\"}\n")
+        .expect("write session");
+    let out = client.wait_with_output().expect("client exit");
+    assert!(
+        !out.status.success(),
+        "a silent server must flip the client's exit code"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("server stopped responding (no data for 300 ms)"),
+        "missing timeout diagnostic, stderr was: {stderr}"
+    );
+    mute.join().expect("fake server thread");
+}
+
+#[test]
+fn client_retries_transient_overload_until_it_clears() {
+    // a fake server that sheds the first attempt with a retry hint and
+    // accepts the identical resend
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("fake addr").to_string();
+    let shedder = std::thread::spawn(move || {
+        let (conn, _) = listener.accept().expect("accept");
+        let mut r = BufReader::new(conn.try_clone().expect("clone"));
+        let mut w = conn;
+        let mut first = String::new();
+        r.read_line(&mut first).expect("first attempt");
+        w.write_all(
+            b"{\"ok\":false,\"op\":\"ping\",\"error\":{\"code\":\"queue_full\",\
+              \"message\":\"job queue is full\",\"retry_after_ms\":10}}\n",
+        )
+        .expect("shed reply");
+        let mut second = String::new();
+        r.read_line(&mut second).expect("retried attempt");
+        assert_eq!(first, second, "the retry must resend the same request");
+        w.write_all(b"{\"ok\":true,\"op\":\"ping\"}\n")
+            .expect("ok reply");
+        // drain until the client half-closes, then hang up
+        let mut rest = String::new();
+        while r.read_line(&mut rest).expect("drain") > 0 {
+            rest.clear();
+        }
+    });
+
+    let mut client = bin()
+        .args(["client", &addr, "--retries", "2", "--backoff-ms", "20"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cfd client");
+    client
+        .stdin
+        .take()
+        .expect("client stdin")
+        .write_all(b"{\"op\":\"ping\"}\n")
+        .expect("write session");
+    let out = client.wait_with_output().expect("client exit");
+    assert!(
+        out.status.success(),
+        "a shed-then-served session must exit 0, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 1, "only the final reply is echoed: {stdout}");
+    let doc = Json::parse(lines[0]).expect("client echoes JSON");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("# transient queue_full — retrying in"),
+        "missing retry note, stderr was: {stderr}"
+    );
+    shedder.join().expect("fake server thread");
+}
